@@ -1,0 +1,146 @@
+// Ablation: RAPL capping granularity — coordinated row-uniform throttling
+// vs static per-server limits (row budget / n per server).
+//
+// §4.3 reports that without Ampere "54.34 % of servers are power capped for
+// roughly 15 % of the total time": a per-server statistic, implying per-
+// server limits. This bench quantifies the coordination gap the capping
+// literature predicts and the paper's row-level viewpoint exploits:
+//   * with per-server limits, hot servers are throttled even when the row
+//     as a whole is under budget (a cold server's unused share cannot help
+//     a hot one) — stranded slack;
+//   * coordinated row-uniform capping only engages when the row total
+//     violates, so at the same demand it throttles far less.
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/workload/batch_workload.h"
+
+namespace ampere {
+namespace {
+
+constexpr uint64_t kSeed = 20160429;
+
+struct GranularityResult {
+  double mean_capped_fraction = 0.0;  // Mean fraction of servers capped.
+  double capped_time_fraction = 0.0;  // Fraction of time any server capped.
+  double mean_power_norm = 0.0;       // Row power / budget.
+  double over_budget_fraction = 0.0;  // Fraction of samples over budget.
+  uint64_t jobs_completed = 0;
+};
+
+GranularityResult RunMode(CappingMode mode, double demand_norm) {
+  Rng rng(kSeed);
+  Simulation sim;
+  TopologyConfig topo;
+  topo.num_rows = 1;
+  topo.racks_per_row = 4;
+  topo.servers_per_rack = 20;  // 80 servers.
+  topo.capping_enabled = true;
+  topo.capping_mode = mode;
+  DataCenter dc(topo, &sim);
+  double budget = 80 * 250.0 / 1.25;  // rO = 0.25.
+  dc.SetRowCappingBudget(RowId(0), budget);
+
+  Scheduler scheduler(&dc, SchedulerConfig{}, rng.Fork(1));
+  JobIdAllocator ids;
+  BatchWorkloadParams params;
+  params.arrivals.base_rate_per_min = ArrivalRateForNormalizedPower(
+      topo, params, demand_norm, 0.25);
+  BatchWorkload workload(params, &sim, &scheduler, &ids, rng.Fork(2));
+  workload.Start(SimTime());
+
+  struct Acc {
+    double capped_fraction_sum = 0.0;
+    double power_sum = 0.0;
+    int over_budget = 0;
+    int samples = 0;
+  };
+  Acc acc;
+  sim.SchedulePeriodic(SimTime::Hours(2), SimTime::Minutes(1),
+                       [&](SimTime) {
+                         ++acc.samples;
+                         acc.capped_fraction_sum +=
+                             dc.FractionOfServersCapped(RowId(0));
+                         double p = dc.row_power_watts(RowId(0));
+                         acc.power_sum += p;
+                         if (p > budget) {
+                           ++acc.over_budget;
+                         }
+                       });
+  SimTime capped_before;
+  sim.ScheduleAt(SimTime::Hours(2),
+                 [&] { capped_before = dc.row_capped_time(RowId(0)); });
+  sim.RunUntil(SimTime::Hours(2 + 12));
+
+  GranularityResult result;
+  result.mean_capped_fraction = acc.capped_fraction_sum / acc.samples;
+  result.capped_time_fraction =
+      (dc.row_capped_time(RowId(0)) - capped_before).seconds() /
+      SimTime::Hours(12).seconds();
+  result.mean_power_norm = acc.power_sum / acc.samples / budget;
+  result.over_budget_fraction =
+      static_cast<double>(acc.over_budget) / acc.samples;
+  result.jobs_completed = scheduler.jobs_completed();
+  return result;
+}
+
+void PrintRow(const char* label, const GranularityResult& r) {
+  std::printf("%12s %14.3f %14.3f %12.3f %12.3f %12llu\n", label,
+              r.mean_capped_fraction, r.capped_time_fraction,
+              r.mean_power_norm, r.over_budget_fraction,
+              static_cast<unsigned long long>(r.jobs_completed));
+}
+
+void Main() {
+  bench::Header("Ablation: capping granularity",
+                "row-uniform vs per-server RAPL limits", kSeed);
+
+  bench::Section("demand ~0.96 of budget (aggregate only peaks past it diurnally)");
+  std::printf("%12s %14s %14s %12s %12s %12s\n", "mode", "capped_frac",
+              "capped_time", "power/budg", "over_budg", "completed");
+  GranularityResult uniform_ok = RunMode(CappingMode::kRowUniform, 0.96);
+  GranularityResult server_ok = RunMode(CappingMode::kPerServer, 0.96);
+  PrintRow("row-uniform", uniform_ok);
+  PrintRow("per-server", server_ok);
+
+  bench::Section("demand ~1.05 of budget (sustained overload)");
+  std::printf("%12s %14s %14s %12s %12s %12s\n", "mode", "capped_frac",
+              "capped_time", "power/budg", "over_budg", "completed");
+  GranularityResult uniform_hot = RunMode(CappingMode::kRowUniform, 1.05);
+  GranularityResult server_hot = RunMode(CappingMode::kPerServer, 1.05);
+  PrintRow("row-uniform", uniform_hot);
+  PrintRow("per-server", server_hot);
+
+  bench::Section("shape checks");
+  bench::ShapeCheck(server_ok.mean_capped_fraction >
+                        3.0 * uniform_ok.mean_capped_fraction,
+                    "per-server limits strand slack: hot servers throttle "
+                    "even while the row aggregate is fine (the §4.3 world); "
+                    "coordinated capping engages only at diurnal peaks");
+  bench::ShapeCheck(server_ok.mean_capped_fraction > 0.05,
+                    "a large fraction of servers is capped a large fraction "
+                    "of time without Ampere (paper: 54% of servers, ~15% of "
+                    "time)");
+  bench::ShapeCheck(server_ok.jobs_completed < uniform_ok.jobs_completed,
+                    "stranded slack costs batch throughput");
+  bench::ShapeCheck(uniform_hot.mean_capped_fraction >
+                        server_hot.mean_capped_fraction,
+                    "under true overload, uniform capping throttles "
+                    "everyone while per-server touches only the hot tail");
+  // At saturation the DVFS floor (min step 0.5) bounds what ANY capping
+  // mode can shave: power may exceed budget by up to (idle + 0.5*dyn_max)
+  // — hardware reality, and exactly why a breaker tolerance exists.
+  bench::ShapeCheck(uniform_hot.mean_power_norm < 1.04 &&
+                        server_hot.mean_power_norm < 1.04,
+                    "both modes hold the row within the DVFS floor's reach "
+                    "of the budget under saturation");
+}
+
+}  // namespace
+}  // namespace ampere
+
+int main() {
+  ampere::Main();
+  return 0;
+}

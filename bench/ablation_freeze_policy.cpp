@@ -1,0 +1,160 @@
+// Ablation: which servers to freeze (§3.5, design choice 3).
+//
+// The paper freezes the highest-power servers: they drain the most power per
+// frozen server, and "servers with lower power utilization may have more
+// computation capacity left and thus freezing them may result in a higher
+// cost". This bench separates the two channels of f(u):
+//
+//  (a) DRAIN — power released by the frozen servers themselves as their
+//      jobs finish. Measured Fig.4-style: freeze the hottest vs the coldest
+//      80 servers and watch the frozen set's power. Only hot servers have
+//      dynamic power to shed, so the ordering must be decisive here.
+//  (b) DIVERSION — new jobs statistically steered elsewhere. This depends
+//      only on how many servers are frozen, not which, so the end-to-end
+//      calibrated kr is far less sensitive to the policy than intuition
+//      suggests — a finding of this reproduction worth reporting.
+//
+// Closed-loop control with a policy-matched kr protects under every
+// selection; the paper's choice wins on the drain channel and on capacity
+// cost in fragmented clusters.
+
+#include <algorithm>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/workload/batch_workload.h"
+
+namespace ampere {
+namespace {
+
+constexpr uint64_t kSeed = 20160423;
+
+// Fig.4-style drain: returns the frozen set's normalized power drop after
+// 30 minutes when freezing the hottest (descending=true) or coldest 80.
+double MeasureDrain(bool hottest) {
+  Rng rng(kSeed);
+  Simulation sim;
+  TopologyConfig topo = bench::PaperRowTopology();
+  DataCenter dc(topo, &sim);
+  Scheduler scheduler(&dc, SchedulerConfig{}, rng.Fork(1));
+  JobIdAllocator ids;
+  BatchWorkloadParams params;
+  params.arrivals.base_rate_per_min = 160.0;
+  BatchWorkload workload(params, &sim, &scheduler, &ids, rng.Fork(2));
+  workload.Start(SimTime());
+  sim.RunUntil(SimTime::Hours(2));
+
+  std::vector<ServerId> ranked;
+  for (int32_t s = 0; s < dc.num_servers(); ++s) {
+    ranked.push_back(ServerId(s));
+  }
+  std::sort(ranked.begin(), ranked.end(), [&](ServerId a, ServerId b) {
+    double pa = dc.server_power_watts(a);
+    double pb = dc.server_power_watts(b);
+    return hottest ? pa > pb : pa < pb;
+  });
+  ranked.resize(80);
+  for (ServerId id : ranked) {
+    scheduler.Freeze(id);
+  }
+  double before = dc.PowerOfServers(ranked);
+  sim.RunUntil(SimTime::Hours(2.5));
+  double after = dc.PowerOfServers(ranked);
+  return (before - after) / (80.0 * dc.power_model().rated_watts());
+}
+
+double CalibrateKr(FreezeSelection selection) {
+  ExperimentConfig config =
+      bench::PaperExperimentConfig(kSeed, /*target_power=*/0.97, 0.25);
+  config.enable_ampere = false;
+  config.warmup = SimTime::Hours(1);
+  ControlledExperiment calibration(config);
+  std::vector<double> levels{0.2, 0.3, 0.4, 0.5, 0.6};
+  auto samples = calibration.RunFuCalibration(
+      levels, SimTime::Minutes(5), SimTime::Minutes(25), SimTime::Hours(24),
+      selection);
+  return FreezeEffectModel::Fit(samples).kr();
+}
+
+struct PolicyResult {
+  const char* name;
+  double kr = 0.0;
+  int violations = 0;
+  double u_mean = 0.0;
+  double r_thru = 0.0;
+};
+
+PolicyResult RunPolicy(const char* name, FreezeSelection selection) {
+  PolicyResult out;
+  out.name = name;
+  out.kr = CalibrateKr(selection);
+
+  ExperimentConfig config =
+      bench::PaperExperimentConfig(kSeed, /*target_power=*/1.0, 0.25);
+  config.controller.effect = FreezeEffectModel(out.kr);
+  config.controller.et = EtEstimator::Constant(0.02);
+  config.controller.selection = selection;
+  config.workload.arrivals.ar_sigma = 0.015;
+  ControlledExperiment experiment(config);
+  ExperimentResult result = experiment.Run();
+  out.violations = result.experiment.violations;
+  out.u_mean = result.experiment.u_mean;
+  out.r_thru = std::min(result.throughput_ratio, 1.0);
+  return out;
+}
+
+void Main() {
+  bench::Header("Ablation: freeze-selection policy",
+                "highest-power vs random vs lowest-power", kSeed);
+
+  bench::Section("drain channel (Fig. 4-style, 80 servers, 30 min frozen)");
+  double drain_hot = MeasureDrain(/*hottest=*/true);
+  double drain_cold = MeasureDrain(/*hottest=*/false);
+  std::printf("normalized power shed by frozen set: hottest %.4f, "
+              "coldest %.4f\n",
+              drain_hot, drain_cold);
+
+  std::vector<PolicyResult> results;
+  results.push_back(
+      RunPolicy("highest-power", FreezeSelection::kHighestPower));
+  results.push_back(RunPolicy("random", FreezeSelection::kRandom));
+  results.push_back(
+      RunPolicy("lowest-power", FreezeSelection::kLowestPower));
+
+  bench::Section("per-policy calibrated effect and 24 h heavy closed loop");
+  std::printf("%16s %10s %12s %10s %10s\n", "policy", "kr", "violations",
+              "u_mean", "r_thru");
+  for (const PolicyResult& r : results) {
+    std::printf("%16s %10.4f %12d %10.3f %10.3f\n", r.name, r.kr,
+                r.violations, r.u_mean, r.r_thru);
+  }
+
+  bench::Section("shape checks");
+  bench::ShapeCheck(drain_hot > 4.0 * drain_cold + 0.01,
+                    "only hot servers have dynamic power to drain "
+                    "(the paper's §3.5 rationale)");
+  double kr_spread =
+      std::max({results[0].kr, results[1].kr, results[2].kr}) -
+      std::min({results[0].kr, results[1].kr, results[2].kr});
+  bench::ShapeCheck(kr_spread < 0.5 * results[0].kr,
+                    "end-to-end kr is dominated by diversion, not drain: "
+                    "selection matters far less than intuition suggests "
+                    "(reproduction finding)");
+  bool all_protect = true;
+  for (const PolicyResult& r : results) {
+    if (r.violations > 120) {  // > ~8% of the 1440 controlled minutes.
+      all_protect = false;
+    }
+  }
+  bench::ShapeCheck(all_protect,
+                    "with a policy-matched kr, the closed loop protects "
+                    "under every selection (the scheme is robust)");
+}
+
+}  // namespace
+}  // namespace ampere
+
+int main() {
+  ampere::Main();
+  return 0;
+}

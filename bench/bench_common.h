@@ -1,0 +1,114 @@
+// Shared setup and printing helpers for the experiment-reproduction benches.
+//
+// Every bench binary regenerates one table or figure from the paper. Benches
+// print self-describing text: a header naming the paper artifact, the
+// configuration (including the RNG seed for bit-exact reruns), the series or
+// rows, and a SHAPE CHECK paragraph stating which qualitative property of
+// the paper's result should hold.
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+
+namespace ampere {
+namespace bench {
+
+// The paper's controlled-experiment row: 400+ homogeneous servers (§4.1.1).
+inline TopologyConfig PaperRowTopology() {
+  TopologyConfig config;
+  config.num_rows = 1;
+  config.racks_per_row = 10;
+  config.servers_per_rack = 42;  // 420 servers.
+  config.server_capacity = Resources{16.0, 64.0};
+  config.power_model.rated_watts = 250.0;
+  config.power_model.idle_fraction = 0.65;
+  return config;
+}
+
+// Baseline experiment configuration used by the §4 benches; individual
+// benches override the workload level and rO.
+inline ExperimentConfig PaperExperimentConfig(uint64_t seed,
+                                              double target_power,
+                                              double ro) {
+  ExperimentConfig config;
+  config.seed = seed;
+  config.topology = PaperRowTopology();
+  config.over_provision_ratio = ro;
+  config.workload.arrivals.base_rate_per_min = ArrivalRateForNormalizedPower(
+      config.topology, config.workload, target_power, ro);
+  config.warmup = SimTime::Hours(2);
+  config.duration = SimTime::Hours(24);
+  return config;
+}
+
+// Runs the Fig. 5 calibration procedure on a fresh harness and returns the
+// fitted effect model. This is the kr every closed-loop bench deploys, so
+// the pipeline mirrors production: measure f(u), fit, control.
+inline FreezeEffectModel CalibrateEffectModel(uint64_t seed,
+                                              double target_power,
+                                              double ro,
+                                              bool verbose = true) {
+  ExperimentConfig config = PaperExperimentConfig(seed, target_power, ro);
+  config.enable_ampere = false;
+  config.warmup = SimTime::Hours(1);
+  ControlledExperiment calibration(config);
+  std::vector<double> levels{0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  auto samples = calibration.RunFuCalibration(levels, SimTime::Minutes(5),
+                                              SimTime::Minutes(25),
+                                              SimTime::Hours(24));
+  FreezeEffectModel model = FreezeEffectModel::Fit(samples);
+  if (verbose) {
+    std::printf("calibration: fitted f(u) = %.4f * u  (R^2 = %.3f, n = %zu)\n",
+                model.kr(), model.fit_r_squared(), samples.size());
+  }
+  return model;
+}
+
+inline void Header(const std::string& artifact, const std::string& title,
+                   uint64_t seed) {
+  std::printf("=================================================================\n");
+  std::printf("%s — %s\n", artifact.c_str(), title.c_str());
+  std::printf("(Ampere reproduction; seed=%llu)\n",
+              static_cast<unsigned long long>(seed));
+  std::printf("=================================================================\n");
+}
+
+inline void Section(const std::string& name) {
+  std::printf("\n--- %s ---\n", name.c_str());
+}
+
+// Prints (x, y) pairs as two columns.
+inline void PrintXy(const std::string& x_label, const std::string& y_label,
+                    std::span<const std::pair<double, double>> points) {
+  std::printf("%14s %14s\n", x_label.c_str(), y_label.c_str());
+  for (const auto& [x, y] : points) {
+    std::printf("%14.4f %14.4f\n", x, y);
+  }
+}
+
+// Prints a series as one row per `stride` samples.
+inline void PrintSeries(const std::string& x_label,
+                        const std::string& y_label,
+                        std::span<const double> values, int stride = 1,
+                        double x_scale = 1.0) {
+  std::printf("%14s %14s\n", x_label.c_str(), y_label.c_str());
+  for (size_t i = 0; i < values.size(); i += static_cast<size_t>(stride)) {
+    std::printf("%14.2f %14.4f\n", static_cast<double>(i) * x_scale,
+                values[i]);
+  }
+}
+
+inline void ShapeCheck(bool ok, const std::string& claim) {
+  std::printf("SHAPE CHECK [%s]: %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+}
+
+}  // namespace bench
+}  // namespace ampere
+
+#endif  // BENCH_BENCH_COMMON_H_

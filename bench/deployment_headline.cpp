@@ -1,0 +1,178 @@
+// The deployment headline (§1, §6): "we can add 17 % more servers into the
+// fleet and get a 15 % improvement in the effective computation capacity
+// comparing to the provisioning based on rated power without any violation."
+//
+// Two fleets under the SAME total power budget and the SAME memory-heavy
+// demand stream (memory binds before CPU, so servers run at ~60 % power —
+// the structural reason rated provisioning strands budget):
+//   * baseline  — N servers, rated provisioning (power can never violate);
+//   * ampere    — 1.17 N servers against the same budget, Ampere guarding.
+// Demand exceeds the baseline fleet's capacity (jobs queue, §2.2: "there
+// are often jobs waiting in the scheduler queue"), so completed throughput
+// measures effective capacity. Expected shape: ~15-17 % more jobs complete
+// per provisioned watt on the over-provisioned fleet, with essentially no
+// budget violations.
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/controller.h"
+#include "src/workload/batch_workload.h"
+
+namespace ampere {
+namespace {
+
+constexpr uint64_t kSeed = 20160430;
+constexpr int kBaselineServers = 360;
+constexpr int kAmpereServers = 420;  // +16.7 %.
+constexpr double kBudgetWatts = kBaselineServers * 250.0;
+
+// Memory-heavy mix: ~7.9 GB per core, so a 16-core/64-GB server fills its
+// memory at ~51 % CPU — drawing only ~83 % of rated power. This is the
+// structural slack (memory-bound fleets cannot reach their power limit)
+// that over-provisioning converts into capacity.
+std::vector<DemandProfile> MemoryHeavyMix() {
+  return {{Resources{1.0, 12.0}, 0.5},
+          {Resources{2.0, 16.0}, 0.35},
+          {Resources{4.0, 22.0}, 0.15}};
+}
+
+struct FleetResult {
+  uint64_t completed = 0;
+  int violations = 0;
+  double mean_power_norm = 0.0;
+  double u_mean = 0.0;
+  size_t final_queue = 0;
+};
+
+FleetResult RunFleet(int servers, bool with_ampere, double rate_per_min) {
+  Rng rng(kSeed);
+  Simulation sim;
+  TopologyConfig topo;
+  topo.num_rows = 1;
+  topo.racks_per_row = servers / 30;
+  topo.servers_per_rack = 30;
+  DataCenter dc(topo, &sim);
+  TimeSeriesDb db;
+  Scheduler scheduler(&dc, SchedulerConfig{}, rng.Fork(1));
+  PowerMonitor monitor(&dc, &db, PowerMonitorConfig{}, rng.Fork(2));
+  std::vector<ServerId> all;
+  for (int32_t s = 0; s < dc.num_servers(); ++s) {
+    all.push_back(ServerId(s));
+  }
+  monitor.RegisterGroup("fleet", all);
+
+  JobIdAllocator ids;
+  BatchWorkloadParams params;
+  params.arrivals.base_rate_per_min = rate_per_min;
+  params.arrivals.diurnal_amplitude = 0.05;
+  params.demands = MemoryHeavyMix();
+  BatchWorkload workload(params, &sim, &scheduler, &ids, rng.Fork(3));
+
+  std::unique_ptr<AmpereController> controller;
+  if (with_ampere) {
+    AmpereControllerConfig config;
+    config.effect = FreezeEffectModel(0.013);
+    config.et = EtEstimator::Constant(0.02);
+    controller = std::make_unique<AmpereController>(&scheduler, &monitor,
+                                                    config);
+    controller->AddDomain({"fleet", all, kBudgetWatts});
+    controller->Start(&sim, SimTime::Minutes(1) + SimTime::Seconds(1));
+  }
+
+  workload.Start(SimTime());
+  monitor.Start(SimTime::Minutes(1));
+
+  struct Acc {
+    uint64_t completed_at_start = 0;
+    int violations = 0;
+    double power_sum = 0.0;
+    double u_sum = 0.0;
+    int samples = 0;
+  };
+  Acc acc;
+  sim.ScheduleAt(SimTime::Hours(3), [&] {
+    acc.completed_at_start = scheduler.jobs_completed();
+  });
+  sim.SchedulePeriodic(
+      SimTime::Hours(3) + SimTime::Seconds(2), SimTime::Minutes(1),
+      [&](SimTime) {
+        ++acc.samples;
+        double watts = monitor.LatestGroupWatts("fleet");
+        acc.power_sum += watts;
+        if (watts > kBudgetWatts) {
+          ++acc.violations;
+        }
+        if (controller != nullptr) {
+          acc.u_sum += controller->freeze_ratio(0);
+        }
+      });
+  sim.RunUntil(SimTime::Hours(3 + 24));
+
+  FleetResult result;
+  result.completed = scheduler.jobs_completed() - acc.completed_at_start;
+  result.violations = acc.violations;
+  result.mean_power_norm = acc.power_sum / acc.samples / kBudgetWatts;
+  result.u_mean = acc.u_sum / acc.samples;
+  result.final_queue = scheduler.queue_length();
+  return result;
+}
+
+void Main() {
+  bench::Header("Deployment headline",
+                "+17% servers under the same budget -> throughput gain",
+                kSeed);
+
+  // Demand: ~1.25x the baseline fleet's memory-bound capacity, so both
+  // fleets are saturated and completions measure effective capacity.
+  // Baseline capacity: 360 servers * (64 GB / ~14.9 GB-per-job) jobs
+  // ~ 1550 concurrent jobs / 9.1 min ~ 170 jobs/min.
+  const double rate = 210.0;
+  std::printf("budget %.0f W for both fleets; %d vs %d servers; "
+              "memory-heavy mix at %.0f jobs/min (both saturated)\n",
+              kBudgetWatts, kBaselineServers, kAmpereServers, rate);
+
+  FleetResult baseline = RunFleet(kBaselineServers, /*with_ampere=*/false,
+                                  rate);
+  FleetResult over = RunFleet(kAmpereServers, /*with_ampere=*/true, rate);
+
+  bench::Section("24 h saturated throughput under the same budget");
+  std::printf("%12s %12s %12s %12s %10s %10s\n", "fleet", "completed",
+              "violations", "power/budg", "u_mean", "queue");
+  std::printf("%12s %12llu %12d %12.3f %10.3f %10zu\n", "baseline",
+              static_cast<unsigned long long>(baseline.completed),
+              baseline.violations, baseline.mean_power_norm, 0.0,
+              baseline.final_queue);
+  std::printf("%12s %12llu %12d %12.3f %10.3f %10zu\n", "ampere+17%",
+              static_cast<unsigned long long>(over.completed),
+              over.violations, over.mean_power_norm, over.u_mean,
+              over.final_queue);
+
+  double gain = static_cast<double>(over.completed) /
+                    static_cast<double>(baseline.completed) -
+                1.0;
+  std::printf("\neffective capacity gain at the same provisioned power: "
+              "%+.1f%%  (paper: +15%% from +17%% servers)\n", 100.0 * gain);
+
+  bench::Section("shape checks vs. paper");
+  bench::ShapeCheck(gain > 0.10 && gain < 0.20,
+                    "+17% servers yield ~15% more throughput per "
+                    "provisioned watt");
+  bench::ShapeCheck(over.violations <= 3,
+                    "essentially no power violations (paper: none)");
+  bench::ShapeCheck(baseline.mean_power_norm < 0.95,
+                    "rated provisioning strands budget (the memory-bound "
+                    "fleet cannot reach its power limit)");
+  bench::ShapeCheck(over.mean_power_norm > baseline.mean_power_norm,
+                    "over-provisioning raises budget utilization");
+  bench::ShapeCheck(baseline.final_queue > 0 && over.final_queue > 0,
+                    "both fleets are demand-saturated (queues non-empty)");
+}
+
+}  // namespace
+}  // namespace ampere
+
+int main() {
+  ampere::Main();
+  return 0;
+}

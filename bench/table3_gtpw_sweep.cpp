@@ -1,0 +1,128 @@
+// Table 3: gain in throughput-per-provisioned-watt (G_TPW) under different
+// over-provisioning ratios rO and workload levels — thirteen day-long runs.
+//
+// Paper's shape: at a given rO, G_TPW falls as the power demand (P_mean,
+// measured on the uncontrolled group and normalized to the scaled budget)
+// approaches/exceeds 1.0, because the controller must freeze more (u_mean
+// rises, rT falls). Across rO: 0.25 is too aggressive under heavy load
+// (G_TPW collapses toward 0), 0.13 caps the attainable gain at 13 %, and
+// 0.17 is the sweet spot the paper deploys (~15-17 % gain under typical
+// workload).
+
+#include <algorithm>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace ampere {
+namespace {
+
+constexpr uint64_t kSeed = 20160413;
+
+struct RunSpec {
+  double ro;
+  double target_power;  // Demand level normalized to the scaled budget.
+};
+
+void Main() {
+  bench::Header("Table 3", "G_TPW across rO x workload (13 day-long runs)",
+                kSeed);
+
+  // Mirrors the paper's 13 rows: four demand levels per rO in {0.25, 0.21,
+  // 0.17} and the single light 0.13 run. The absolute levels are shifted
+  // up relative to the paper's P_mean column because our servers idle at
+  // 65 % of rated power: normalized to the scaled budget, the idle floor
+  // alone is 0.81 at rO = 0.25, so "light demand" starts above that.
+  const std::vector<RunSpec> runs = {
+      {0.25, 0.88}, {0.25, 0.94}, {0.25, 0.99}, {0.25, 1.01},
+      {0.21, 0.86}, {0.21, 0.91}, {0.21, 0.96}, {0.21, 1.00},
+      {0.17, 0.82}, {0.17, 0.87}, {0.17, 0.93}, {0.17, 0.99},
+      {0.13, 0.80},
+  };
+
+  // One calibration per rO (the effect slope depends on rO, §3.4).
+  std::printf("calibrating f(u) per rO...\n");
+  std::vector<double> ros{0.25, 0.21, 0.17, 0.13};
+  std::vector<FreezeEffectModel> models;
+  for (double ro : ros) {
+    models.push_back(
+        bench::CalibrateEffectModel(kSeed, /*target_power=*/0.95, ro));
+  }
+  auto model_for = [&](double ro) {
+    for (size_t i = 0; i < ros.size(); ++i) {
+      if (ros[i] == ro) {
+        return models[i];
+      }
+    }
+    return models.front();
+  };
+
+  bench::Section("Table 3 (per-minute samples over 24 h per run)");
+  std::printf("%4s %6s %8s %8s %8s %8s %8s\n", "#", "rO", "P_mean", "P_max",
+              "u_mean", "r_thru", "G_TPW");
+  std::vector<double> gains;
+  std::vector<double> gains_017;
+  bool order_ok = true;
+  double prev_gain = 2.0;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunSpec& run = runs[i];
+    ExperimentConfig config = bench::PaperExperimentConfig(
+        kSeed + i, run.target_power, run.ro);
+    config.controller.effect = model_for(run.ro);
+    config.controller.et = EtEstimator::Constant(0.02);
+    config.workload.arrivals.ar_sigma = 0.02;
+    config.workload.arrivals.burst_prob = 0.01;
+    config.workload.arrivals.burst_factor = 1.8;
+    // §4.4: only the experiment group's budget is scaled, so its throughput
+    // loss is measured against unconstrained demand.
+    config.scale_control_budget = false;
+    ControlledExperiment experiment(config);
+    ExperimentResult result = experiment.Run();
+
+    // P_mean/P_max of the control group normalized to the experiment
+    // group's scaled budget (paper footnote 2): the control group's budget
+    // is unscaled here, so multiply its rated-normalized power by (1 + rO).
+    double p_mean = result.control.p_mean * (1.0 + run.ro);
+    double p_max = result.control.p_max * (1.0 + run.ro);
+    // Freezing cannot raise throughput: rT > 1 is estimator noise from the
+    // random placement split, so clamp like the paper's rthru = 1.0 rows.
+    double r_thru = std::min(result.throughput_ratio, 1.0);
+    double gain = GainInTpw(r_thru, run.ro);
+    gains.push_back(gain);
+    if (run.ro == 0.17) {
+      gains_017.push_back(gain);
+    }
+    std::printf("%4zu %6.2f %8.3f %8.3f %8.3f %8.3f %7.1f%%\n", i + 1,
+                run.ro, p_mean, p_max, result.experiment.u_mean,
+                r_thru, 100.0 * gain);
+    // Within an rO block, higher demand should not raise the gain.
+    if (i > 0 && runs[i - 1].ro == run.ro) {
+      if (gain > prev_gain + 0.03) {
+        order_ok = false;
+      }
+    }
+    prev_gain = gain;
+  }
+  std::printf("(paper: e.g. rO=0.25 gains 19.7%%..4.3%% as demand rises; "
+              "rO=0.17 gains 17%%..5.5%%; rO=0.13 caps at 13%%)\n");
+
+  bench::Section("shape checks vs. paper");
+  bench::ShapeCheck(order_ok,
+                    "within each rO block, G_TPW falls as demand rises");
+  bench::ShapeCheck(gains.back() <= 0.13 + 1e-9,
+                    "rO=0.13 caps the attainable gain at 13%");
+  double best_017 = *std::max_element(gains_017.begin(), gains_017.end());
+  bench::ShapeCheck(best_017 > 0.14,
+                    "rO=0.17 achieves ~15-17% gain under typical workload");
+  double worst_025 = gains[3];
+  bench::ShapeCheck(worst_025 < 0.12,
+                    "rO=0.25 collapses under heavy demand");
+}
+
+}  // namespace
+}  // namespace ampere
+
+int main() {
+  ampere::Main();
+  return 0;
+}

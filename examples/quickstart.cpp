@@ -1,0 +1,98 @@
+// Quickstart: assemble a simulated two-row data center, attach the power
+// monitor and the Ampere controller to row 0, and watch violations
+// disappear.
+//
+//   build/examples/quickstart
+//
+// Walks through the full public API:
+//   1. DataCenter — the simulated fleet (topology + power model).
+//   2. Scheduler — two-level scheduler; Ampere touches it only through
+//      Freeze/Unfreeze.
+//   3. BatchWorkload — Poisson job arrivals with Fig.7-calibrated durations.
+//   4. PowerMonitor + TimeSeriesDb — per-minute telemetry.
+//   5. AmpereController — Algorithm 1 on one control domain (row 0); jobs
+//      steered away from row 0 land on row 1, like the rest of a fleet.
+//
+// Timeline: 2 h warmup -> 3 h uncontrolled measurement -> 3 h controlled.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/controller.h"
+#include "src/sched/scheduler.h"
+#include "src/telemetry/power_monitor.h"
+#include "src/workload/batch_workload.h"
+
+using namespace ampere;  // NOLINT: example brevity.
+
+int main() {
+  Rng rng(7);
+  Simulation sim;
+
+  // 1. Two rows of 40 servers (16 cores, 250 W rated, 65 % idle).
+  TopologyConfig topology;
+  topology.num_rows = 2;
+  topology.racks_per_row = 2;
+  topology.servers_per_rack = 20;
+  DataCenter dc(topology, &sim);
+
+  // 2. Scheduler over the whole pool.
+  Scheduler scheduler(&dc, SchedulerConfig{}, rng.Fork(1));
+
+  // 3. Batch workload: ~43 jobs/min across both rows, with slow wander.
+  BatchWorkloadParams workload_params;
+  workload_params.arrivals.base_rate_per_min = 43.0;
+  workload_params.arrivals.diurnal_amplitude = 0.0;
+  workload_params.arrivals.ar_sigma = 0.02;
+  JobIdAllocator ids;
+  BatchWorkload workload(workload_params, &sim, &scheduler, &ids,
+                         rng.Fork(2));
+
+  // 4. Telemetry: sample every server each minute, aggregate per row.
+  TimeSeriesDb db;
+  PowerMonitor monitor(&dc, &db, PowerMonitorConfig{}, rng.Fork(3));
+  std::vector<ServerId> row0(dc.servers_in_row(RowId(0)).begin(),
+                             dc.servers_in_row(RowId(0)).end());
+  monitor.RegisterGroup("row0", row0);
+
+  // Warm up to steady state, then set the operator budget at the current
+  // draw — tight enough that workload wander violates it regularly.
+  workload.Start(SimTime());
+  monitor.Start(SimTime::Minutes(1));
+  sim.RunUntil(SimTime::Hours(2));
+  double budget_watts = dc.row_power_watts(RowId(0));
+
+  // 5. Ampere on row 0. kr comes from a Fig. 5 calibration in production;
+  //    here we use the value that procedure yields on this substrate.
+  AmpereControllerConfig controller_config;
+  controller_config.effect = FreezeEffectModel(0.013);
+  controller_config.et = EtEstimator::Constant(0.025);
+  AmpereController ampere(&scheduler, &monitor, controller_config);
+  ampere.AddDomain({"row0", row0, budget_watts});
+
+  int violations_uncontrolled = 0;
+  int violations_controlled = 0;
+  sim.SchedulePeriodic(
+      SimTime::Hours(2) + SimTime::Seconds(2), SimTime::Minutes(1),
+      [&](SimTime t) {
+        if (monitor.LatestGroupWatts("row0") > budget_watts) {
+          (t < SimTime::Hours(5) ? violations_uncontrolled
+                                 : violations_controlled)++;
+        }
+      });
+  sim.RunUntil(SimTime::Hours(5));          // Uncontrolled phase.
+  ampere.Start(&sim, sim.now() + SimTime::Seconds(61));
+  sim.RunUntil(SimTime::Hours(8));          // Controlled phase.
+
+  std::printf("row-0 budget: %.0f W over %zu servers\n", budget_watts,
+              row0.size());
+  std::printf("violations/180min, hours 2-5 (no control): %d\n",
+              violations_uncontrolled);
+  std::printf("violations/180min, hours 5-8 (Ampere):     %d\n",
+              violations_controlled);
+  std::printf("freeze/unfreeze ops issued: %llu/%llu; jobs placed: %llu\n",
+              static_cast<unsigned long long>(ampere.freeze_ops()),
+              static_cast<unsigned long long>(ampere.unfreeze_ops()),
+              static_cast<unsigned long long>(scheduler.jobs_placed()));
+  return 0;
+}

@@ -1,0 +1,353 @@
+#include "src/cluster/datacenter.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+
+namespace ampere {
+
+DataCenter::DataCenter(const TopologyConfig& config, Simulation* sim)
+    : sim_(sim), ladder_(config.ladder),
+      capping_enabled_(config.capping_enabled),
+      capping_mode_(config.capping_mode),
+      sleep_watts_(config.power_model.rated_watts * config.sleep_fraction),
+      wake_latency_(config.wake_latency) {
+  AMPERE_CHECK(sim != nullptr);
+  AMPERE_CHECK(config.num_rows >= 1);
+  AMPERE_CHECK(config.racks_per_row >= 1);
+  AMPERE_CHECK(config.servers_per_rack >= 1);
+
+  // Build the generation models; servers keep pointers into models_, so it
+  // must never be resized after this block.
+  if (config.server_generations.empty()) {
+    models_.emplace_back(config.power_model);
+  } else {
+    models_.reserve(config.server_generations.size());
+    for (const PowerModelParams& params : config.server_generations) {
+      models_.emplace_back(params);
+    }
+  }
+  for (const ServerPowerModel& model : models_) {
+    AMPERE_CHECK(sleep_watts_ < model.idle_watts())
+        << "sleep floor must be below every generation's idle power";
+  }
+
+  int32_t next_server = 0;
+  int32_t next_rack = 0;
+  double total_idle = 0.0;
+  for (int32_t r = 0; r < config.num_rows; ++r) {
+    RowId row_id(r);
+    RowState row;
+    row.breaker = CircuitBreaker(config.breaker);
+    double row_rated = 0.0;
+    for (int k = 0; k < config.racks_per_row; ++k) {
+      RackId rack_id(next_rack++);
+      // Racks are homogeneous; generations cycle across racks.
+      const ServerPowerModel& model =
+          models_[static_cast<size_t>(rack_id.value()) % models_.size()];
+      RackState rack;
+      rack.row = row_id;
+      for (int s = 0; s < config.servers_per_rack; ++s) {
+        ServerId server_id(next_server++);
+        servers_.emplace_back(server_id, rack_id, row_id,
+                              config.server_capacity, &model);
+        servers_.back().sleep_watts_ = sleep_watts_;
+        rack.servers.push_back(server_id);
+        row.servers.push_back(server_id);
+      }
+      double rack_rated = static_cast<double>(config.servers_per_rack) *
+                          model.rated_watts();
+      rack.budget_watts = config.rack_budget_watts > 0.0
+                              ? config.rack_budget_watts
+                              : rack_rated;
+      rack.power_watts = static_cast<double>(config.servers_per_rack) *
+                         model.idle_watts();
+      row_rated += rack_rated;
+      row.idle_sum_watts += rack.power_watts;
+      row.racks.push_back(rack_id);
+      racks_.push_back(std::move(rack));
+    }
+    row.budget_watts = config.row_budget_watts > 0.0
+                           ? config.row_budget_watts
+                           : row_rated;
+    row.capping_budget_watts = row.budget_watts;
+    row.power_watts = row.idle_sum_watts;
+    row.dynamic_full_sum_watts = 0.0;
+    total_idle += row.idle_sum_watts;
+    rows_.push_back(std::move(row));
+  }
+  total_power_watts_ = total_idle;
+}
+
+bool DataCenter::PlaceTask(ServerId id, const TaskSpec& spec) {
+  AMPERE_CHECK(id.valid() && id.index() < servers_.size());
+  Server& server = servers_[id.index()];
+  if (server.asleep_ || !server.CanFit(spec.demand)) {
+    return false;
+  }
+  AMPERE_CHECK(spec.work > SimTime()) << "task with non-positive work";
+  AMPERE_CHECK(!server.tasks_.contains(spec.job))
+      << "job " << spec.job.value() << " already on server " << id.value();
+
+  double old_power = server.power_watts();
+  double old_dynamic = server.dynamic_watts_at_full_freq();
+
+  Server::RunningTask task;
+  task.demand = spec.demand;
+  task.remaining_work = spec.work;
+  task.last_update = sim_->now();
+  SimTime wall = spec.work * (1.0 / server.frequency());
+  task.completion = sim_->ScheduleAfter(
+      wall, [this, id, job = spec.job] { CompleteTask(id, job); });
+  server.tasks_.emplace(spec.job, std::move(task));
+  server.allocated_ += spec.demand;
+  AMPERE_CHECK(server.capacity_.Fits(server.allocated_));
+
+  RefreshServerPower(id, old_power, old_dynamic);
+  EnforceServerCap(id);
+  EnforceRowCap(server.row());
+  return true;
+}
+
+void DataCenter::CompleteTask(ServerId id, JobId job) {
+  Server& server = servers_[id.index()];
+  auto it = server.tasks_.find(job);
+  AMPERE_CHECK(it != server.tasks_.end());
+
+  double old_power = server.power_watts();
+  double old_dynamic = server.dynamic_watts_at_full_freq();
+
+  server.allocated_ -= it->second.demand;
+  AMPERE_CHECK(server.allocated_.NonNegative());
+  server.tasks_.erase(it);
+
+  RefreshServerPower(id, old_power, old_dynamic);
+  EnforceServerCap(id);
+  EnforceRowCap(server.row());
+  if (completion_listener_) {
+    completion_listener_(id, job);
+  }
+}
+
+void DataCenter::SetFrozen(ServerId id, bool frozen) {
+  servers_[id.index()].frozen_ = frozen;
+}
+
+void DataCenter::SetReserved(ServerId id, bool reserved) {
+  servers_[id.index()].reserved_ = reserved;
+}
+
+void DataCenter::SleepServer(ServerId id) {
+  Server& server = servers_[id.index()];
+  AMPERE_CHECK(server.tasks_.empty())
+      << "cannot sleep server " << id.value() << " with running tasks";
+  if (server.asleep_ && !server.waking_) {
+    return;
+  }
+  double old_power = server.power_watts();
+  double old_dynamic = server.dynamic_watts_at_full_freq();
+  server.wake_completion_.Cancel();  // Abort an in-flight wake, if any.
+  server.asleep_ = true;
+  server.waking_ = false;
+  server.sleep_watts_ = sleep_watts_;  // Clear any boot-draw override.
+  RefreshServerPower(id, old_power, old_dynamic);
+  EnforceRowCap(server.row());
+}
+
+void DataCenter::WakeServer(ServerId id) {
+  Server& server = servers_[id.index()];
+  if (!server.asleep_ || server.waking_) {
+    return;
+  }
+  double old_power = server.power_watts();
+  double old_dynamic = server.dynamic_watts_at_full_freq();
+  server.waking_ = true;
+  // Boot draw: the machine burns idle power while it comes up, which is
+  // why aggressive consolidation has a power (and latency) cost on wake.
+  server.sleep_watts_ = server.idle_watts();
+  RefreshServerPower(id, old_power, old_dynamic);
+  server.wake_completion_ =
+      sim_->ScheduleAfter(wake_latency_, [this, id] {
+        Server& s = servers_[id.index()];
+        double before_power = s.power_watts();
+        double before_dynamic = s.dynamic_watts_at_full_freq();
+        s.asleep_ = false;
+        s.waking_ = false;
+        s.sleep_watts_ = sleep_watts_;
+        RefreshServerPower(id, before_power, before_dynamic);
+        EnforceRowCap(s.row());
+      });
+  EnforceRowCap(server.row());
+}
+
+void DataCenter::RefreshServerPower(ServerId id, double old_power,
+                                    double old_dynamic) {
+  const Server& server = servers_[id.index()];
+  double power_delta = server.power_watts() - old_power;
+  double dynamic_delta = server.dynamic_watts_at_full_freq() - old_dynamic;
+  racks_[server.rack().index()].power_watts += power_delta;
+  RowState& row = rows_[server.row().index()];
+  row.power_watts += power_delta;
+  row.dynamic_full_sum_watts += dynamic_delta;
+  total_power_watts_ += power_delta;
+}
+
+void DataCenter::SetServerFrequency(ServerId id, double freq) {
+  Server& server = servers_[id.index()];
+  AMPERE_CHECK(freq > 0.0 && freq <= 1.0);
+  if (server.frequency_ == freq) {
+    return;
+  }
+  // Maintain the row's capped-server count and capped-time clock on 1.0
+  // crossings.
+  RowState& row_state = rows_[server.row().index()];
+  if (server.frequency_ == 1.0 && freq < 1.0) {
+    if (row_state.capped_server_count == 0) {
+      row_state.capped_since = sim_->now();
+    }
+    ++row_state.capped_server_count;
+  } else if (server.frequency_ < 1.0 && freq == 1.0) {
+    AMPERE_CHECK(row_state.capped_server_count > 0);
+    --row_state.capped_server_count;
+    if (row_state.capped_server_count == 0) {
+      row_state.capped_total += sim_->now() - row_state.capped_since;
+    }
+  }
+  double old_freq = server.frequency_;
+  double old_power = server.power_watts();
+  double old_dynamic = server.dynamic_watts_at_full_freq();
+  SimTime now = sim_->now();
+  // Reconcile each task's remaining full-speed work consumed at the old
+  // frequency, then reschedule its completion at the new frequency.
+  for (auto& [job, task] : server.tasks_) {
+    SimTime consumed = (now - task.last_update) * old_freq;
+    task.remaining_work =
+        std::max(SimTime(), task.remaining_work - consumed);
+    task.last_update = now;
+    task.completion.Cancel();
+    SimTime wall = task.remaining_work * (1.0 / freq);
+    // A task whose remaining work rounds to zero completes immediately
+    // (strictly after this event, preserving causality).
+    task.completion = sim_->ScheduleAfter(
+        wall, [this, id, job_id = job] { CompleteTask(id, job_id); });
+  }
+  server.frequency_ = freq;
+  RefreshServerPower(id, old_power, old_dynamic);
+}
+
+void DataCenter::EnforceRowCap(RowId row_id) {
+  RowState& row = rows_[row_id.index()];
+  SimTime now = sim_->now();
+  // Breaker sees the true (post-capping) draw.
+  row.breaker.Observe(now, row.power_watts, row.budget_watts);
+  if (!capping_enabled_ || capping_mode_ != CappingMode::kRowUniform) {
+    return;
+  }
+  CapDecision decision =
+      ComputeRowCap(row.idle_sum_watts, row.dynamic_full_sum_watts,
+                    row.capping_budget_watts, ladder_);
+  if (decision.throttle == row.throttle) {
+    return;
+  }
+  AMPERE_LOG(kDebug) << "row " << row_id.value() << " throttle "
+                     << row.throttle << " -> " << decision.throttle;
+  row.throttle = decision.throttle;
+  for (ServerId id : row.servers) {
+    SetServerFrequency(id, decision.throttle);
+  }
+  row.breaker.Observe(now, row.power_watts, row.budget_watts);
+}
+
+void DataCenter::EnforceServerCap(ServerId id) {
+  if (!capping_enabled_ || capping_mode_ != CappingMode::kPerServer) {
+    return;
+  }
+  const Server& server = servers_[id.index()];
+  const RowState& row = rows_[server.row().index()];
+  double cap = PerServerCapWatts(row);
+  double idle = server.idle_watts();
+  double dynamic_full = server.dynamic_watts_at_full_freq();
+  double freq;
+  if (idle + dynamic_full <= cap) {
+    freq = 1.0;
+  } else if (cap <= idle || dynamic_full <= 0.0) {
+    freq = ladder_.min_multiplier();
+  } else {
+    freq = ladder_.ClampDown((cap - idle) / dynamic_full);
+  }
+  SetServerFrequency(id, freq);
+}
+
+void DataCenter::SetCappingEnabled(bool enabled) {
+  capping_enabled_ = enabled;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    RowId row_id(static_cast<int32_t>(r));
+    RowState& row = rows_[r];
+    if (enabled) {
+      EnforceRowCap(row_id);
+      if (capping_mode_ == CappingMode::kPerServer) {
+        for (ServerId id : row.servers) {
+          EnforceServerCap(id);
+        }
+      }
+    } else {
+      // Release all throttles (clock bookkeeping happens per server in
+      // SetServerFrequency).
+      row.throttle = 1.0;
+      for (ServerId id : row.servers) {
+        SetServerFrequency(id, 1.0);
+      }
+    }
+  }
+}
+
+void DataCenter::SetRowCappingBudget(RowId id, double watts) {
+  AMPERE_CHECK(watts > 0.0);
+  rows_[id.index()].capping_budget_watts = watts;
+  EnforceRowCap(id);
+  if (capping_enabled_ && capping_mode_ == CappingMode::kPerServer) {
+    for (ServerId sid : rows_[id.index()].servers) {
+      EnforceServerCap(sid);
+    }
+  }
+}
+
+double DataCenter::FractionOfServersCapped(RowId id) const {
+  const RowState& row = rows_[id.index()];
+  return static_cast<double>(row.capped_server_count) /
+         static_cast<double>(row.servers.size());
+}
+
+SimTime DataCenter::row_capped_time(RowId id) const {
+  const RowState& row = rows_[id.index()];
+  SimTime total = row.capped_total;
+  if (row.capped_server_count > 0) {
+    total += sim_->now() - row.capped_since;
+  }
+  return total;
+}
+
+double DataCenter::PowerOfServers(std::span<const ServerId> ids) const {
+  double sum = 0.0;
+  for (ServerId id : ids) {
+    sum += servers_[id.index()].power_watts();
+  }
+  return sum;
+}
+
+double DataCenter::total_budget_watts() const {
+  double sum = 0.0;
+  for (const RowState& row : rows_) {
+    sum += row.budget_watts;
+  }
+  return sum;
+}
+
+bool DataCenter::AnyBreakerTripped() const {
+  return std::any_of(rows_.begin(), rows_.end(),
+                     [](const RowState& r) { return r.breaker.tripped(); });
+}
+
+}  // namespace ampere

@@ -1,0 +1,219 @@
+// The data-center model: rows of racks of servers, task execution, power
+// aggregation, and the RAPL safety net.
+//
+// DataCenter is the single mutation point for servers so that per-rack,
+// per-row and total power stay incrementally consistent (O(1) per event).
+// The scheduler places tasks through PlaceTask and consults frozen(); the
+// telemetry monitor reads the power accessors; the capping model reacts to
+// every power-affecting event within the same simulated instant, mirroring
+// RAPL's sub-millisecond reaction (§2.1).
+
+#ifndef SRC_CLUSTER_DATACENTER_H_
+#define SRC_CLUSTER_DATACENTER_H_
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/cluster/server.h"
+#include "src/common/ids.h"
+#include "src/power/breaker.h"
+#include "src/power/dvfs.h"
+#include "src/power/power_model.h"
+#include "src/sim/simulation.h"
+
+namespace ampere {
+
+// How the RAPL safety net divides a row's enforcement budget.
+enum class CappingMode : int {
+  // One uniform DVFS step for every server in the row whenever the row
+  // total exceeds its budget (coordinated row-level capping).
+  kRowUniform = 0,
+  // Each server gets a static share (row budget / n servers) and is
+  // individually throttled when its own draw exceeds that share — how
+  // fleet RAPL deployments actually assign limits, and what makes the
+  // paper's "54 % of servers capped" statistic per-server meaningful.
+  kPerServer = 1,
+};
+
+struct TopologyConfig {
+  int num_rows = 1;
+  int racks_per_row = 10;
+  int servers_per_rack = 42;  // ~420 per row, matching the 400+ server row.
+  Resources server_capacity{16.0, 64.0};
+  PowerModelParams power_model;
+  // Optional mixed-generation fleet: racks cycle through these power models
+  // (racks are purchased and racked as homogeneous units; rows accumulate
+  // generations over years). Empty = homogeneous fleet using `power_model`.
+  std::vector<PowerModelParams> server_generations;
+  // Power budgets; 0 means "rated provisioning": budget = n * rated watts
+  // (the conservative baseline the paper starts from, rO = 0).
+  double row_budget_watts = 0.0;
+  double rack_budget_watts = 0.0;
+  // Hardware power capping (the safety net). Disabled by default: the
+  // paper's controlled experiments switch it off to observe true demand.
+  bool capping_enabled = false;
+  CappingMode capping_mode = CappingMode::kRowUniform;
+  DvfsLadder ladder;
+  BreakerParams breaker;
+  // Sleep-state model (§5.1 baseline): draw while asleep as a fraction of
+  // rated power, and the boot time from sleep to schedulable.
+  double sleep_fraction = 0.06;
+  SimTime wake_latency = SimTime::Seconds(30);
+};
+
+class DataCenter {
+ public:
+  // `sim` must outlive the DataCenter.
+  DataCenter(const TopologyConfig& config, Simulation* sim);
+
+  DataCenter(const DataCenter&) = delete;
+  DataCenter& operator=(const DataCenter&) = delete;
+
+  // --- Topology ---
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  int num_racks() const { return static_cast<int>(racks_.size()); }
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+  const Server& server(ServerId id) const { return servers_[id.index()]; }
+  std::span<const ServerId> servers_in_row(RowId row) const {
+    return rows_[row.index()].servers;
+  }
+  std::span<const ServerId> servers_in_rack(RackId rack) const {
+    return racks_[rack.index()].servers;
+  }
+  std::span<const RackId> racks_in_row(RowId row) const {
+    return rows_[row.index()].racks;
+  }
+  RowId row_of(ServerId id) const { return servers_[id.index()].row(); }
+
+  // --- Task execution ---
+  // Places a task; returns false (and does nothing) if it does not fit.
+  // Placement on a frozen server is allowed at this layer — respecting the
+  // frozen flag is the scheduler's contract, and keeping the layers honest
+  // lets tests verify the scheduler actually honors it.
+  bool PlaceTask(ServerId id, const TaskSpec& spec);
+
+  // Marks/unmarks a server as frozen. Purely advisory state read by the
+  // scheduler's low level; running tasks are unaffected (§3.4).
+  void SetFrozen(ServerId id, bool frozen);
+
+  // Dedicates a server to a static service; the scheduler skips it.
+  void SetReserved(ServerId id, bool reserved);
+
+  // --- Sleep states (§5.1 PowerNap-style baseline) ---
+  // Puts an idle server to sleep (requires no running tasks; throws
+  // otherwise). Power drops to the sleep floor immediately.
+  void SleepServer(ServerId id);
+  // Begins waking a sleeping server: power rises to idle immediately (boot
+  // draw) and the server becomes schedulable after wake_latency. No-op if
+  // the server is already awake or waking.
+  void WakeServer(ServerId id);
+
+  // Invoked whenever a task completes; receives (server, job).
+  void SetTaskCompletionListener(std::function<void(ServerId, JobId)> cb) {
+    completion_listener_ = std::move(cb);
+  }
+
+  // --- Power ---
+  double server_power_watts(ServerId id) const {
+    return servers_[id.index()].power_watts();
+  }
+  double rack_power_watts(RackId id) const {
+    return racks_[id.index()].power_watts;
+  }
+  double row_power_watts(RowId id) const { return rows_[id.index()].power_watts; }
+  double total_power_watts() const { return total_power_watts_; }
+  double PowerOfServers(std::span<const ServerId> ids) const;
+
+  double row_budget_watts(RowId id) const { return rows_[id.index()].budget_watts; }
+  double rack_budget_watts(RackId id) const {
+    return racks_[id.index()].budget_watts;
+  }
+  double total_budget_watts() const;
+
+  // --- Capping (RAPL safety net) ---
+  void SetCappingEnabled(bool enabled);
+  // Overrides the enforcement budget of one row (e.g. scaled budgets in the
+  // over-provisioning emulation of §4.1.2).
+  void SetRowCappingBudget(RowId id, double watts);
+  double row_throttle(RowId id) const { return rows_[id.index()].throttle; }
+  bool IsServerCapped(ServerId id) const {
+    return servers_[id.index()].frequency() < 1.0;
+  }
+  // Fraction of a row's servers currently throttled (§4.3's statistic).
+  double FractionOfServersCapped(RowId id) const;
+  // Cumulative simulated time this row spent throttled (any step < 1.0 for
+  // kRowUniform; any server < 1.0 counts the row as capped for kPerServer).
+  SimTime row_capped_time(RowId id) const;
+
+  // --- Breaker ---
+  // True if any row's breaker has tripped (sustained overload with capping
+  // off or insufficient).
+  bool AnyBreakerTripped() const;
+
+  Simulation* sim() const { return sim_; }
+  // The primary (first-generation) power model. Heterogeneous fleets have
+  // per-server models; use server(id) accessors for those.
+  const ServerPowerModel& power_model() const { return models_.front(); }
+  size_t num_generations() const { return models_.size(); }
+
+ private:
+  struct RackState {
+    std::vector<ServerId> servers;
+    RowId row;
+    double power_watts = 0.0;
+    double budget_watts = 0.0;
+  };
+  struct RowState {
+    std::vector<ServerId> servers;
+    std::vector<RackId> racks;
+    double power_watts = 0.0;
+    double budget_watts = 0.0;           // Physical / provisioned.
+    double capping_budget_watts = 0.0;   // Enforcement target for RAPL.
+    double idle_sum_watts = 0.0;         // Static.
+    double dynamic_full_sum_watts = 0.0; // Sum of dynamic draw at f = 1.0.
+    double throttle = 1.0;               // kRowUniform step.
+    size_t capped_server_count = 0;
+    CircuitBreaker breaker;
+    SimTime capped_since;
+    SimTime capped_total;
+  };
+
+  void CompleteTask(ServerId id, JobId job);
+  // Recomputes a server's power and folds the delta into aggregates.
+  void RefreshServerPower(ServerId id, double old_power, double old_dynamic);
+  // Applies the RAPL decision for a row if its throttle step changed
+  // (kRowUniform) and feeds the breaker; in kPerServer mode only the
+  // breaker observes here.
+  void EnforceRowCap(RowId row_id);
+  // kPerServer enforcement for one server against its static share.
+  void EnforceServerCap(ServerId id);
+  // Sets a server's frequency, reconciling all running tasks' remaining work
+  // and rescheduling their completions; maintains the row's capped-server
+  // count and capped-time clock.
+  void SetServerFrequency(ServerId id, double freq);
+  double PerServerCapWatts(const RowState& row) const {
+    return row.capping_budget_watts /
+           static_cast<double>(row.servers.size());
+  }
+
+  Simulation* sim_;
+  // Owns one model per generation; servers point into this vector, which is
+  // never resized after construction.
+  std::vector<ServerPowerModel> models_;
+  DvfsLadder ladder_;
+  bool capping_enabled_;
+  CappingMode capping_mode_;
+  double sleep_watts_ = 0.0;
+  SimTime wake_latency_;
+  std::vector<Server> servers_;
+  std::vector<RackState> racks_;
+  std::vector<RowState> rows_;
+  double total_power_watts_ = 0.0;
+  std::function<void(ServerId, JobId)> completion_listener_;
+};
+
+}  // namespace ampere
+
+#endif  // SRC_CLUSTER_DATACENTER_H_

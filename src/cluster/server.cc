@@ -1,0 +1,10 @@
+#include "src/cluster/server.h"
+
+namespace ampere {
+
+Server::Server(ServerId id, RackId rack, RowId row, Resources capacity,
+               const ServerPowerModel* power_model)
+    : id_(id), rack_(rack), row_(row), capacity_(capacity),
+      power_model_(power_model) {}
+
+}  // namespace ampere

@@ -1,0 +1,115 @@
+// A single server: resource capacity, running tasks, DVFS state, power draw.
+//
+// Mutations (task placement/completion, freezing, frequency changes) go
+// through DataCenter so that rack/row power aggregates stay consistent;
+// Server itself only exposes read access plus bookkeeping used by its owner.
+
+#ifndef SRC_CLUSTER_SERVER_H_
+#define SRC_CLUSTER_SERVER_H_
+
+#include <unordered_map>
+
+#include "src/cluster/resources.h"
+#include "src/common/ids.h"
+#include "src/common/time.h"
+#include "src/power/power_model.h"
+#include "src/sim/simulation.h"
+
+namespace ampere {
+
+// A unit of work bound for one server. `work` is the task's duration at full
+// frequency; DVFS throttling stretches wall-clock completion accordingly.
+struct TaskSpec {
+  JobId job;
+  Resources demand;
+  SimTime work;
+};
+
+class DataCenter;
+
+class Server {
+ public:
+  Server(ServerId id, RackId rack, RowId row, Resources capacity,
+         const ServerPowerModel* power_model);
+
+  ServerId id() const { return id_; }
+  RackId rack() const { return rack_; }
+  RowId row() const { return row_; }
+
+  const Resources& capacity() const { return capacity_; }
+  const Resources& allocated() const { return allocated_; }
+  Resources Available() const { return capacity_ - allocated_; }
+  bool CanFit(const Resources& demand) const {
+    return Available().Fits(demand);
+  }
+
+  // CPU utilization in [0, 1]; this drives the power model.
+  double utilization() const {
+    return capacity_.cpu_cores > 0.0
+               ? allocated_.cpu_cores / capacity_.cpu_cores
+               : 0.0;
+  }
+
+  bool frozen() const { return frozen_; }
+  // Reserved servers host dedicated services (e.g. the Fig. 11 Redis pool)
+  // and are excluded from the batch scheduler's candidate list.
+  bool reserved() const { return reserved_; }
+  // Sleep states (the §5.1 PowerNap-style baseline): an asleep server draws
+  // only its sleep floor and cannot host tasks; a waking server already
+  // draws idle power but is not yet schedulable.
+  bool asleep() const { return asleep_; }
+  bool waking() const { return waking_; }
+  // Convenience: can the scheduler's low level offer this server?
+  bool SchedulableState() const {
+    return !frozen_ && !reserved_ && !asleep_ && !waking_;
+  }
+  double frequency() const { return frequency_; }
+  size_t num_tasks() const { return tasks_.size(); }
+
+  // Instantaneous draw at the current operating point.
+  double power_watts() const {
+    if (asleep_) {
+      return sleep_watts_;
+    }
+    return power_model_->PowerAt(utilization(), frequency_);
+  }
+  // Dynamic (above-idle) draw the server would have at full frequency; row
+  // capping decisions aggregate this.
+  double dynamic_watts_at_full_freq() const {
+    if (asleep_) {
+      return 0.0;
+    }
+    return power_model_->DynamicPowerAt(utilization(), 1.0);
+  }
+  double idle_watts() const { return power_model_->idle_watts(); }
+  double rated_watts() const { return power_model_->rated_watts(); }
+
+ private:
+  friend class DataCenter;
+
+  struct RunningTask {
+    Resources demand;
+    SimTime remaining_work;  // At full frequency.
+    SimTime last_update;     // When remaining_work was last reconciled.
+    Simulation::EventHandle completion;
+  };
+
+  ServerId id_;
+  RackId rack_;
+  RowId row_;
+  Resources capacity_;
+  Resources allocated_;
+  const ServerPowerModel* power_model_;  // Not owned; outlives the server.
+  bool frozen_ = false;
+  bool reserved_ = false;
+  bool asleep_ = false;
+  bool waking_ = false;
+  double frequency_ = 1.0;
+  double sleep_watts_ = 0.0;  // Set by the owning DataCenter.
+  Simulation::EventHandle wake_completion_;
+  std::unordered_map<JobId, RunningTask> tasks_;
+};
+
+}  // namespace ampere
+
+#endif  // SRC_CLUSTER_SERVER_H_

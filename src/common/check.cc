@@ -1,0 +1,17 @@
+#include "src/common/check.h"
+
+#include <cstdio>
+
+namespace ampere {
+
+void FailCheck(const char* condition, const char* file, int line,
+               const std::string& message) {
+  std::ostringstream out;
+  out << "CHECK failed: " << condition << " at " << file << ":" << line;
+  if (!message.empty()) {
+    out << " — " << message;
+  }
+  throw CheckFailure(out.str());
+}
+
+}  // namespace ampere

@@ -1,0 +1,68 @@
+// Invariant checking.
+//
+// AMPERE_CHECK is always on (simulation correctness beats nanoseconds here);
+// AMPERE_DCHECK compiles out in NDEBUG builds. Failures throw
+// ampere::CheckFailure so tests can assert on violated invariants instead of
+// aborting the whole test binary.
+
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ampere {
+
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void FailCheck(const char* condition, const char* file, int line,
+                            const std::string& message);
+
+namespace check_internal {
+
+class Voidify {
+ public:
+  // Lowest-precedence operator so `AMPERE_CHECK(x) << msg` parses.
+  void operator&(std::ostream&) {}
+};
+
+class FailStream {
+ public:
+  FailStream(const char* condition, const char* file, int line)
+      : condition_(condition), file_(file), line_(line) {}
+  [[noreturn]] ~FailStream() noexcept(false) {
+    FailCheck(condition_, file_, line_, stream_.str());
+  }
+
+  template <typename T>
+  FailStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* condition_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace check_internal
+}  // namespace ampere
+
+#define AMPERE_CHECK(condition)                                      \
+  if (condition) {                                                   \
+  } else /* NOLINT */                                                \
+    ::ampere::check_internal::FailStream(#condition, __FILE__, __LINE__)
+
+#ifdef NDEBUG
+#define AMPERE_DCHECK(condition) AMPERE_CHECK(true || (condition))
+#else
+#define AMPERE_DCHECK(condition) AMPERE_CHECK(condition)
+#endif
+
+#endif  // SRC_COMMON_CHECK_H_

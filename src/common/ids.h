@@ -1,0 +1,54 @@
+// Strong identifier types for topology entities and jobs.
+//
+// IDs are dense indices assigned by the topology builder / workload
+// generator, so they double as vector indices throughout the simulator.
+// The tag parameter makes e.g. ServerId and RowId non-interchangeable.
+
+#ifndef SRC_COMMON_IDS_H_
+#define SRC_COMMON_IDS_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace ampere {
+
+template <typename Tag>
+class DenseId {
+ public:
+  constexpr DenseId() : value_(kInvalidValue) {}
+  explicit constexpr DenseId(int32_t value) : value_(value) {}
+
+  constexpr bool valid() const { return value_ != kInvalidValue; }
+  constexpr int32_t value() const { return value_; }
+  // Convenience for indexing std:: containers.
+  constexpr size_t index() const { return static_cast<size_t>(value_); }
+
+  constexpr auto operator<=>(const DenseId&) const = default;
+
+ private:
+  static constexpr int32_t kInvalidValue = -1;
+  int32_t value_;
+};
+
+struct ServerIdTag {};
+struct RackIdTag {};
+struct RowIdTag {};
+struct JobIdTag {};
+struct TaskIdTag {};
+
+using ServerId = DenseId<ServerIdTag>;
+using RackId = DenseId<RackIdTag>;
+using RowId = DenseId<RowIdTag>;
+using JobId = DenseId<JobIdTag>;
+
+}  // namespace ampere
+
+template <typename Tag>
+struct std::hash<ampere::DenseId<Tag>> {
+  size_t operator()(const ampere::DenseId<Tag>& id) const {
+    return std::hash<int32_t>{}(id.value());
+  }
+};
+
+#endif  // SRC_COMMON_IDS_H_

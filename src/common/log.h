@@ -1,0 +1,65 @@
+// Minimal leveled logger.
+//
+// The production Ampere daemon logs controller decisions for audit; this
+// logger serves the same purpose in simulation. It is intentionally tiny:
+// benches and tests set the level once, and hot paths guard with the macro so
+// disabled levels cost one branch.
+
+#ifndef SRC_COMMON_LOG_H_
+#define SRC_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace ampere {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Global log threshold; messages below it are skipped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// Writes one formatted line to stderr. Prefer the AMPERE_LOG macro.
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+namespace log_internal {
+
+class LineBuilder {
+ public:
+  LineBuilder(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LineBuilder() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+}  // namespace ampere
+
+#define AMPERE_LOG(level)                                              \
+  if (::ampere::LogLevel::level < ::ampere::GetLogLevel()) {           \
+  } else                                                               \
+    ::ampere::log_internal::LineBuilder(::ampere::LogLevel::level,     \
+                                        __FILE__, __LINE__)
+
+#endif  // SRC_COMMON_LOG_H_

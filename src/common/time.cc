@@ -1,0 +1,19 @@
+#include "src/common/time.h"
+
+#include <cstdio>
+
+namespace ampere {
+
+std::string SimTime::ToString() const {
+  int64_t total_seconds = micros_ / 1000000;
+  int64_t h = total_seconds / 3600;
+  int64_t m = (total_seconds % 3600) / 60;
+  int64_t s = total_seconds % 60;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%02lld:%02lld:%02lld",
+                static_cast<long long>(h), static_cast<long long>(m),
+                static_cast<long long>(s));
+  return buf;
+}
+
+}  // namespace ampere

@@ -1,0 +1,31 @@
+#include "src/control/et_estimator.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/stats/timeseries_ops.h"
+
+namespace ampere {
+
+EtEstimator EtEstimator::Constant(double et) {
+  AMPERE_CHECK(et >= 0.0 && et < 1.0);
+  std::array<double, 24> per_hour;
+  per_hour.fill(et);
+  return EtEstimator(per_hour);
+}
+
+EtEstimator EtEstimator::FromHistory(std::span<const double> history,
+                                     int start_minute_of_day, double quantile,
+                                     double fallback) {
+  AMPERE_CHECK(quantile > 0.0 && quantile <= 1.0);
+  std::array<double, 24> per_hour = HourlyIncreaseQuantile(
+      history, start_minute_of_day, quantile, fallback);
+  // Negative estimates (an hour where power only ever fell) would disable
+  // the safety margin entirely; clamp at zero.
+  for (double& e : per_hour) {
+    e = std::max(e, 0.0);
+  }
+  return EtEstimator(per_hour);
+}
+
+}  // namespace ampere

@@ -1,0 +1,49 @@
+// Estimator of the one-interval power-demand increase E_t.
+//
+// E_t sets the controller's safety margin: control engages when normalized
+// power exceeds r_threshold = 1 - E_t (§3.6, Fig. 6). The paper estimates
+// E_t conservatively as the 99.5th percentile of historical one-minute power
+// increases, computed separately for each hour of the day because the
+// increase distribution varies diurnally.
+
+#ifndef SRC_CONTROL_ET_ESTIMATOR_H_
+#define SRC_CONTROL_ET_ESTIMATOR_H_
+
+#include <array>
+#include <span>
+
+#include "src/common/time.h"
+
+namespace ampere {
+
+class EtEstimator {
+ public:
+  // A flat margin, independent of time (the ablation baseline and the
+  // bootstrap value before history exists).
+  static EtEstimator Constant(double et);
+
+  // The paper's estimator: per-hour-of-day `quantile` (default 99.5th
+  // percentile) of one-minute increases in the normalized power series
+  // `history`, which starts at minute-of-day `start_minute_of_day`. Hours
+  // with no history fall back to `fallback`.
+  static EtEstimator FromHistory(std::span<const double> history,
+                                 int start_minute_of_day = 0,
+                                 double quantile = 0.995,
+                                 double fallback = 0.03);
+
+  // Expected worst-case normalized power increase over the next interval.
+  double Estimate(SimTime now) const {
+    return per_hour_[static_cast<size_t>(now.hour_of_day())];
+  }
+
+  const std::array<double, 24>& per_hour() const { return per_hour_; }
+
+ private:
+  explicit EtEstimator(const std::array<double, 24>& per_hour)
+      : per_hour_(per_hour) {}
+  std::array<double, 24> per_hour_;
+};
+
+}  // namespace ampere
+
+#endif  // SRC_CONTROL_ET_ESTIMATOR_H_

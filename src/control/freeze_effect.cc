@@ -1,0 +1,31 @@
+#include "src/control/freeze_effect.h"
+
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace ampere {
+
+FreezeEffectModel::FreezeEffectModel(double kr)
+    : kr_(kr), fit_r_squared_(1.0) {
+  AMPERE_CHECK(kr > 0.0) << "kr must be positive; freezing reduces power";
+}
+
+FreezeEffectModel FreezeEffectModel::Fit(std::span<const FuSample> samples,
+                                         size_t min_samples) {
+  std::vector<double> u;
+  std::vector<double> dp;
+  for (const FuSample& s : samples) {
+    u.push_back(s.u);
+    dp.push_back(s.delta_power);
+  }
+  AMPERE_CHECK(u.size() >= min_samples)
+      << "need >= " << min_samples << " calibration samples, got " << u.size();
+  LinearFit fit = FitThroughOrigin(u, dp);
+  AMPERE_CHECK(fit.slope > 0.0)
+      << "calibration found non-positive kr = " << fit.slope
+      << "; freezing did not reduce power";
+  return FreezeEffectModel(fit.slope, fit.r_squared);
+}
+
+}  // namespace ampere

@@ -1,0 +1,53 @@
+// The freezing-effect model f(u).
+//
+// f(u) is the expected one-interval reduction in (normalized) row power when
+// a fraction u of the row's servers is frozen, relative to not freezing
+// (§3.4). It combines two effects: frozen servers drain as their jobs finish,
+// and statistically fewer new jobs land on the row. The paper measures f(u)
+// with a controlled experiment and approximates it linearly, f(u) = kr * u,
+// which is what makes the closed-form SPCP solution possible (§3.6).
+
+#ifndef SRC_CONTROL_FREEZE_EFFECT_H_
+#define SRC_CONTROL_FREEZE_EFFECT_H_
+
+#include <span>
+
+#include "src/stats/regression.h"
+
+namespace ampere {
+
+// One controlled-experiment observation: freezing ratio in effect during an
+// interval and the measured power reduction it produced (normalized to the
+// power budget).
+struct FuSample {
+  double u = 0.0;
+  double delta_power = 0.0;
+};
+
+class FreezeEffectModel {
+ public:
+  // Direct construction from a known slope (tests, sensitivity studies).
+  explicit FreezeEffectModel(double kr);
+
+  // Fits kr by least squares through the origin over calibration samples
+  // (the Fig. 5 procedure). Requires at least `min_samples` points with
+  // nonzero u.
+  static FreezeEffectModel Fit(std::span<const FuSample> samples,
+                               size_t min_samples = 10);
+
+  double kr() const { return kr_; }
+  // Expected normalized power reduction at freezing ratio u.
+  double Effect(double u) const { return kr_ * u; }
+  // R^2 of the fit (1.0 for directly constructed models).
+  double fit_r_squared() const { return fit_r_squared_; }
+
+ private:
+  FreezeEffectModel(double kr, double r_squared)
+      : kr_(kr), fit_r_squared_(r_squared) {}
+  double kr_;
+  double fit_r_squared_;
+};
+
+}  // namespace ampere
+
+#endif  // SRC_CONTROL_FREEZE_EFFECT_H_

@@ -1,0 +1,94 @@
+#include "src/control/online_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace ampere {
+
+OnlineEtPredictor::OnlineEtPredictor(const OnlinePredictorParams& params)
+    : params_(params) {
+  AMPERE_CHECK(params.window >= 8);
+  AMPERE_CHECK(params.z >= 0.0);
+  AMPERE_CHECK(params.variance_alpha > 0.0 && params.variance_alpha <= 1.0);
+  AMPERE_CHECK(params.max_margin > params.min_margin);
+}
+
+void OnlineEtPredictor::Observe(double normalized_power) {
+  ++observations_;
+  if (!have_last_) {
+    have_last_ = true;
+    last_power_ = normalized_power;
+    return;
+  }
+  double increase = normalized_power - last_power_;
+  last_power_ = normalized_power;
+
+  // Residual of the previous prediction updates the variance estimate.
+  if (fitted_) {
+    double predicted = c_ + phi_ * last_increase_;
+    double residual = increase - predicted;
+    double sq = residual * residual;
+    if (have_var_) {
+      residual_var_ = (1.0 - params_.variance_alpha) * residual_var_ +
+                      params_.variance_alpha * sq;
+    } else {
+      residual_var_ = sq;
+      have_var_ = true;
+    }
+  }
+
+  increases_.push_back(increase);
+  if (increases_.size() > params_.window) {
+    increases_.pop_front();
+  }
+  last_increase_ = increase;
+  if (increases_.size() >= 8) {
+    RefitAr1();
+  }
+}
+
+void OnlineEtPredictor::RefitAr1() {
+  // Least squares of x_{t+1} on x_t over the window.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  size_t n = increases_.size() - 1;
+  for (size_t i = 0; i < n; ++i) {
+    double x = increases_[i];
+    double y = increases_[i + 1];
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  double denom = static_cast<double>(n) * sxx - sx * sx;
+  if (denom <= 1e-18) {
+    // Degenerate (constant increases): fall back to the mean increase.
+    phi_ = 0.0;
+    c_ = sy / static_cast<double>(n);
+  } else {
+    phi_ = (static_cast<double>(n) * sxy - sx * sy) / denom;
+    // Clamp to a stable AR(1); wild phi estimates on short windows would
+    // otherwise destabilize the margin.
+    phi_ = std::clamp(phi_, -0.95, 0.95);
+    c_ = (sy - phi_ * sx) / static_cast<double>(n);
+  }
+  fitted_ = true;
+}
+
+double OnlineEtPredictor::PredictedIncrease() const {
+  if (!fitted_) {
+    return 0.0;
+  }
+  return c_ + phi_ * last_increase_;
+}
+
+double OnlineEtPredictor::Margin() const {
+  if (!fitted_ || !have_var_) {
+    return params_.bootstrap_margin;
+  }
+  double margin = PredictedIncrease() + params_.z * std::sqrt(residual_var_);
+  return std::clamp(margin, params_.min_margin, params_.max_margin);
+}
+
+}  // namespace ampere

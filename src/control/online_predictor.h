@@ -1,0 +1,69 @@
+// Online power-demand predictor (the paper's §3.6 future work: "We can use
+// a better online power prediction model to get a better estimation").
+//
+// The shipped estimator uses a static per-hour 99.5th-percentile profile.
+// This extension predicts the next-interval increase online from the live
+// power stream: an AR(1) fit over a sliding window yields the expected
+// increase, and an EWMA of squared residuals yields its variance; the
+// margin is prediction + z * sigma. Compared to the static profile it
+// adapts within minutes to regime changes while keeping a configurable
+// tail-risk level.
+
+#ifndef SRC_CONTROL_ONLINE_PREDICTOR_H_
+#define SRC_CONTROL_ONLINE_PREDICTOR_H_
+
+#include <cstddef>
+#include <deque>
+
+namespace ampere {
+
+struct OnlinePredictorParams {
+  // Sliding window of one-minute increases used for the AR(1) fit.
+  size_t window = 240;
+  // Tail multiplier: margin = mean_prediction + z * sigma. 2.58 ~ 99.5 %.
+  double z = 2.58;
+  // EWMA weight for the residual variance.
+  double variance_alpha = 0.05;
+  // Bootstrap margin until enough samples arrive.
+  double bootstrap_margin = 0.03;
+  // Floor/ceiling for the produced margin.
+  double min_margin = 0.0;
+  double max_margin = 0.2;
+};
+
+class OnlineEtPredictor {
+ public:
+  OnlineEtPredictor() : OnlineEtPredictor(OnlinePredictorParams{}) {}
+  explicit OnlineEtPredictor(const OnlinePredictorParams& params);
+
+  // Feeds the latest normalized power sample (one per control interval).
+  void Observe(double normalized_power);
+
+  // Margin E_t for the next interval: predicted increase plus z-sigma.
+  double Margin() const;
+
+  // Point prediction of the next one-interval increase (can be negative).
+  double PredictedIncrease() const;
+
+  size_t observations() const { return observations_; }
+
+ private:
+  void RefitAr1();
+
+  OnlinePredictorParams params_;
+  std::deque<double> increases_;
+  bool have_last_ = false;
+  double last_power_ = 0.0;
+  double last_increase_ = 0.0;
+  size_t observations_ = 0;
+  // AR(1): increase_{t+1} ~ c + phi * increase_t.
+  double phi_ = 0.0;
+  double c_ = 0.0;
+  bool fitted_ = false;
+  double residual_var_ = 0.0;
+  bool have_var_ = false;
+};
+
+}  // namespace ampere
+
+#endif  // SRC_CONTROL_ONLINE_PREDICTOR_H_

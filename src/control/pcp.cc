@@ -1,0 +1,114 @@
+#include "src/control/pcp.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace ampere {
+namespace {
+
+// Smallest u in [0, 1] with f(u) >= needed, by bisection (f non-decreasing,
+// f(0) == 0). Returns 1.0 if even f(1) < needed (caller marks infeasible).
+double MinimalControl(const std::function<double(double)>& f, double needed) {
+  if (needed <= 0.0) {
+    return 0.0;
+  }
+  if (f(1.0) < needed) {
+    return 1.0;
+  }
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (f(mid) >= needed) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace
+
+PcpSolution SolvePcpGreedy(const PcpProblem& problem) {
+  AMPERE_CHECK(problem.f != nullptr);
+  AMPERE_CHECK(!problem.e.empty());
+  PcpSolution solution;
+  solution.feasible = true;
+  double p = problem.p0;
+  for (double e_k : problem.e) {
+    double needed = p + e_k - problem.pm;
+    double u = MinimalControl(problem.f, needed);
+    double p_next = p + e_k - problem.f(u);
+    if (p_next > problem.pm + 1e-12) {
+      solution.feasible = false;  // Best effort: u == 1 was not enough.
+    }
+    solution.u.push_back(u);
+    solution.cost += u;
+    solution.trajectory.push_back(p_next);
+    p = p_next;
+  }
+  return solution;
+}
+
+PcpSolution SolvePcpBruteForce(const PcpProblem& problem, int steps,
+                               double tolerance) {
+  AMPERE_CHECK(problem.f != nullptr);
+  AMPERE_CHECK(steps >= 1);
+  size_t n = problem.e.size();
+  AMPERE_CHECK(n >= 1 && n <= 6) << "brute force is exponential in N";
+
+  PcpSolution best;
+  best.feasible = false;
+  std::vector<int> grid(n, 0);
+  double best_cost = static_cast<double>(n) + 1.0;
+
+  // Odometer enumeration of {0..steps}^n.
+  while (true) {
+    double cost = 0.0;
+    for (int g : grid) {
+      cost += static_cast<double>(g) / steps;
+    }
+    if (cost < best_cost) {
+      // Evaluate trajectory feasibility.
+      double p = problem.p0;
+      bool ok = true;
+      std::vector<double> traj;
+      std::vector<double> u_vec;
+      for (size_t k = 0; k < n; ++k) {
+        double u = static_cast<double>(grid[k]) / steps;
+        p = p + problem.e[k] - problem.f(u);
+        if (p > problem.pm + tolerance) {
+          ok = false;
+          break;
+        }
+        traj.push_back(p);
+        u_vec.push_back(u);
+      }
+      if (ok) {
+        best.feasible = true;
+        best.u = std::move(u_vec);
+        best.cost = cost;
+        best.trajectory = std::move(traj);
+        best_cost = cost;
+      }
+    }
+    // Increment odometer.
+    size_t pos = 0;
+    while (pos < n) {
+      if (grid[pos] < steps) {
+        ++grid[pos];
+        break;
+      }
+      grid[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace ampere

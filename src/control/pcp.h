@@ -1,0 +1,51 @@
+// The general Power Control Problem (PCP) over a receding horizon.
+//
+//   min  C(U) = sum_k u_k
+//   s.t. P_{k+1} = P_k + E_k - f(u_k) <= PM,   0 <= u_k <= 1,
+//        k = t .. t+N-1,
+//
+// for an arbitrary monotone effect function f (§3.6). Two solvers:
+//
+//  * SolvePcpGreedy — per-step minimal control: at each step pick the
+//    smallest u_k that satisfies the step's constraint (bisection on f).
+//    For linear f this reduces to iterated SPCP and is optimal (Lemma 3.1).
+//
+//  * SolvePcpBruteForce — exhaustive grid search over u-vectors, exponential
+//    in N; exists to validate Lemma 3.1 and the greedy solver on small
+//    instances (property tests), never used in the control loop.
+
+#ifndef SRC_CONTROL_PCP_H_
+#define SRC_CONTROL_PCP_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace ampere {
+
+struct PcpProblem {
+  double p0 = 0.0;              // Current normalized power P_t.
+  std::vector<double> e;        // Predicted increases E_t .. E_{t+N-1}.
+  double pm = 1.0;              // Normalized budget.
+  // Effect function; must be non-decreasing on [0, 1] with f(0) == 0.
+  std::function<double(double)> f;
+};
+
+struct PcpSolution {
+  bool feasible = false;
+  std::vector<double> u;        // Control sequence (empty if infeasible).
+  double cost = 0.0;            // sum(u).
+  std::vector<double> trajectory;  // P_{t+1} .. P_{t+N} under u.
+};
+
+PcpSolution SolvePcpGreedy(const PcpProblem& problem);
+
+// Exhaustive search over the grid {0, 1/steps, 2/steps, ..., 1}^N. Intended
+// for N <= 4 and steps <= ~50. A grid point is feasible if the trajectory
+// stays within pm + tolerance (grid quantization slack).
+PcpSolution SolvePcpBruteForce(const PcpProblem& problem, int steps,
+                               double tolerance = 1e-9);
+
+}  // namespace ampere
+
+#endif  // SRC_CONTROL_PCP_H_

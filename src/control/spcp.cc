@@ -1,0 +1,26 @@
+#include "src/control/spcp.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace ampere {
+
+double SolveSpcp(double pt, double et, double pm, double kr) {
+  AMPERE_CHECK(kr > 0.0);
+  double u = (pt + et - pm) / kr;
+  return std::clamp(u, 0.0, 1.0);
+}
+
+double ThresholdRatio(double et, double pm) { return pm - et; }
+
+double FreezeRatioFor(double pt, double et, double pm, double kr,
+                      double max_freeze_ratio) {
+  AMPERE_CHECK(max_freeze_ratio > 0.0 && max_freeze_ratio <= 1.0);
+  if (pt <= ThresholdRatio(et, pm)) {
+    return 0.0;
+  }
+  return std::min(SolveSpcp(pt, et, pm, kr), max_freeze_ratio);
+}
+
+}  // namespace ampere

@@ -1,0 +1,33 @@
+// The Simplified Power Control Problem (SPCP) and its closed-form solution.
+//
+// With the linear effect model f(u) = kr*u, the horizon-1 problem
+//   min u  s.t.  P_{t+1} = P_t + E_t - kr*u <= PM,  0 <= u <= 1
+// has the closed-form optimum of Eq. (13):
+//   u_t = max{ min{ (P_t + E_t - PM) / kr, 1.0 }, 0 }.
+// All quantities are normalized to the power budget, so PM = 1.0 in the
+// controller's units. Lemma 3.1 shows iterating this solution step by step
+// is optimal for the full horizon-N problem (validated in tests against a
+// brute-force solver — see pcp.h).
+
+#ifndef SRC_CONTROL_SPCP_H_
+#define SRC_CONTROL_SPCP_H_
+
+namespace ampere {
+
+// Eq. (13). `pt` and `et` are normalized to the budget `pm` scale (typically
+// pm == 1.0). Requires kr > 0.
+double SolveSpcp(double pt, double et, double pm, double kr);
+
+// The control-engagement threshold of Fig. 6: no freezing is needed while
+// P_t <= r_threshold = pm - et.
+double ThresholdRatio(double et, double pm);
+
+// The controller's full F function (Fig. 6) mapping current normalized power
+// to a freezing ratio, including the operational cap on the maximum ratio
+// (§4.1.1 limits it to 50 % for scheduler-maintenance reasons).
+double FreezeRatioFor(double pt, double et, double pm, double kr,
+                      double max_freeze_ratio);
+
+}  // namespace ampere
+
+#endif  // SRC_CONTROL_SPCP_H_

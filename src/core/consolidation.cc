@@ -1,0 +1,94 @@
+#include "src/core/consolidation.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace ampere {
+
+ConsolidationController::ConsolidationController(
+    DataCenter* dc, Scheduler* scheduler, const ConsolidationConfig& config)
+    : dc_(dc), scheduler_(scheduler), config_(config) {
+  AMPERE_CHECK(dc != nullptr && scheduler != nullptr);
+  AMPERE_CHECK(config.sleep_below_utilization <
+               config.wake_above_utilization)
+      << "thresholds must leave a hysteresis band";
+  AMPERE_CHECK(config.min_awake >= 1);
+  AMPERE_CHECK(config.step >= 1);
+}
+
+void ConsolidationController::Start(Simulation* sim, SimTime first_tick,
+                                    SimTime interval) {
+  AMPERE_CHECK(sim != nullptr);
+  sim->SchedulePeriodic(first_tick, interval,
+                        [this, weak = std::weak_ptr<bool>(alive_)](SimTime) {
+                          if (weak.expired()) {
+                            return;
+                          }
+                          Tick();
+                        });
+}
+
+double ConsolidationController::AwakeUtilization() const {
+  double capacity = 0.0;
+  double allocated = 0.0;
+  for (int32_t s = 0; s < dc_->num_servers(); ++s) {
+    const Server& server = dc_->server(ServerId(s));
+    if (server.asleep()) {
+      continue;
+    }
+    capacity += server.capacity().cpu_cores;
+    allocated += server.allocated().cpu_cores;
+  }
+  return capacity > 0.0 ? allocated / capacity : 0.0;
+}
+
+size_t ConsolidationController::ServersAsleep() const {
+  size_t asleep = 0;
+  for (int32_t s = 0; s < dc_->num_servers(); ++s) {
+    if (dc_->server(ServerId(s)).asleep()) {
+      ++asleep;
+    }
+  }
+  return asleep;
+}
+
+void ConsolidationController::Tick() {
+  double utilization = AwakeUtilization();
+  size_t asleep = ServersAsleep();
+  size_t awake = static_cast<size_t>(dc_->num_servers()) - asleep;
+
+  if ((utilization > config_.wake_above_utilization ||
+       scheduler_->queue_length() > 0) &&
+      asleep > 0) {
+    size_t to_wake = std::min(config_.step, asleep);
+    for (int32_t s = 0; s < dc_->num_servers() && to_wake > 0; ++s) {
+      ServerId id(s);
+      const Server& server = dc_->server(id);
+      if (server.asleep() && !server.waking()) {
+        dc_->WakeServer(id);
+        ++wakes_;
+        --to_wake;
+      }
+    }
+    return;
+  }
+
+  if (utilization < config_.sleep_below_utilization &&
+      awake > config_.min_awake) {
+    size_t to_sleep =
+        std::min(config_.step, awake - config_.min_awake);
+    for (int32_t s = 0; s < dc_->num_servers() && to_sleep > 0; ++s) {
+      ServerId id(s);
+      const Server& server = dc_->server(id);
+      if (!server.asleep() && !server.reserved() &&
+          server.num_tasks() == 0) {
+        dc_->SleepServer(id);
+        ++sleeps_;
+        --to_sleep;
+      }
+    }
+  }
+}
+
+}  // namespace ampere

@@ -1,0 +1,63 @@
+// Server-consolidation baseline (§5.1 of the paper's related work).
+//
+// The alternative school of power management transitions idle servers into
+// low-power sleep states when fleet utilization is low (PowerNap; Bradley
+// et al.; Xu et al.) and wakes them as demand returns. It saves energy but
+// "turning off servers is a complex process ... very hard to guarantee the
+// SLA requirements": waking takes tens of seconds, so demand spikes queue
+// behind cold servers. This controller implements that policy so the
+// baseline_consolidation bench can quantify the trade-off Ampere avoids
+// (freezing never touches running or arriving work when capacity exists).
+
+#ifndef SRC_CORE_CONSOLIDATION_H_
+#define SRC_CORE_CONSOLIDATION_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/cluster/datacenter.h"
+#include "src/sched/scheduler.h"
+
+namespace ampere {
+
+struct ConsolidationConfig {
+  // Sleep idle servers while awake-fleet CPU utilization is below this.
+  double sleep_below_utilization = 0.40;
+  // Wake servers when utilization exceeds this or jobs are queued.
+  double wake_above_utilization = 0.60;
+  // Never sleep below this many awake servers.
+  size_t min_awake = 4;
+  // Servers transitioned per tick (rate limit, as production would).
+  size_t step = 2;
+};
+
+class ConsolidationController {
+ public:
+  // `dc` and `scheduler` must outlive the controller.
+  ConsolidationController(DataCenter* dc, Scheduler* scheduler,
+                          const ConsolidationConfig& config);
+
+  void Start(Simulation* sim, SimTime first_tick,
+             SimTime interval = SimTime::Minutes(1));
+
+  // One decision pass (public for tests).
+  void Tick();
+
+  // CPU utilization of the awake portion of the fleet.
+  double AwakeUtilization() const;
+  size_t ServersAsleep() const;
+  uint64_t sleeps_initiated() const { return sleeps_; }
+  uint64_t wakes_initiated() const { return wakes_; }
+
+ private:
+  DataCenter* dc_;
+  Scheduler* scheduler_;
+  ConsolidationConfig config_;
+  uint64_t sleeps_ = 0;
+  uint64_t wakes_ = 0;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace ampere
+
+#endif  // SRC_CORE_CONSOLIDATION_H_

@@ -1,0 +1,227 @@
+#include "src/core/controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+#include "src/control/pcp.h"
+#include "src/control/spcp.h"
+
+namespace ampere {
+
+AmpereController::AmpereController(Scheduler* scheduler,
+                                   const PowerMonitor* monitor,
+                                   const AmpereControllerConfig& config)
+    : scheduler_(scheduler), monitor_(monitor), config_(config),
+      selection_rng_(config.selection_seed) {
+  AMPERE_CHECK(scheduler != nullptr && monitor != nullptr);
+  AMPERE_CHECK(config.r_stable > 0.0 && config.r_stable <= 1.0);
+  AMPERE_CHECK(config.max_freeze_ratio > 0.0 &&
+               config.max_freeze_ratio <= 1.0);
+}
+
+std::vector<ServerId> AmpereController::RankServers(
+    const ControlDomain& domain) {
+  std::vector<ServerId> ranked = domain.servers;
+  switch (config_.selection) {
+    case FreezeSelection::kHighestPower:
+      std::sort(ranked.begin(), ranked.end(), [this](ServerId a, ServerId b) {
+        double pa = monitor_->LatestServerWatts(a);
+        double pb = monitor_->LatestServerWatts(b);
+        if (pa != pb) {
+          return pa > pb;
+        }
+        return a < b;  // Deterministic tie-break.
+      });
+      break;
+    case FreezeSelection::kLowestPower:
+      std::sort(ranked.begin(), ranked.end(), [this](ServerId a, ServerId b) {
+        double pa = monitor_->LatestServerWatts(a);
+        double pb = monitor_->LatestServerWatts(b);
+        if (pa != pb) {
+          return pa < pb;
+        }
+        return a < b;
+      });
+      break;
+    case FreezeSelection::kRandom:
+      for (size_t i = ranked.size(); i > 1; --i) {
+        size_t j = static_cast<size_t>(
+            selection_rng_.UniformInt(0, static_cast<int64_t>(i) - 1));
+        std::swap(ranked[i - 1], ranked[j]);
+      }
+      break;
+  }
+  return ranked;
+}
+
+void AmpereController::AddDomain(ControlDomain domain) {
+  AMPERE_CHECK(!domain.servers.empty());
+  AMPERE_CHECK(domain.budget_watts > 0.0);
+  domains_.push_back(std::move(domain));
+  frozen_.emplace_back();
+  predictors_.emplace_back(config_.predictor);
+}
+
+void AmpereController::Start(Simulation* sim, SimTime first_tick,
+                             SimTime interval) {
+  AMPERE_CHECK(sim != nullptr);
+  sim->SchedulePeriodic(
+      first_tick, interval,
+      [this, weak = std::weak_ptr<bool>(alive_)](SimTime t) {
+        if (weak.expired()) {
+          return;  // The controller was replaced; this tick is orphaned.
+        }
+        Tick(t);
+      });
+}
+
+void AmpereController::Tick(SimTime now) {
+  ++ticks_;
+  for (size_t d = 0; d < domains_.size(); ++d) {
+    TickDomain(d, now);
+  }
+}
+
+void AmpereController::TickDomain(size_t domain_index, SimTime now) {
+  const ControlDomain& domain = domains_[domain_index];
+  std::unordered_set<ServerId>& frozen_set = frozen_[domain_index];
+
+  double power = monitor_->LatestGroupWatts(domain.group);
+  double p = power / domain.budget_watts;
+  double et;
+  if (config_.use_online_predictor) {
+    predictors_[domain_index].Observe(p);
+    et = predictors_[domain_index].Margin();
+  } else {
+    et = config_.et.Estimate(now);
+  }
+  double u;
+  if (config_.horizon <= 1) {
+    u = FreezeRatioFor(p, et, 1.0, config_.effect.kr(),
+                       config_.max_freeze_ratio);
+  } else {
+    // Receding-horizon plan over the next N intervals; only u[0] is carried
+    // out (§3.6). The E forecast reads the estimator at each future minute
+    // (the online predictor extrapolates its current margin).
+    PcpProblem problem;
+    problem.p0 = p;
+    problem.pm = 1.0;
+    double kr = config_.effect.kr();
+    problem.f = [kr](double v) { return kr * v; };
+    for (int k = 0; k < config_.horizon; ++k) {
+      double e_k = config_.use_online_predictor
+                       ? et
+                       : config_.et.Estimate(now + SimTime::Minutes(k));
+      problem.e.push_back(e_k);
+    }
+    PcpSolution plan = SolvePcpGreedy(problem);
+    u = std::min(plan.u.front(), config_.max_freeze_ratio);
+  }
+  size_t n = domain.servers.size();
+  auto n_freeze = static_cast<size_t>(
+      std::floor(u * static_cast<double>(n)));
+
+  if (n_freeze == 0) {
+    // Below threshold (or rounding swallowed the ratio): release everything.
+    UnfreezeAll(domain_index);
+    return;
+  }
+
+  // Rank the domain's servers most-preferred-to-freeze first. The paper's
+  // policy (highest power first) costs the least spare capacity (§3.5) and
+  // maximizes the drain effect; alternatives serve the ablation bench.
+  std::vector<ServerId> ranked = RankServers(domain);
+  n_freeze = std::min(n_freeze, ranked.size());
+
+  // Candidate pool S: the n_freeze top servers, expanded by a hysteresis
+  // band so small power decays do not churn the frozen set (Algorithm 1,
+  // lines 7-10). For the power-ranked paper policy the band is r_stable
+  // times the weakest top-set member's power; for the ablation policies the
+  // pool simply retains currently frozen servers.
+  std::unordered_set<ServerId> pool;
+  if (config_.selection == FreezeSelection::kHighestPower) {
+    double p_min_top = monitor_->LatestServerWatts(ranked[n_freeze - 1]);
+    double p_threshold = config_.r_stable * p_min_top;
+    for (size_t i = 0; i < ranked.size(); ++i) {
+      if (i < n_freeze ||
+          monitor_->LatestServerWatts(ranked[i]) > p_threshold) {
+        pool.insert(ranked[i]);
+      }
+    }
+  } else {
+    for (size_t i = 0; i < n_freeze; ++i) {
+      pool.insert(ranked[i]);
+    }
+    pool.insert(frozen_set.begin(), frozen_set.end());
+  }
+
+  // Unfreeze servers that dropped out of the pool (lines 11-12).
+  for (auto it = frozen_set.begin(); it != frozen_set.end();) {
+    if (!pool.contains(*it)) {
+      scheduler_->Unfreeze(*it);
+      ++unfreeze_ops_;
+      it = frozen_set.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (frozen_set.size() > n_freeze) {
+    // Too many frozen: release arbitrary extras (lines 13-14).
+    size_t excess = frozen_set.size() - n_freeze;
+    for (auto it = frozen_set.begin(); excess > 0;) {
+      scheduler_->Unfreeze(*it);
+      ++unfreeze_ops_;
+      it = frozen_set.erase(it);
+      --excess;
+    }
+  } else if (frozen_set.size() < n_freeze) {
+    // Too few: freeze the highest-power pool members not yet frozen
+    // (lines 15-16). `ranked` is already in descending power order.
+    for (ServerId id : ranked) {
+      if (frozen_set.size() >= n_freeze) {
+        break;
+      }
+      if (pool.contains(id) && !frozen_set.contains(id)) {
+        scheduler_->Freeze(id);
+        ++freeze_ops_;
+        frozen_set.insert(id);
+      }
+    }
+  }
+  AMPERE_LOG(kDebug) << "domain " << domain.group << " p=" << p
+                     << " et=" << et << " u=" << u
+                     << " frozen=" << frozen_set.size() << "/" << n;
+}
+
+void AmpereController::UnfreezeAll(size_t domain_index) {
+  for (ServerId id : frozen_[domain_index]) {
+    scheduler_->Unfreeze(id);
+    ++unfreeze_ops_;
+  }
+  frozen_[domain_index].clear();
+}
+
+void AmpereController::RebuildStateFromScheduler() {
+  for (size_t d = 0; d < domains_.size(); ++d) {
+    frozen_[d].clear();
+    for (ServerId id : domains_[d].servers) {
+      if (scheduler_->IsFrozen(id)) {
+        frozen_[d].insert(id);
+      }
+    }
+  }
+}
+
+double AmpereController::freeze_ratio(size_t domain_index) const {
+  const ControlDomain& domain = domains_[domain_index];
+  if (domain.servers.empty()) {
+    return 0.0;
+  }
+  return static_cast<double>(frozen_[domain_index].size()) /
+         static_cast<double>(domain.servers.size());
+}
+
+}  // namespace ampere

@@ -1,0 +1,135 @@
+// The Ampere controller (Algorithm 1 of the paper).
+//
+// Once per minute, for every control domain (a row, or a virtual group in
+// the controlled-experiment methodology), the controller:
+//   1. reads the domain's latest aggregated power from the monitor,
+//   2. computes the freezing ratio u_t from the SPCP closed form with the
+//      hour-of-day E_t margin (Fig. 6),
+//   3. selects the n_freeze highest-power servers, expanded by the r_stable
+//      hysteresis band so a server whose power decayed only slightly is not
+//      churned out of the frozen set, and
+//   4. reconciles the actual frozen set through the scheduler's only two
+//      power-control APIs: Freeze and Unfreeze.
+//
+// The controller is stateless in the paper's sense: everything it needs is
+// re-derivable from the monitor and the scheduler's frozen flags, so a
+// replacement instance can take over at any tick (§3.2). The cached frozen
+// sets here are an optimization, re-buildable via RebuildStateFromScheduler.
+
+#ifndef SRC_CORE_CONTROLLER_H_
+#define SRC_CORE_CONTROLLER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/control/et_estimator.h"
+#include "src/control/freeze_effect.h"
+#include "src/control/online_predictor.h"
+#include "src/sched/scheduler.h"
+#include "src/telemetry/power_monitor.h"
+
+namespace ampere {
+
+struct ControlDomain {
+  // Monitor group name whose aggregated power this domain tracks.
+  std::string group;
+  // Schedulable servers under control (reserved servers excluded).
+  std::vector<ServerId> servers;
+  // The provisioned power budget P_M for the domain, in watts. The operator
+  // may set it below the physical limit for an extra margin (§3.2).
+  double budget_watts = 0.0;
+};
+
+// Which servers to freeze first. The paper freezes the highest-power
+// servers (§3.5): they drain the most power and have the least spare
+// capacity, so freezing them costs the least. The alternatives exist for the
+// design-choice ablation bench.
+enum class FreezeSelection : int {
+  kHighestPower = 0,
+  kRandom = 1,
+  kLowestPower = 2,
+};
+
+struct AmpereControllerConfig {
+  FreezeEffectModel effect{0.05};
+  EtEstimator et = EtEstimator::Constant(0.025);
+  // Operational cap on the freezing ratio (§4.1.1 uses 50 %).
+  double max_freeze_ratio = 0.5;
+  // Hysteresis: a frozen server stays freezable while its power is above
+  // r_stable times the lowest power in the target set (§3.5 uses 0.8).
+  double r_stable = 0.8;
+  FreezeSelection selection = FreezeSelection::kHighestPower;
+  // Seed for the kRandom selection policy's tie-breaking stream.
+  uint64_t selection_seed = 1;
+  // Extension (§3.6 future work): derive E_t from an online AR(1) predictor
+  // over the live power stream instead of the static `et` profile.
+  bool use_online_predictor = false;
+  OnlinePredictorParams predictor;
+  // RHC planning horizon N (§3.6's general PCP). The controller forecasts
+  // E over the next N intervals from the E_t profile, solves the horizon-N
+  // problem, and carries out only the first control. Lemma 3.1 proves this
+  // equals the closed-form horizon-1 policy for linear f(u) — which the
+  // extension_rhc_horizon bench verifies live. Requires >= 1; 1 uses the
+  // Eq. (13) closed form directly.
+  int horizon = 1;
+};
+
+class AmpereController {
+ public:
+  // `scheduler` and `monitor` must outlive the controller.
+  AmpereController(Scheduler* scheduler, const PowerMonitor* monitor,
+                   const AmpereControllerConfig& config);
+
+  void AddDomain(ControlDomain domain);
+
+  // Schedules a periodic tick. Offset ticks slightly after the monitor's
+  // sampling instants so each decision sees fresh data. The task is bound
+  // to this instance's lifetime: after destruction (a failover replacing
+  // the controller, §3.2) pending ticks become no-ops.
+  void Start(Simulation* sim, SimTime first_tick,
+             SimTime interval = SimTime::Minutes(1));
+
+  // One control pass over all domains (public for tests and custom benches).
+  void Tick(SimTime now);
+
+  // Drops cached frozen sets and re-reads them from the scheduler — the
+  // failover path of a stateless controller replacement.
+  void RebuildStateFromScheduler();
+
+  size_t num_domains() const { return domains_.size(); }
+  // Current freezing ratio |S_f| / n for one domain.
+  double freeze_ratio(size_t domain_index) const;
+  size_t frozen_count(size_t domain_index) const {
+    return frozen_[domain_index].size();
+  }
+  uint64_t freeze_ops() const { return freeze_ops_; }
+  uint64_t unfreeze_ops() const { return unfreeze_ops_; }
+  uint64_t ticks() const { return ticks_; }
+
+ private:
+  void TickDomain(size_t domain_index, SimTime now);
+  void UnfreezeAll(size_t domain_index);
+  // Domain servers ordered most-preferred-to-freeze first per the
+  // configured selection policy.
+  std::vector<ServerId> RankServers(const ControlDomain& domain);
+
+  Scheduler* scheduler_;
+  const PowerMonitor* monitor_;
+  AmpereControllerConfig config_;
+  Rng selection_rng_{1};
+  std::vector<ControlDomain> domains_;
+  std::vector<std::unordered_set<ServerId>> frozen_;
+  std::vector<OnlineEtPredictor> predictors_;  // One per domain if enabled.
+  uint64_t freeze_ops_ = 0;
+  uint64_t unfreeze_ops_ = 0;
+  uint64_t ticks_ = 0;
+  // Lifetime token for scheduled ticks; expires with the controller.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace ampere
+
+#endif  // SRC_CORE_CONTROLLER_H_

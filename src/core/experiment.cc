@@ -1,0 +1,329 @@
+#include "src/core/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+
+namespace ampere {
+
+double ArrivalRateForNormalizedPower(const TopologyConfig& topology,
+                                     const BatchWorkloadParams& workload,
+                                     double target_normalized_power,
+                                     double over_provision_ratio) {
+  AMPERE_CHECK(target_normalized_power > 0.0);
+  const PowerModelParams& pm = topology.power_model;
+  double rated = pm.rated_watts;
+  double idle = rated * pm.idle_fraction;
+  double dyn_range = rated - idle;
+  // Power target relative to the *rated* budget.
+  double target_rated = target_normalized_power / (1.0 + over_provision_ratio);
+  double util = (rated * target_rated - idle) / dyn_range;
+  AMPERE_CHECK(util > 0.0)
+      << "target power " << target_normalized_power
+      << " is below the idle floor at rO=" << over_provision_ratio;
+  AMPERE_CHECK(util <= 1.0) << "target power above full utilization";
+
+  double n_servers = static_cast<double>(topology.num_rows) *
+                     topology.racks_per_row * topology.servers_per_rack;
+  double total_cores = n_servers * topology.server_capacity.cpu_cores;
+
+  // Mean demand per job from the mix (or the generator's default mix).
+  std::vector<DemandProfile> demands = workload.demands;
+  if (demands.empty()) {
+    demands = {{Resources{1.0, 2.0}, 0.4},
+               {Resources{2.0, 4.0}, 0.4},
+               {Resources{4.0, 8.0}, 0.2}};
+  }
+  double weight = 0.0;
+  double mean_cores = 0.0;
+  for (const DemandProfile& d : demands) {
+    weight += d.weight;
+    mean_cores += d.weight * d.demand.cpu_cores;
+  }
+  mean_cores /= weight;
+
+  DurationModel durations(workload.durations);
+  double mean_minutes = durations.TruncatedMeanMinutes();
+  // Little's law: concurrent cores = rate * duration * cores_per_job.
+  return util * total_cores / (mean_minutes * mean_cores);
+}
+
+ControlledExperiment::ControlledExperiment(const ExperimentConfig& config)
+    : config_(config), rng_(config.seed), sim_(),
+      dc_(config.topology, &sim_), db_(),
+      scheduler_(&dc_, config.scheduler, rng_.Fork(1)),
+      monitor_(&dc_, &db_, config.monitor, rng_.Fork(2)) {
+  workload_ = std::make_unique<BatchWorkload>(config_.workload, &sim_,
+                                              &scheduler_, &ids_,
+                                              rng_.Fork(3));
+  SplitGroups();
+  monitor_.RegisterGroup(kExperimentGroup, experiment_servers_);
+  monitor_.RegisterGroup(kControlGroup, control_servers_);
+
+  if (config_.enable_ampere) {
+    controller_ = std::make_unique<AmpereController>(&scheduler_, &monitor_,
+                                                     config_.controller);
+    ControlDomain domain;
+    domain.group = kExperimentGroup;
+    domain.servers = experiment_servers_;
+    domain.budget_watts = experiment_budget_watts_;
+    controller_->AddDomain(std::move(domain));
+  }
+
+  // Throughput accounting: a "placement" is a job accepted onto a group's
+  // server (§4.1.3 counts accepted jobs as the throughput indicator).
+  scheduler_.SetPlacementListener(
+      [this](const JobSpec&, ServerId server) {
+        if (!counting_) {
+          return;
+        }
+        bool is_experiment = (server.value() % 2) == 0;
+        if (is_experiment) {
+          ++window_thru_experiment_;
+          ++minute_thru_experiment_;
+        } else {
+          ++window_thru_control_;
+          ++minute_thru_control_;
+        }
+      });
+
+  experiment_report_.name = kExperimentGroup;
+  experiment_report_.budget_watts = experiment_budget_watts_;
+  control_report_.name = kControlGroup;
+  control_report_.budget_watts = control_budget_watts_;
+}
+
+void ControlledExperiment::SplitGroups() {
+  // Parity split: even server ids form the experiment group, odd ids the
+  // control group — a uniformly random, product-independent partition
+  // (§4.1.2). Reserved servers never join either group.
+  for (int32_t s = 0; s < dc_.num_servers(); ++s) {
+    ServerId id(s);
+    if (dc_.server(id).reserved()) {
+      continue;
+    }
+    if (s % 2 == 0) {
+      experiment_servers_.push_back(id);
+    } else {
+      control_servers_.push_back(id);
+    }
+  }
+  AMPERE_CHECK(!experiment_servers_.empty() && !control_servers_.empty());
+
+  double rated = dc_.power_model().rated_watts();
+  double scale = 1.0 + config_.over_provision_ratio;
+  double exp_rated =
+      static_cast<double>(experiment_servers_.size()) * rated;
+  double ctl_rated = static_cast<double>(control_servers_.size()) * rated;
+  experiment_budget_watts_ =
+      config_.scale_experiment_budget ? exp_rated / scale : exp_rated;
+  control_budget_watts_ =
+      config_.scale_control_budget ? ctl_rated / scale : ctl_rated;
+}
+
+void ControlledExperiment::StartBaseline() {
+  workload_->Start(SimTime());
+  // First sample lands at t = 1 min, once some workload exists.
+  monitor_.Start(SimTime::Minutes(1));
+}
+
+void ControlledExperiment::InstallMetricsRecorder(SimTime from, SimTime to) {
+  // Runs 2 s after each minute's monitor sample (and after the controller's
+  // +1 s tick), so the record reflects this minute's decision.
+  sim_.SchedulePeriodic(
+      from + SimTime::Seconds(2), SimTime::Minutes(1), [this, to](SimTime t) {
+        if (t >= to) {
+          return;
+        }
+        double exp_watts = monitor_.LatestGroupWatts(kExperimentGroup);
+        double ctl_watts = monitor_.LatestGroupWatts(kControlGroup);
+
+        MinutePoint exp_point;
+        exp_point.time = t;
+        exp_point.power_watts = exp_watts;
+        exp_point.normalized_power = exp_watts / experiment_budget_watts_;
+        exp_point.freeze_ratio =
+            controller_ != nullptr ? controller_->freeze_ratio(0) : 0.0;
+        exp_point.violation = exp_point.normalized_power > 1.0;
+        exp_point.placements =
+            static_cast<uint32_t>(minute_thru_experiment_);
+        experiment_report_.minutes.push_back(exp_point);
+
+        MinutePoint ctl_point;
+        ctl_point.time = t;
+        ctl_point.power_watts = ctl_watts;
+        ctl_point.normalized_power = ctl_watts / control_budget_watts_;
+        ctl_point.freeze_ratio = 0.0;
+        ctl_point.violation = ctl_point.normalized_power > 1.0;
+        ctl_point.placements = static_cast<uint32_t>(minute_thru_control_);
+        control_report_.minutes.push_back(ctl_point);
+
+        minute_thru_experiment_ = 0;
+        minute_thru_control_ = 0;
+      });
+}
+
+ExperimentResult ControlledExperiment::Run() {
+  StartBaseline();
+  SimTime measure_start = config_.warmup;
+  SimTime end = config_.warmup + config_.duration;
+
+  if (controller_ != nullptr) {
+    // Tick 1 s after the monitor samples so decisions see fresh data.
+    controller_->Start(&sim_, measure_start + SimTime::Seconds(1));
+  }
+  InstallMetricsRecorder(measure_start, end);
+  sim_.ScheduleAt(measure_start, [this] { counting_ = true; });
+
+  sim_.RunUntil(end);
+
+  experiment_report_.throughput_jobs = window_thru_experiment_;
+  control_report_.throughput_jobs = window_thru_control_;
+  experiment_report_.Finalize();
+  control_report_.Finalize();
+
+  ExperimentResult result;
+  result.experiment = experiment_report_;
+  result.control = control_report_;
+  result.throughput_ratio =
+      window_thru_control_ > 0
+          ? static_cast<double>(window_thru_experiment_) /
+                static_cast<double>(window_thru_control_)
+          : 0.0;
+  result.gain_tpw =
+      GainInTpw(result.throughput_ratio, config_.over_provision_ratio);
+  result.jobs_submitted = scheduler_.jobs_submitted();
+  result.jobs_completed = scheduler_.jobs_completed();
+  result.final_queue_length = scheduler_.queue_length();
+  result.breaker_tripped = dc_.AnyBreakerTripped();
+  return result;
+}
+
+std::vector<FuSample> ControlledExperiment::RunFuCalibration(
+    std::span<const double> u_levels, SimTime hold, SimTime rest,
+    SimTime total, FreezeSelection selection) {
+  AMPERE_CHECK(!u_levels.empty());
+  AMPERE_CHECK(hold >= SimTime::Minutes(2));
+  AMPERE_CHECK(rest >= SimTime::Minutes(1));
+  AMPERE_CHECK(!config_.enable_ampere)
+      << "calibration requires the closed-loop controller disabled";
+  StartBaseline();
+  sim_.RunUntil(config_.warmup);
+
+  // The periodic task outlives this function body (it stays armed in the
+  // event queue), so all mutable calibration state lives on the heap and is
+  // captured by value.
+  struct CalibrationState {
+    std::vector<FuSample> samples;
+    std::unordered_set<ServerId> frozen;
+    std::vector<double> levels;
+    double current_u = 0.0;
+    double prev_exp = 0.0;
+    double prev_ctl = 0.0;
+    int64_t hold_minutes = 0;
+    int64_t rest_minutes = 0;
+    int64_t minute_in_phase = 0;
+    bool holding = false;
+    size_t level_index = 0;
+    FreezeSelection selection = FreezeSelection::kHighestPower;
+    Rng rng{1};
+  };
+  auto state = std::make_shared<CalibrationState>();
+  state->levels.assign(u_levels.begin(), u_levels.end());
+  state->hold_minutes = static_cast<int64_t>(hold.minutes());
+  state->rest_minutes = static_cast<int64_t>(rest.minutes());
+  state->selection = selection;
+  state->rng = rng_.Fork(77);
+  SimTime end = config_.warmup + total;
+
+  // Per-minute calibration task, offset 1 s after the monitor sample.
+  sim_.SchedulePeriodic(
+      config_.warmup + SimTime::Seconds(1), SimTime::Minutes(1),
+      [this, state, end](SimTime now) {
+        if (now >= end) {
+          return;
+        }
+        double exp_watts = monitor_.LatestGroupWatts(kExperimentGroup);
+        double ctl_watts = monitor_.LatestGroupWatts(kControlGroup);
+        // Sampling precedes the phase transition below, so at the tick that
+        // applies a freeze `holding` is still false (no partial interval is
+        // sampled) and the first sampled delta covers the first full frozen
+        // minute.
+        if (state->holding) {
+          // f(u) sample while the freeze is fresh: the control group's
+          // power change is the shared demand trend E_t; the experiment
+          // group's shortfall from that trend is the freezing effect
+          // (§3.4). Normalized to the budget.
+          double delta_ctl =
+              (ctl_watts - state->prev_ctl) / control_budget_watts_;
+          double delta_exp =
+              (exp_watts - state->prev_exp) / experiment_budget_watts_;
+          state->samples.push_back(
+              FuSample{state->current_u, delta_ctl - delta_exp});
+        }
+        state->prev_exp = exp_watts;
+        state->prev_ctl = ctl_watts;
+
+        ++state->minute_in_phase;
+        if (state->holding && state->minute_in_phase >= state->hold_minutes) {
+          // Hold over: release and rest so the groups re-equalize.
+          for (ServerId id : state->frozen) {
+            scheduler_.Unfreeze(id);
+          }
+          state->frozen.clear();
+          state->holding = false;
+          state->minute_in_phase = 0;
+        } else if (!state->holding &&
+                   state->minute_in_phase >= state->rest_minutes) {
+          // Rest over: apply the next level to the highest-power
+          // experiment-group servers (§3.5).
+          state->current_u =
+              state->levels[state->level_index % state->levels.size()];
+          ++state->level_index;
+          auto target = static_cast<size_t>(
+              std::floor(state->current_u *
+                         static_cast<double>(experiment_servers_.size())));
+          std::vector<ServerId> ranked = experiment_servers_;
+          switch (state->selection) {
+            case FreezeSelection::kHighestPower:
+              std::sort(ranked.begin(), ranked.end(),
+                        [this](ServerId a, ServerId b) {
+                          return monitor_.LatestServerWatts(a) >
+                                 monitor_.LatestServerWatts(b);
+                        });
+              break;
+            case FreezeSelection::kLowestPower:
+              std::sort(ranked.begin(), ranked.end(),
+                        [this](ServerId a, ServerId b) {
+                          return monitor_.LatestServerWatts(a) <
+                                 monitor_.LatestServerWatts(b);
+                        });
+              break;
+            case FreezeSelection::kRandom:
+              for (size_t i = ranked.size(); i > 1; --i) {
+                size_t j = static_cast<size_t>(state->rng.UniformInt(
+                    0, static_cast<int64_t>(i) - 1));
+                std::swap(ranked[i - 1], ranked[j]);
+              }
+              break;
+          }
+          for (size_t i = 0; i < target && i < ranked.size(); ++i) {
+            scheduler_.Freeze(ranked[i]);
+            state->frozen.insert(ranked[i]);
+          }
+          state->holding = true;
+          state->minute_in_phase = 0;
+        }
+      });
+
+  sim_.RunUntil(end);
+  for (ServerId id : state->frozen) {
+    scheduler_.Unfreeze(id);
+  }
+  return state->samples;
+}
+
+}  // namespace ampere

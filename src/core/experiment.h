@@ -1,0 +1,153 @@
+// Controlled-experiment harness reproducing the paper's evaluation
+// methodology (§4.1.2).
+//
+// The servers of one production row are partitioned into two virtual groups
+// by server-id parity (a uniformly random split), both fed by the same
+// scheduler, so the groups statistically receive the same workload. The
+// experiment group runs under Ampere's control with a power budget scaled
+// down by 1/(1 + rO) — emulating over-provisioning by rO per Eq. (16) — and
+// the control group runs uncontrolled. Any difference between the groups is
+// attributable to the control actions.
+//
+// The harness also implements the Fig. 5 calibration procedure: holding the
+// freezing ratio at exogenous levels in timed blocks and recording the
+// power-change difference between the groups, which fits f(u).
+
+#ifndef SRC_CORE_EXPERIMENT_H_
+#define SRC_CORE_EXPERIMENT_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/cluster/datacenter.h"
+#include "src/common/rng.h"
+#include "src/core/controller.h"
+#include "src/core/metrics.h"
+#include "src/sched/scheduler.h"
+#include "src/sim/simulation.h"
+#include "src/telemetry/power_monitor.h"
+#include "src/telemetry/timeseries_db.h"
+#include "src/workload/batch_workload.h"
+
+namespace ampere {
+
+struct ExperimentConfig {
+  uint64_t seed = 42;
+  TopologyConfig topology;       // Default: one 420-server row.
+  BatchWorkloadParams workload;  // Callers set arrival rate for the scenario.
+  SchedulerConfig scheduler;
+  PowerMonitorConfig monitor;
+  // rO: extra servers emulated per Eq. (16) by scaling budgets down.
+  double over_provision_ratio = 0.25;
+  bool scale_experiment_budget = true;
+  // §4.2 scales both groups (to compare controlled vs. uncontrolled at the
+  // same rO); §4.4 scales only the experiment group.
+  bool scale_control_budget = true;
+  bool enable_ampere = true;
+  AmpereControllerConfig controller;
+  SimTime warmup = SimTime::Hours(2);
+  SimTime duration = SimTime::Hours(24);
+};
+
+struct ExperimentResult {
+  GroupReport experiment;
+  GroupReport control;
+  double throughput_ratio = 0.0;  // rT = thruE / thruC.
+  double gain_tpw = 0.0;          // Eq. (18).
+  uint64_t jobs_submitted = 0;
+  uint64_t jobs_completed = 0;
+  size_t final_queue_length = 0;
+  bool breaker_tripped = false;
+};
+
+// Calibration helper: the arrival rate (jobs/minute) that drives the
+// topology to `target_normalized_power` — power relative to the
+// rO-scaled budget — in steady state (Little's law on the duration model and
+// the demand mix, inverted through the power model). Benches use this to set
+// up the paper's "light"/"heavy" workload levels.
+double ArrivalRateForNormalizedPower(const TopologyConfig& topology,
+                                     const BatchWorkloadParams& workload,
+                                     double target_normalized_power,
+                                     double over_provision_ratio);
+
+class ControlledExperiment {
+ public:
+  static constexpr const char* kExperimentGroup = "experiment";
+  static constexpr const char* kControlGroup = "control";
+
+  explicit ControlledExperiment(const ExperimentConfig& config);
+
+  // Closed-loop run: warmup, then `duration` of measurement.
+  ExperimentResult Run();
+
+  // Fig. 5 calibration. f(u) in the controller's model is the power
+  // reduction one interval of *freshly applied* freezing buys relative to
+  // not freezing (the controller re-decides every minute, so this is the
+  // operative quantity; after several constant-u minutes the groups reach a
+  // new equilibrium and the per-minute difference washes out). The
+  // procedure therefore cycles:
+  //   [rest: all unfrozen, groups re-equalize] ->
+  //   [hold: freeze u*n top-power servers, sample minutes 1..hold-1] -> ...
+  // through `u_levels`, recording per-minute samples
+  //   f = (dP_control - dP_experiment) / budget.
+  // `selection` picks which servers each hold freezes (the paper always
+  // freezes highest-power; alternatives feed the design-choice ablation).
+  std::vector<FuSample> RunFuCalibration(
+      std::span<const double> u_levels, SimTime hold, SimTime rest,
+      SimTime total,
+      FreezeSelection selection = FreezeSelection::kHighestPower);
+
+  // --- Component access for custom benches and tests ---
+  Simulation& sim() { return sim_; }
+  DataCenter& dc() { return dc_; }
+  Scheduler& scheduler() { return scheduler_; }
+  PowerMonitor& monitor() { return monitor_; }
+  TimeSeriesDb& db() { return db_; }
+  AmpereController* controller() { return controller_.get(); }
+  BatchWorkload& workload() { return *workload_; }
+  const std::vector<ServerId>& experiment_servers() const {
+    return experiment_servers_;
+  }
+  const std::vector<ServerId>& control_servers() const {
+    return control_servers_;
+  }
+  double experiment_budget_watts() const { return experiment_budget_watts_; }
+  double control_budget_watts() const { return control_budget_watts_; }
+  const ExperimentConfig& config() const { return config_; }
+
+ private:
+  void SplitGroups();
+  void StartBaseline();  // Workload + monitor.
+  // Installs the per-minute metrics recorder for [from, to).
+  void InstallMetricsRecorder(SimTime from, SimTime to);
+
+  ExperimentConfig config_;
+  Rng rng_;
+  Simulation sim_;
+  DataCenter dc_;
+  TimeSeriesDb db_;
+  Scheduler scheduler_;
+  PowerMonitor monitor_;
+  JobIdAllocator ids_;
+  std::unique_ptr<BatchWorkload> workload_;
+  std::unique_ptr<AmpereController> controller_;
+
+  std::vector<ServerId> experiment_servers_;
+  std::vector<ServerId> control_servers_;
+  double experiment_budget_watts_ = 0.0;
+  double control_budget_watts_ = 0.0;
+
+  // Metrics state.
+  GroupReport experiment_report_;
+  GroupReport control_report_;
+  uint64_t window_thru_experiment_ = 0;
+  uint64_t window_thru_control_ = 0;
+  uint64_t minute_thru_experiment_ = 0;
+  uint64_t minute_thru_control_ = 0;
+  bool counting_ = false;
+};
+
+}  // namespace ampere
+
+#endif  // SRC_CORE_EXPERIMENT_H_

@@ -1,0 +1,87 @@
+// Multi-row fleet assembly for observational studies (Figs. 1-2) and
+// multi-domain control (the production deployment shape).
+//
+// §2.2: "different rows mainly focus on running different sets of products",
+// which makes cross-row power weakly correlated and unbalanced. Fleet builds
+// one data center with one scheduler and one row-affine workload generator
+// per row, each with its own load level, diurnal phase, and wander, so the
+// fleet reproduces the spatial and temporal variation the paper reports.
+
+#ifndef SRC_CORE_FLEET_H_
+#define SRC_CORE_FLEET_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cluster/datacenter.h"
+#include "src/common/rng.h"
+#include "src/sched/scheduler.h"
+#include "src/sim/simulation.h"
+#include "src/telemetry/power_monitor.h"
+#include "src/telemetry/timeseries_db.h"
+#include "src/workload/batch_workload.h"
+
+namespace ampere {
+
+// Per-row "product" workload description.
+struct RowProduct {
+  // Steady-state row power as a fraction of the row's rated budget.
+  double target_power = 0.80;
+  double peak_hour = 14.0;          // Diurnal phase.
+  double diurnal_amplitude = 0.15;
+  double ar_sigma = 0.02;           // Slow wander strength.
+  double burst_prob = 0.01;         // Minute-scale spike likelihood.
+  double burst_factor = 1.6;
+};
+
+struct FleetConfig {
+  uint64_t seed = 42;
+  TopologyConfig topology;          // topology.num_rows rows.
+  SchedulerConfig scheduler;
+  PowerMonitorConfig monitor;
+  // One entry per row; if shorter than num_rows, the last entry repeats.
+  std::vector<RowProduct> products;
+  // Additional fleet-wide demand with NO row affinity (expressed as the
+  // per-row power it adds on average, as a fraction of rated budget). This
+  // is the steerable share: schedulers and Ampere can move it between rows,
+  // which purely row-pinned products do not allow. 0 disables it.
+  RowProduct flexible;
+  double flexible_target_power = 0.0;
+  DurationModelParams durations;
+};
+
+class Fleet {
+ public:
+  explicit Fleet(const FleetConfig& config);
+
+  // Starts all generators and the monitor, then runs until `until`.
+  void Run(SimTime until);
+
+  Simulation& sim() { return sim_; }
+  DataCenter& dc() { return dc_; }
+  Scheduler& scheduler() { return scheduler_; }
+  PowerMonitor& monitor() { return monitor_; }
+  TimeSeriesDb& db() { return db_; }
+
+  // The arrival rate assigned to a row's product generator.
+  double row_rate_per_min(RowId row) const {
+    return row_rates_[row.index()];
+  }
+
+ private:
+  FleetConfig config_;
+  Rng rng_;
+  Simulation sim_;
+  DataCenter dc_;
+  TimeSeriesDb db_;
+  Scheduler scheduler_;
+  PowerMonitor monitor_;
+  JobIdAllocator ids_;
+  std::vector<std::unique_ptr<BatchWorkload>> workloads_;
+  std::vector<double> row_rates_;
+  bool started_ = false;
+};
+
+}  // namespace ampere
+
+#endif  // SRC_CORE_FLEET_H_

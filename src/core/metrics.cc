@@ -1,0 +1,33 @@
+#include "src/core/metrics.h"
+
+#include <algorithm>
+
+namespace ampere {
+
+void GroupReport::Finalize() {
+  u_mean = 0.0;
+  u_max = 0.0;
+  p_mean = 0.0;
+  p_max = 0.0;
+  violations = 0;
+  if (minutes.empty()) {
+    return;
+  }
+  for (const MinutePoint& m : minutes) {
+    u_mean += m.freeze_ratio;
+    u_max = std::max(u_max, m.freeze_ratio);
+    p_mean += m.normalized_power;
+    p_max = std::max(p_max, m.normalized_power);
+    if (m.violation) {
+      ++violations;
+    }
+  }
+  u_mean /= static_cast<double>(minutes.size());
+  p_mean /= static_cast<double>(minutes.size());
+}
+
+double GainInTpw(double throughput_ratio, double over_provision_ratio) {
+  return throughput_ratio * (1.0 + over_provision_ratio) - 1.0;
+}
+
+}  // namespace ampere

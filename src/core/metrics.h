@@ -1,0 +1,49 @@
+// Evaluation metrics: per-minute records, group summaries, and the TPW
+// family of capacity metrics (§4.1.3).
+
+#ifndef SRC_CORE_METRICS_H_
+#define SRC_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace ampere {
+
+struct MinutePoint {
+  SimTime time;
+  double power_watts = 0.0;
+  double normalized_power = 0.0;  // power / budget.
+  double freeze_ratio = 0.0;      // u_t in effect this minute.
+  bool violation = false;         // normalized_power > 1.0 at the sample.
+  uint32_t placements = 0;        // Jobs accepted this minute (Fig. 12).
+};
+
+// Per-group result of one experiment window, the quantities of Table 2.
+struct GroupReport {
+  std::string name;
+  double budget_watts = 0.0;
+  std::vector<MinutePoint> minutes;
+  uint64_t throughput_jobs = 0;  // Jobs accepted during the window (§4.1.3).
+
+  // Summary statistics over `minutes` (populated by Finalize).
+  double u_mean = 0.0;
+  double u_max = 0.0;
+  double p_mean = 0.0;
+  double p_max = 0.0;
+  int violations = 0;
+
+  void Finalize();
+};
+
+// Throughput-per-provisioned-watt bookkeeping (Eqs. 17-18).
+//
+// TPW = throughput / (P_M * T); the gain from over-provisioning at ratio rO
+// with measured throughput ratio rT is G_TPW = rT * (1 + rO) - 1.
+double GainInTpw(double throughput_ratio, double over_provision_ratio);
+
+}  // namespace ampere
+
+#endif  // SRC_CORE_METRICS_H_

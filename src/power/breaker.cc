@@ -1,0 +1,35 @@
+#include "src/power/breaker.h"
+
+namespace ampere {
+
+bool CircuitBreaker::Observe(SimTime now, double power_watts,
+                             double budget_watts) {
+  if (tripped_) {
+    return false;
+  }
+  bool over = power_watts > params_.tolerance * budget_watts;
+  if (!over) {
+    overloaded_ = false;
+    return false;
+  }
+  if (!overloaded_) {
+    overloaded_ = true;
+    overload_since_ = now;
+    return false;
+  }
+  if (now - overload_since_ >= params_.trip_delay) {
+    tripped_ = true;
+    tripped_at_ = now;
+    return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::Reset() {
+  overloaded_ = false;
+  tripped_ = false;
+  overload_since_ = SimTime();
+  tripped_at_ = SimTime();
+}
+
+}  // namespace ampere

@@ -1,0 +1,49 @@
+// PDU circuit-breaker model.
+//
+// The row-level power budget is physically enforced by breakers in each PDU
+// (§2.1). A breaker does not trip the instant the budget is crossed — it has
+// a thermal tolerance — but sustained overload cuts power to hundreds of
+// servers at once, the catastrophic outcome all of this machinery exists to
+// avoid. We model a trip as continuous overload above a tolerance multiplier
+// for longer than a delay.
+
+#ifndef SRC_POWER_BREAKER_H_
+#define SRC_POWER_BREAKER_H_
+
+#include "src/common/time.h"
+
+namespace ampere {
+
+struct BreakerParams {
+  // Overload tolerance: draws below tolerance * budget never trip.
+  double tolerance = 1.10;
+  // Continuous time above tolerance before the breaker opens.
+  SimTime trip_delay = SimTime::Seconds(30);
+};
+
+class CircuitBreaker {
+ public:
+  CircuitBreaker() : CircuitBreaker(BreakerParams{}) {}
+  explicit CircuitBreaker(const BreakerParams& params) : params_(params) {}
+
+  // Feeds one observation of instantaneous draw. Observations must be
+  // non-decreasing in time. Returns true if this observation tripped the
+  // breaker.
+  bool Observe(SimTime now, double power_watts, double budget_watts);
+
+  bool tripped() const { return tripped_; }
+  SimTime tripped_at() const { return tripped_at_; }
+
+  void Reset();
+
+ private:
+  BreakerParams params_;
+  bool overloaded_ = false;
+  SimTime overload_since_;
+  bool tripped_ = false;
+  SimTime tripped_at_;
+};
+
+}  // namespace ampere
+
+#endif  // SRC_POWER_BREAKER_H_

@@ -1,0 +1,47 @@
+#include "src/power/dvfs.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace ampere {
+
+DvfsLadder::DvfsLadder() : DvfsLadder({0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {}
+
+DvfsLadder::DvfsLadder(std::vector<double> multipliers)
+    : steps_(std::move(multipliers)) {
+  AMPERE_CHECK(!steps_.empty());
+  AMPERE_CHECK(std::is_sorted(steps_.begin(), steps_.end()));
+  AMPERE_CHECK(steps_.front() > 0.0);
+  AMPERE_CHECK(steps_.back() == 1.0) << "ladder must include the uncapped step";
+}
+
+double DvfsLadder::ClampDown(double f) const {
+  // Largest step <= f; min step if f is below the whole ladder.
+  auto it = std::upper_bound(steps_.begin(), steps_.end(), f);
+  if (it == steps_.begin()) {
+    return steps_.front();
+  }
+  return *(it - 1);
+}
+
+CapDecision ComputeRowCap(double idle_sum_watts, double dynamic_sum_watts,
+                          double budget_watts, const DvfsLadder& ladder) {
+  AMPERE_CHECK(idle_sum_watts >= 0.0);
+  AMPERE_CHECK(dynamic_sum_watts >= 0.0);
+  CapDecision decision;
+  if (idle_sum_watts + dynamic_sum_watts <= budget_watts) {
+    return decision;  // Under budget, no throttle.
+  }
+  decision.engaged = true;
+  if (dynamic_sum_watts <= 0.0 || budget_watts <= idle_sum_watts) {
+    // Idle floor alone violates the budget; cap as hard as hardware allows.
+    decision.throttle = ladder.min_multiplier();
+    return decision;
+  }
+  double needed = (budget_watts - idle_sum_watts) / dynamic_sum_watts;
+  decision.throttle = ladder.ClampDown(needed);
+  return decision;
+}
+
+}  // namespace ampere

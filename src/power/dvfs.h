@@ -1,0 +1,53 @@
+// DVFS frequency ladder and RAPL-style row power capping.
+//
+// The paper keeps hardware power capping enabled as a safety net (§2.1,
+// §3.5): when a row exceeds its PDU budget, RAPL reacts within < 1 ms and
+// slows servers via DVFS, protecting the circuit breaker but disturbing job
+// performance (Fig. 11). We model the ladder of available frequency
+// multipliers and a row-level capper that picks a uniform throttle for the
+// row's servers so total draw falls back under budget.
+
+#ifndef SRC_POWER_DVFS_H_
+#define SRC_POWER_DVFS_H_
+
+#include <vector>
+
+namespace ampere {
+
+// The discrete frequency multipliers a server supports, e.g. 1.2 GHz .. 2.4
+// GHz expressed as fractions of nominal. Sorted ascending; the last entry
+// must be 1.0 (uncapped).
+class DvfsLadder {
+ public:
+  // Default ladder: 50 % .. 100 % in 10-point steps.
+  DvfsLadder();
+  explicit DvfsLadder(std::vector<double> multipliers);
+
+  // Largest available multiplier <= `f` (rounds *down* so a cap is honored);
+  // returns the minimum step if `f` is below all steps.
+  double ClampDown(double f) const;
+
+  double min_multiplier() const { return steps_.front(); }
+  const std::vector<double>& steps() const { return steps_; }
+
+ private:
+  std::vector<double> steps_;
+};
+
+// Decision produced by the row capper for one enforcement pass.
+struct CapDecision {
+  bool engaged = false;      // True if any throttling is required.
+  double throttle = 1.0;     // Uniform frequency multiplier for the row.
+};
+
+// Row-level RAPL model. Given the row's aggregate idle power and aggregate
+// dynamic (above-idle, at-current-frequency-1.0) power, picks the largest
+// ladder step t such that idle_sum + dynamic_sum * t <= budget. If even the
+// minimum step overshoots (idle floor too high), returns the minimum step —
+// hardware cannot cap below idle.
+CapDecision ComputeRowCap(double idle_sum_watts, double dynamic_sum_watts,
+                          double budget_watts, const DvfsLadder& ladder);
+
+}  // namespace ampere
+
+#endif  // SRC_POWER_DVFS_H_

@@ -1,0 +1,32 @@
+#include "src/sched/resource_manager.h"
+
+#include "src/common/check.h"
+
+namespace ampere {
+
+ResourceManager::ResourceManager(DataCenter* dc) : dc_(dc) {
+  AMPERE_CHECK(dc != nullptr);
+}
+
+void ResourceManager::Freeze(ServerId id) {
+  ++freeze_calls_;
+  dc_->SetFrozen(id, true);
+}
+
+void ResourceManager::Unfreeze(ServerId id) {
+  ++unfreeze_calls_;
+  dc_->SetFrozen(id, false);
+}
+
+bool ResourceManager::ClaimContainer(ServerId id, const TaskSpec& spec) {
+  if (!IsCandidate(id)) {
+    return false;
+  }
+  if (!dc_->PlaceTask(id, spec)) {
+    return false;
+  }
+  ++containers_claimed_;
+  return true;
+}
+
+}  // namespace ampere

@@ -1,0 +1,198 @@
+#include "src/sched/scheduler.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace ampere {
+
+Scheduler::Scheduler(DataCenter* dc, const SchedulerConfig& config, Rng rng)
+    : dc_(dc), rm_(dc), config_(config), rng_(rng),
+      row_placements_(static_cast<size_t>(dc->num_rows()), 0) {
+  AMPERE_CHECK(dc != nullptr);
+  AMPERE_CHECK(config.sample_attempts >= 1);
+  AMPERE_CHECK(config.least_loaded_choices >= 1);
+  dc_->SetTaskCompletionListener(
+      [this](ServerId server, JobId job) { OnTaskCompleted(server, job); });
+}
+
+void Scheduler::Submit(const JobSpec& job) {
+  ++jobs_submitted_;
+  if (!TryPlace(job)) {
+    pending_.push_back(job);
+  }
+}
+
+void Scheduler::Freeze(ServerId id) { rm_.Freeze(id); }
+
+void Scheduler::Unfreeze(ServerId id) {
+  rm_.Unfreeze(id);
+  // A server just returned to the candidate list; queued jobs may now fit.
+  DrainQueue();
+}
+
+bool Scheduler::Eligible(const Server& server, const JobSpec& job) const {
+  // The low level's candidate list plus the job's own constraints.
+  if (!rm_.CanHost(server.id(), job.demand)) {
+    return false;
+  }
+  return !job.row_affinity.has_value() || server.row() == *job.row_affinity;
+}
+
+ServerId Scheduler::ScanFrom(size_t start, const JobSpec& job) const {
+  size_t n = static_cast<size_t>(dc_->num_servers());
+  for (size_t i = 0; i < n; ++i) {
+    ServerId id(static_cast<int32_t>((start + i) % n));
+    if (Eligible(dc_->server(id), job)) {
+      return id;
+    }
+  }
+  return ServerId();
+}
+
+ServerId Scheduler::PickRandomFit(const JobSpec& job) {
+  int64_t n = dc_->num_servers();
+  for (int attempt = 0; attempt < config_.sample_attempts; ++attempt) {
+    ServerId id(static_cast<int32_t>(rng_.UniformInt(0, n - 1)));
+    if (Eligible(dc_->server(id), job)) {
+      return id;
+    }
+  }
+  // Random probing failed (cluster nearly full or mostly frozen); fall back
+  // to a scan from a random origin so placement stays work-conserving
+  // without biasing toward low server ids.
+  return ScanFrom(static_cast<size_t>(rng_.UniformInt(0, n - 1)), job);
+}
+
+ServerId Scheduler::PickLeastLoaded(const JobSpec& job) {
+  int64_t n = dc_->num_servers();
+  ServerId best;
+  double best_util = 2.0;
+  int found = 0;
+  // Sample-with-replacement probing: examine up to `choices` eligible
+  // candidates drawn uniformly, keep the least CPU-utilized.
+  for (int attempt = 0;
+       attempt < config_.sample_attempts * config_.least_loaded_choices &&
+       found < config_.least_loaded_choices;
+       ++attempt) {
+    ServerId id(static_cast<int32_t>(rng_.UniformInt(0, n - 1)));
+    const Server& server = dc_->server(id);
+    if (!Eligible(server, job)) {
+      continue;
+    }
+    ++found;
+    if (server.utilization() < best_util) {
+      best_util = server.utilization();
+      best = id;
+    }
+  }
+  if (best.valid()) {
+    return best;
+  }
+  return ScanFrom(static_cast<size_t>(rng_.UniformInt(0, n - 1)), job);
+}
+
+ServerId Scheduler::PickRoundRobin(const JobSpec& job) {
+  size_t n = static_cast<size_t>(dc_->num_servers());
+  ServerId id = ScanFrom(rotate_cursor_, job);
+  if (id.valid()) {
+    rotate_cursor_ = (id.index() + 1) % n;
+  }
+  return id;
+}
+
+ServerId Scheduler::PickRowOrdered(const JobSpec& job, bool hottest_first) {
+  // Rank rows by power, skipping rows already above the power ceiling;
+  // place on a random eligible server of the best admissible row. If every
+  // row is above the ceiling (or nothing fits), fall back to random-fit so
+  // the policy stays work-conserving.
+  std::vector<RowId> rows;
+  for (int32_t r = 0; r < dc_->num_rows(); ++r) {
+    rows.push_back(RowId(r));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [this, hottest_first](RowId a, RowId b) {
+              double pa = dc_->row_power_watts(a);
+              double pb = dc_->row_power_watts(b);
+              return hottest_first ? pa > pb : pa < pb;
+            });
+  for (RowId row : rows) {
+    if (job.row_affinity.has_value() && row != *job.row_affinity) {
+      continue;
+    }
+    if (dc_->row_power_watts(row) >
+        config_.concentrate_power_ceiling * dc_->row_budget_watts(row)) {
+      continue;
+    }
+    auto servers = dc_->servers_in_row(row);
+    auto n = static_cast<int64_t>(servers.size());
+    for (int attempt = 0; attempt < config_.sample_attempts; ++attempt) {
+      ServerId id = servers[static_cast<size_t>(rng_.UniformInt(0, n - 1))];
+      if (Eligible(dc_->server(id), job)) {
+        return id;
+      }
+    }
+  }
+  return PickRandomFit(job);
+}
+
+ServerId Scheduler::PickServer(const JobSpec& job) {
+  switch (config_.policy) {
+    case PlacementPolicy::kRandomFit:
+      return PickRandomFit(job);
+    case PlacementPolicy::kLeastLoaded:
+      return PickLeastLoaded(job);
+    case PlacementPolicy::kRoundRobin:
+      return PickRoundRobin(job);
+    case PlacementPolicy::kConcentrateRows:
+      return PickRowOrdered(job, /*hottest_first=*/true);
+    case PlacementPolicy::kPowerAwareSpread:
+      return PickRowOrdered(job, /*hottest_first=*/false);
+  }
+  return ServerId();
+}
+
+bool Scheduler::TryPlace(const JobSpec& job) {
+  ServerId id = PickServer(job);
+  if (!id.valid()) {
+    return false;
+  }
+  TaskSpec spec{job.id, job.demand, job.duration};
+  bool placed = rm_.ClaimContainer(id, spec);
+  AMPERE_CHECK(placed) << "picked server could not host the container";
+  ++jobs_placed_;
+  ++row_placements_[dc_->row_of(id).index()];
+  if (placement_listener_) {
+    placement_listener_(job, id);
+  }
+  return true;
+}
+
+void Scheduler::DrainQueue() {
+  size_t examined = 0;
+  size_t failures = 0;
+  for (auto it = pending_.begin();
+       it != pending_.end() && examined < config_.queue_scan_limit &&
+       failures < config_.drain_failure_limit;
+       ++examined) {
+    if (TryPlace(*it)) {
+      it = pending_.erase(it);
+    } else {
+      ++failures;
+      ++it;
+    }
+  }
+}
+
+void Scheduler::OnTaskCompleted(ServerId server, JobId job) {
+  // Resident service tasks carry negative ids and are not scheduler jobs.
+  if (job.value() >= 0) {
+    ++jobs_completed_;
+  }
+  if (completion_listener_) {
+    completion_listener_(server, job);
+  }
+  DrainQueue();
+}
+
+}  // namespace ampere

@@ -1,0 +1,135 @@
+// Two-level job scheduler with the paper's freeze/unfreeze interface.
+//
+// §2.1: the production scheduler is Omega-like and two-level — the low level
+// tracks resource status, bundles resources into containers and maintains a
+// candidate list; the upper level decides placement with an
+// application-specific policy. Ampere interacts with it through exactly two
+// operations: Freeze(server) removes a server from the candidate list
+// (running tasks are untouched), Unfreeze(server) restores it. That minimal
+// surface is the paper's central design claim, so this class exposes nothing
+// else to the controller.
+//
+// Placement is statistical: randomized policies spread jobs over the
+// candidate list, so "the number of jobs scheduled to a row is roughly
+// proportional to the number of available servers of the row" (§3.4) — the
+// property Ampere's indirect control relies on.
+
+#ifndef SRC_SCHED_SCHEDULER_H_
+#define SRC_SCHED_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/cluster/datacenter.h"
+#include "src/common/rng.h"
+#include "src/sched/resource_manager.h"
+#include "src/workload/job.h"
+
+namespace ampere {
+
+enum class PlacementPolicy : int {
+  // Random eligible server (power-of-d probing with scan fallback).
+  kRandomFit = 0,
+  // Least CPU-utilized among d random eligible candidates.
+  kLeastLoaded = 1,
+  // Rotating pointer over the server list.
+  kRoundRobin = 2,
+  // Extension (paper §6 future work): concentrate load on already-busy rows
+  // (up to a power ceiling) so cross-row power variance grows, leaving cold
+  // rows with large contiguous unused power for Ampere to cultivate.
+  kConcentrateRows = 3,
+  // Baseline comparator (§5.2): the "straightforward design" the paper
+  // rejects — make the scheduler itself power-aware by preferring the
+  // coldest row and refusing rows above the power ceiling. Protects like
+  // Ampere but requires the power feed inside every placement decision.
+  kPowerAwareSpread = 4,
+};
+
+struct SchedulerConfig {
+  PlacementPolicy policy = PlacementPolicy::kRandomFit;
+  // Random probes before falling back to a full scan.
+  int sample_attempts = 16;
+  // Candidates examined by kLeastLoaded.
+  int least_loaded_choices = 8;
+  // Pending-queue entries examined per drain pass (bounds head-of-line
+  // blocking without unbounded work per event).
+  size_t queue_scan_limit = 64;
+  // A drain pass also stops after this many failed placement attempts: when
+  // the cluster is saturated, almost every queued job fails with a full
+  // scan each, and one completion frees room for at most a few jobs anyway.
+  size_t drain_failure_limit = 2;
+  // kConcentrateRows stops packing a row once its power exceeds this
+  // fraction of the row budget.
+  double concentrate_power_ceiling = 0.92;
+};
+
+class Scheduler : public JobSink {
+ public:
+  // `dc` must outlive the scheduler. The scheduler installs itself as the
+  // data center's task-completion listener.
+  Scheduler(DataCenter* dc, const SchedulerConfig& config, Rng rng);
+
+  // --- Job intake (upper level) ---
+  void Submit(const JobSpec& job) override;
+
+  // --- The power-control interface (the paper's two APIs) ---
+  // Thin passthroughs to the low level (ResourceManager), which owns them;
+  // Unfreeze additionally re-drains the pending queue since capacity
+  // returned to the candidate list.
+  void Freeze(ServerId id);
+  void Unfreeze(ServerId id);
+  bool IsFrozen(ServerId id) const { return rm_.IsFrozen(id); }
+
+  // The low level, for callers that want the §2.1 split explicitly.
+  ResourceManager& resource_manager() { return rm_; }
+
+  // --- Introspection / metrics ---
+  uint64_t jobs_submitted() const { return jobs_submitted_; }
+  uint64_t jobs_placed() const { return jobs_placed_; }
+  uint64_t jobs_completed() const { return jobs_completed_; }
+  size_t queue_length() const { return pending_.size(); }
+  uint64_t placements_in_row(RowId row) const {
+    return row_placements_[row.index()];
+  }
+
+  // Invoked on every successful placement with (job, server).
+  void SetPlacementListener(std::function<void(const JobSpec&, ServerId)> cb) {
+    placement_listener_ = std::move(cb);
+  }
+  // Invoked on every task completion with (server, job).
+  void SetCompletionListener(std::function<void(ServerId, JobId)> cb) {
+    completion_listener_ = std::move(cb);
+  }
+
+ private:
+  bool Eligible(const Server& server, const JobSpec& job) const;
+  // Returns the chosen server or an invalid id.
+  ServerId PickServer(const JobSpec& job);
+  ServerId PickRandomFit(const JobSpec& job);
+  ServerId PickLeastLoaded(const JobSpec& job);
+  ServerId PickRoundRobin(const JobSpec& job);
+  ServerId PickRowOrdered(const JobSpec& job, bool hottest_first);
+  ServerId ScanFrom(size_t start, const JobSpec& job) const;
+  bool TryPlace(const JobSpec& job);
+  void DrainQueue();
+  void OnTaskCompleted(ServerId server, JobId job);
+
+  DataCenter* dc_;
+  ResourceManager rm_;
+  SchedulerConfig config_;
+  Rng rng_;
+  std::deque<JobSpec> pending_;
+  size_t rotate_cursor_ = 0;
+  uint64_t jobs_submitted_ = 0;
+  uint64_t jobs_placed_ = 0;
+  uint64_t jobs_completed_ = 0;
+  std::vector<uint64_t> row_placements_;
+  std::function<void(const JobSpec&, ServerId)> placement_listener_;
+  std::function<void(ServerId, JobId)> completion_listener_;
+};
+
+}  // namespace ampere
+
+#endif  // SRC_SCHED_SCHEDULER_H_

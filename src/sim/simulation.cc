@@ -1,0 +1,104 @@
+#include "src/sim/simulation.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace ampere {
+
+struct Simulation::EventHandle::State {
+  Callback callback;
+  bool cancelled = false;
+  bool fired = false;
+};
+
+void Simulation::EventHandle::Cancel() {
+  if (auto state = state_.lock()) {
+    state->cancelled = true;
+  }
+}
+
+bool Simulation::EventHandle::pending() const {
+  auto state = state_.lock();
+  return state != nullptr && !state->cancelled && !state->fired;
+}
+
+Simulation::EventHandle Simulation::ScheduleAt(SimTime at, Callback callback) {
+  AMPERE_CHECK(at >= now_) << "scheduling into the past: at="
+                           << at.ToString() << " now=" << now_.ToString();
+  auto state = std::make_shared<EventHandle::State>();
+  state->callback = std::move(callback);
+  queue_.push(QueueEntry{at, next_seq_++, state});
+  ++live_events_;
+  return EventHandle(std::move(state));
+}
+
+Simulation::EventHandle Simulation::ScheduleAfter(SimTime delay,
+                                                  Callback callback) {
+  AMPERE_CHECK(delay >= SimTime()) << "negative delay";
+  return ScheduleAt(now_ + delay, std::move(callback));
+}
+
+void Simulation::SchedulePeriodic(SimTime start, SimTime interval,
+                                  std::function<void(SimTime)> callback) {
+  AMPERE_CHECK(interval > SimTime()) << "non-positive period";
+  // The self-rescheduling closure owns the user callback; each firing queues
+  // the next one, so the task survives indefinitely.
+  auto cb = std::make_shared<std::function<void(SimTime)>>(std::move(callback));
+  struct Rearm {
+    Simulation* sim;
+    SimTime interval;
+    std::shared_ptr<std::function<void(SimTime)>> cb;
+    void Fire(SimTime nominal) const {
+      (*cb)(nominal);
+      Rearm next = *this;
+      sim->ScheduleAt(nominal + interval,
+                      [next, at = nominal + interval] { next.Fire(at); });
+    }
+  };
+  Rearm rearm{this, interval, std::move(cb)};
+  ScheduleAt(start, [rearm, start] { rearm.Fire(start); });
+}
+
+bool Simulation::Step() {
+  while (!queue_.empty()) {
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    --live_events_;
+    if (entry.state->cancelled) {
+      continue;
+    }
+    AMPERE_CHECK(entry.time >= now_);
+    now_ = entry.time;
+    entry.state->fired = true;
+    ++processed_events_;
+    entry.state->callback();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::RunUntil(SimTime until) {
+  AMPERE_CHECK(until >= now_);
+  while (!queue_.empty()) {
+    // Discard cancelled entries first: Step() would skip past them to the
+    // next live event, which may lie beyond the boundary.
+    if (queue_.top().state->cancelled) {
+      queue_.pop();
+      --live_events_;
+      continue;
+    }
+    if (queue_.top().time > until) {
+      break;
+    }
+    Step();
+  }
+  now_ = until;
+}
+
+void Simulation::RunToCompletion() {
+  while (Step()) {
+  }
+}
+
+}  // namespace ampere

@@ -1,0 +1,100 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event core drives the data-center model: job arrivals
+// and completions are point events, while the power monitor and the Ampere
+// controller are periodic tasks on a one-minute cadence. Completion events
+// are cancellable because DVFS power capping changes server speed, which
+// requires rescheduling every affected task's completion.
+
+#ifndef SRC_SIM_SIMULATION_H_
+#define SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace ampere {
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  // A cancellable reference to a scheduled event. Default-constructed handles
+  // are inert. Cancelling an already-fired or already-cancelled event is a
+  // no-op, so owners can cancel unconditionally in destructors.
+  class EventHandle {
+   public:
+    EventHandle() = default;
+
+    void Cancel();
+    // True if the event is still queued and will fire.
+    bool pending() const;
+
+   private:
+    friend class Simulation;
+    struct State;
+    explicit EventHandle(std::shared_ptr<State> state)
+        : state_(std::move(state)) {}
+    std::weak_ptr<State> state_;
+  };
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+  size_t pending_events() const { return live_events_; }
+  uint64_t processed_events() const { return processed_events_; }
+
+  // Schedules `callback` at absolute time `at` (>= now()).
+  EventHandle ScheduleAt(SimTime at, Callback callback);
+
+  // Schedules `callback` `delay` after the current time (delay >= 0).
+  EventHandle ScheduleAfter(SimTime delay, Callback callback);
+
+  // Schedules `callback(fire_time)` every `interval` starting at `start`,
+  // forever (periodic tasks run for the life of the simulation). The callback
+  // receives the nominal fire time.
+  void SchedulePeriodic(SimTime start, SimTime interval,
+                        std::function<void(SimTime)> callback);
+
+  // Executes the next event, advancing the clock to it. Returns false when
+  // the queue is empty.
+  bool Step();
+
+  // Runs every event with fire time <= `until`, then sets the clock to
+  // `until` (so telemetry windows close deterministically).
+  void RunUntil(SimTime until);
+
+  // Runs to queue exhaustion. Periodic tasks never exhaust; use RunUntil.
+  void RunToCompletion();
+
+ private:
+  struct QueueEntry {
+    SimTime time;
+    uint64_t seq;  // FIFO among same-time events.
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct EntryLater {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_;
+  uint64_t next_seq_ = 0;
+  size_t live_events_ = 0;
+  uint64_t processed_events_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, EntryLater> queue_;
+};
+
+}  // namespace ampere
+
+#endif  // SRC_SIM_SIMULATION_H_

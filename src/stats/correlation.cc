@@ -1,0 +1,46 @@
+#include "src/stats/correlation.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace ampere {
+
+double PearsonCorrelation(std::span<const double> x,
+                          std::span<const double> y) {
+  AMPERE_CHECK(x.size() == y.size());
+  AMPERE_CHECK(x.size() >= 2);
+  double n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  double mx = sx / n;
+  double my = sy / n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double dx = x[i] - mx;
+    double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> PairwiseCorrelations(
+    std::span<const std::vector<double>> series) {
+  std::vector<double> out;
+  for (size_t i = 0; i < series.size(); ++i) {
+    for (size_t j = i + 1; j < series.size(); ++j) {
+      out.push_back(PearsonCorrelation(series[i], series[j]));
+    }
+  }
+  return out;
+}
+
+}  // namespace ampere

@@ -1,0 +1,27 @@
+// Correlation measures.
+//
+// §2.2 of the paper reports that cross-row power traces are weakly correlated
+// (80 % of pairwise coefficients below 0.33), which is the statistical slack
+// Ampere exploits; §4.1.2 validates the controlled-experiment split with a
+// 0.946 correlation between group power traces.
+
+#ifndef SRC_STATS_CORRELATION_H_
+#define SRC_STATS_CORRELATION_H_
+
+#include <span>
+#include <vector>
+
+namespace ampere {
+
+// Pearson correlation coefficient of two equal-length series.
+// Returns 0 when either series is constant. Requires >= 2 points.
+double PearsonCorrelation(std::span<const double> x,
+                          std::span<const double> y);
+
+// All pairwise Pearson coefficients among `series` (upper triangle, i < j).
+std::vector<double> PairwiseCorrelations(
+    std::span<const std::vector<double>> series);
+
+}  // namespace ampere
+
+#endif  // SRC_STATS_CORRELATION_H_

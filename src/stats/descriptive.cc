@@ -1,0 +1,47 @@
+#include "src/stats/descriptive.h"
+
+#include <cmath>
+
+namespace ampere {
+
+Summary Summarize(std::span<const double> values) {
+  OnlineStats acc;
+  for (double v : values) {
+    acc.Add(v);
+  }
+  Summary s;
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.variance = acc.variance();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.sum = acc.sum();
+  return s;
+}
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace ampere

@@ -1,0 +1,50 @@
+// Descriptive statistics: batch summaries and Welford online accumulation.
+
+#ifndef SRC_STATS_DESCRIPTIVE_H_
+#define SRC_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <span>
+
+namespace ampere {
+
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // Sample variance (n - 1 denominator).
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+// Computes a one-pass summary of `values`. Empty input yields a
+// zero-initialized Summary with count == 0.
+Summary Summarize(std::span<const double> values);
+
+// Numerically stable online mean/variance accumulator (Welford).
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Sample variance; zero until two observations arrive.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace ampere
+
+#endif  // SRC_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,70 @@
+#include "src/stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace ampere {
+
+Histogram::Histogram(double lo, double hi, int num_bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / num_bins),
+      bins_(static_cast<size_t>(num_bins), 0) {
+  AMPERE_CHECK(hi > lo);
+  AMPERE_CHECK(num_bins >= 1);
+}
+
+void Histogram::Add(double x) {
+  ++count_;
+  sum_ += x;
+  max_seen_ = count_ == 1 ? x : std::max(max_seen_, x);
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<size_t>((x - lo_) / bin_width_);
+  if (bin >= bins_.size()) {
+    bin = bins_.size() - 1;  // Floating-point edge at hi_.
+  }
+  ++bins_[bin];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  AMPERE_CHECK(other.lo_ == lo_ && other.hi_ == hi_ &&
+               other.bins_.size() == bins_.size())
+      << "histogram layouts differ";
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    bins_[i] += other.bins_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_seen_ = std::max(max_seen_, other.max_seen_);
+}
+
+double Histogram::Quantile(double q) const {
+  AMPERE_CHECK(count_ > 0) << "quantile of empty histogram";
+  AMPERE_CHECK(q >= 0.0 && q <= 1.0);
+  double target = q * static_cast<double>(count_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) {
+    return lo_;
+  }
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    double next = cum + static_cast<double>(bins_[i]);
+    if (target <= next && bins_[i] > 0) {
+      double frac = (target - cum) / static_cast<double>(bins_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * bin_width_;
+    }
+    cum = next;
+  }
+  // Target falls in the overflow mass: report the max observed value.
+  return max_seen_;
+}
+
+}  // namespace ampere

@@ -1,0 +1,50 @@
+// Fixed-bin histogram for latency and power distributions.
+//
+// Used to track per-operation latency distributions for the Fig. 11
+// redis-benchmark comparison (p99.9 of millions of requests) without storing
+// every sample.
+
+#ifndef SRC_STATS_HISTOGRAM_H_
+#define SRC_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ampere {
+
+// Linear-bin histogram over [lo, hi) with overflow/underflow tracking.
+// Quantiles interpolate within the containing bin, so resolution is bounded
+// by the bin width.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int num_bins);
+
+  void Add(double x);
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  double Quantile(double q) const;  // Requires count() > 0.
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+  double max_seen() const { return max_seen_; }
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  size_t num_bins() const { return bins_.size(); }
+  uint64_t bin_count(size_t i) const { return bins_[i]; }
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<uint64_t> bins_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_seen_ = 0.0;
+};
+
+}  // namespace ampere
+
+#endif  // SRC_STATS_HISTOGRAM_H_

@@ -1,0 +1,67 @@
+#include "src/stats/percentile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace ampere {
+namespace {
+
+double InterpolateSorted(std::span<const double> sorted, double q) {
+  AMPERE_CHECK(!sorted.empty()) << "quantile of empty sample";
+  AMPERE_CHECK(q >= 0.0 && q <= 1.0) << "q=" << q;
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  if (lo >= sorted.size() - 1) {
+    return sorted.back();
+  }
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+}  // namespace
+
+double Percentile(std::span<const double> values, double q) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return InterpolateSorted(sorted, q);
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> values)
+    : sorted_(std::move(values)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::Evaluate(double x) const {
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::Quantile(double q) const {
+  return InterpolateSorted(sorted_, q);
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::PlotPoints(int n) const {
+  AMPERE_CHECK(!sorted_.empty());
+  AMPERE_CHECK(n >= 2);
+  std::vector<std::pair<double, double>> points;
+  points.reserve(static_cast<size_t>(n));
+  double lo = min();
+  double hi = max();
+  for (int i = 0; i < n; ++i) {
+    double x = lo + (hi - lo) * static_cast<double>(i) /
+                        static_cast<double>(n - 1);
+    points.emplace_back(x, Evaluate(x));
+  }
+  return points;
+}
+
+}  // namespace ampere

@@ -1,0 +1,53 @@
+// Percentiles and empirical CDFs.
+//
+// The paper leans heavily on quantiles: the E_t estimator uses the per-hour
+// 99.5th percentile of one-minute power increases (§3.6), Fig. 5 reports the
+// 25/50/75th percentiles of f(u), and Figs. 1/7/9 are CDF plots.
+
+#ifndef SRC_STATS_PERCENTILE_H_
+#define SRC_STATS_PERCENTILE_H_
+
+#include <span>
+#include <vector>
+
+namespace ampere {
+
+// Returns the q-quantile (q in [0, 1]) of `values` using linear interpolation
+// between order statistics (type-7, the numpy/R default). Requires a
+// non-empty input.
+double Percentile(std::span<const double> values, double q);
+
+// As above but for a percentile rank in [0, 100].
+inline double PercentileRank(std::span<const double> values, double rank) {
+  return Percentile(values, rank / 100.0);
+}
+
+// An immutable empirical CDF over a sample.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> values);
+
+  // Fraction of the sample <= x.
+  double Evaluate(double x) const;
+
+  // Inverse CDF with interpolation; q in [0, 1].
+  double Quantile(double q) const;
+
+  size_t size() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
+  double min() const { return sorted_.front(); }
+  double max() const { return sorted_.back(); }
+
+  // Evenly spaced (x, F(x)) points for plotting, `n` of them spanning
+  // [min, max]. Requires a non-empty sample and n >= 2.
+  std::vector<std::pair<double, double>> PlotPoints(int n) const;
+
+  const std::vector<double>& sorted_values() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace ampere
+
+#endif  // SRC_STATS_PERCENTILE_H_

@@ -1,0 +1,113 @@
+#include "src/stats/regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/stats/percentile.h"
+
+namespace ampere {
+namespace {
+
+double ResidualRSquared(std::span<const double> x, std::span<const double> y,
+                        double slope, double intercept) {
+  double y_mean = 0.0;
+  for (double v : y) {
+    y_mean += v;
+  }
+  y_mean /= static_cast<double>(y.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    double pred = slope * x[i] + intercept;
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - y_mean) * (y[i] - y_mean);
+  }
+  if (ss_tot <= 0.0) {
+    return ss_res <= 0.0 ? 1.0 : 0.0;
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace
+
+LinearFit FitLinear(std::span<const double> x, std::span<const double> y) {
+  AMPERE_CHECK(x.size() == y.size());
+  AMPERE_CHECK(x.size() >= 2) << "need at least two points";
+  double n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  double denom = n * sxx - sx * sx;
+  AMPERE_CHECK(denom > 0.0) << "x values are constant";
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  fit.count = x.size();
+  fit.r_squared = ResidualRSquared(x, y, fit.slope, fit.intercept);
+  return fit;
+}
+
+LinearFit FitThroughOrigin(std::span<const double> x,
+                           std::span<const double> y) {
+  AMPERE_CHECK(x.size() == y.size());
+  AMPERE_CHECK(!x.empty());
+  double sxx = 0.0, sxy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  AMPERE_CHECK(sxx > 0.0) << "all x are zero";
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = 0.0;
+  fit.count = x.size();
+  fit.r_squared = ResidualRSquared(x, y, fit.slope, 0.0);
+  return fit;
+}
+
+std::vector<BucketQuantiles> QuantilesByBucket(std::span<const double> x,
+                                               std::span<const double> y,
+                                               int num_buckets,
+                                               std::span<const double> qs) {
+  AMPERE_CHECK(x.size() == y.size());
+  AMPERE_CHECK(num_buckets >= 1);
+  if (x.empty()) {
+    return {};
+  }
+  auto [min_it, max_it] = std::minmax_element(x.begin(), x.end());
+  double lo = *min_it;
+  double hi = *max_it;
+  double width = (hi - lo) / static_cast<double>(num_buckets);
+  if (width <= 0.0) {
+    width = 1.0;  // Degenerate: every point lands in bucket 0.
+  }
+  std::vector<std::vector<double>> groups(static_cast<size_t>(num_buckets));
+  for (size_t i = 0; i < x.size(); ++i) {
+    auto b = static_cast<size_t>((x[i] - lo) / width);
+    if (b >= groups.size()) {
+      b = groups.size() - 1;
+    }
+    groups[b].push_back(y[i]);
+  }
+  std::vector<BucketQuantiles> out;
+  for (size_t b = 0; b < groups.size(); ++b) {
+    if (groups[b].empty()) {
+      continue;
+    }
+    BucketQuantiles bq;
+    bq.x_center = lo + (static_cast<double>(b) + 0.5) * width;
+    bq.count = groups[b].size();
+    for (double q : qs) {
+      bq.quantiles.push_back(Percentile(groups[b], q));
+    }
+    out.push_back(std::move(bq));
+  }
+  return out;
+}
+
+}  // namespace ampere

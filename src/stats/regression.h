@@ -1,0 +1,49 @@
+// Least-squares fits used to calibrate the controller.
+//
+// The paper approximates the freezing-effect function f(u) with a linear
+// model y = kr * u fitted to controlled-experiment samples (§3.4, Fig. 5).
+// We provide both the through-origin fit the paper uses and a general
+// simple-linear fit for diagnostics, plus per-bucket quantile summaries used
+// to regenerate Fig. 5's percentile bands.
+
+#ifndef SRC_STATS_REGRESSION_H_
+#define SRC_STATS_REGRESSION_H_
+
+#include <span>
+#include <vector>
+
+namespace ampere {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  size_t count = 0;
+};
+
+// Ordinary least squares y = slope * x + intercept. Requires >= 2 points and
+// non-constant x.
+LinearFit FitLinear(std::span<const double> x, std::span<const double> y);
+
+// Least squares through the origin, y = slope * x (the paper's f(u) = kr*u).
+// Requires >= 1 point with nonzero x.
+LinearFit FitThroughOrigin(std::span<const double> x,
+                           std::span<const double> y);
+
+// Quantile-by-bucket summary: groups (x, y) pairs into `num_buckets` equal
+// x-width buckets over [x_min, x_max] and reports the requested y-quantiles
+// per non-empty bucket. Regenerates Fig. 5's 25/50/75th-percentile curves.
+struct BucketQuantiles {
+  double x_center = 0.0;
+  size_t count = 0;
+  std::vector<double> quantiles;  // Parallel to the `qs` argument.
+};
+
+std::vector<BucketQuantiles> QuantilesByBucket(std::span<const double> x,
+                                               std::span<const double> y,
+                                               int num_buckets,
+                                               std::span<const double> qs);
+
+}  // namespace ampere
+
+#endif  // SRC_STATS_REGRESSION_H_

@@ -1,0 +1,61 @@
+#include "src/stats/timeseries_ops.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/stats/percentile.h"
+
+namespace ampere {
+
+std::vector<double> FirstOrderDifferences(std::span<const double> values) {
+  std::vector<double> diffs;
+  if (values.size() < 2) {
+    return diffs;
+  }
+  diffs.reserve(values.size() - 1);
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    diffs.push_back(values[i + 1] - values[i]);
+  }
+  return diffs;
+}
+
+std::vector<double> WindowedMax(std::span<const double> values, int k) {
+  AMPERE_CHECK(k >= 1);
+  std::vector<double> out;
+  size_t window = static_cast<size_t>(k);
+  for (size_t i = 0; i < values.size(); i += window) {
+    size_t end = std::min(i + window, values.size());
+    double m = values[i];
+    for (size_t j = i + 1; j < end; ++j) {
+      m = std::max(m, values[j]);
+    }
+    out.push_back(m);
+  }
+  return out;
+}
+
+std::vector<double> ScaledPowerChanges(std::span<const double> per_minute,
+                                       int k_minutes) {
+  return FirstOrderDifferences(WindowedMax(per_minute, k_minutes));
+}
+
+std::array<double, 24> HourlyIncreaseQuantile(
+    std::span<const double> per_minute, int start_minute_of_day, double q,
+    double fallback) {
+  AMPERE_CHECK(start_minute_of_day >= 0);
+  std::array<std::vector<double>, 24> buckets;
+  for (size_t i = 0; i + 1 < per_minute.size(); ++i) {
+    int minute_of_day =
+        (start_minute_of_day + static_cast<int>(i % (24 * 60))) % (24 * 60);
+    int hour = minute_of_day / 60;
+    buckets[static_cast<size_t>(hour)].push_back(per_minute[i + 1] -
+                                                 per_minute[i]);
+  }
+  std::array<double, 24> out{};
+  for (size_t h = 0; h < 24; ++h) {
+    out[h] = buckets[h].empty() ? fallback : Percentile(buckets[h], q);
+  }
+  return out;
+}
+
+}  // namespace ampere

@@ -1,0 +1,38 @@
+// Time-series transforms used by the evaluation and the E_t estimator.
+//
+// Fig. 9's methodology: "for the k-minute scale, we compute a sequence of the
+// maximum power for every k minutes, and then plot the CDF of the first order
+// differences of the power sequence." The E_t estimator (§3.6) computes, per
+// hour-of-day, the 99.5th percentile of one-minute power increases.
+
+#ifndef SRC_STATS_TIMESERIES_OPS_H_
+#define SRC_STATS_TIMESERIES_OPS_H_
+
+#include <array>
+#include <span>
+#include <vector>
+
+namespace ampere {
+
+// Consecutive differences x[i+1] - x[i].
+std::vector<double> FirstOrderDifferences(std::span<const double> values);
+
+// Max of each consecutive window of `k` samples (the tail window may be
+// shorter). Requires k >= 1.
+std::vector<double> WindowedMax(std::span<const double> values, int k);
+
+// Fig. 9 transform: first-order differences of the per-k-minute max sequence.
+std::vector<double> ScaledPowerChanges(std::span<const double> per_minute,
+                                       int k_minutes);
+
+// Per-hour-of-day quantile profile of one-minute increases. `per_minute` is a
+// minute-indexed series starting at `start_minute_of_day` (0 = midnight);
+// increases are attributed to the hour of their left endpoint. Hours with no
+// data get `fallback`.
+std::array<double, 24> HourlyIncreaseQuantile(
+    std::span<const double> per_minute, int start_minute_of_day, double q,
+    double fallback);
+
+}  // namespace ampere
+
+#endif  // SRC_STATS_TIMESERIES_OPS_H_

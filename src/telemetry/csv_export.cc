@@ -1,0 +1,58 @@
+#include "src/telemetry/csv_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace ampere {
+
+void ExportCsv(const TimeSeriesDb& db, std::span<const std::string> series,
+               std::ostream& out) {
+  AMPERE_CHECK(!series.empty());
+  out << "minutes";
+  for (const std::string& name : series) {
+    out << "," << name;
+  }
+  out << "\n";
+
+  // Row index: union of timestamps -> per-series value.
+  std::map<int64_t, std::vector<std::pair<size_t, double>>> rows;
+  for (size_t column = 0; column < series.size(); ++column) {
+    for (const TimePoint& p : db.Series(series[column])) {
+      rows[p.time.micros()].emplace_back(column, p.value);
+    }
+  }
+
+  char buf[64];
+  for (const auto& [micros, cells] : rows) {
+    std::snprintf(buf, sizeof(buf), "%.4f",
+                  SimTime::Micros(micros).minutes());
+    out << buf;
+    size_t cell_index = 0;
+    for (size_t column = 0; column < series.size(); ++column) {
+      out << ",";
+      // Cells arrive ordered by column (emplaced in column order).
+      if (cell_index < cells.size() && cells[cell_index].first == column) {
+        std::snprintf(buf, sizeof(buf), "%.4f", cells[cell_index].second);
+        out << buf;
+        ++cell_index;
+      }
+    }
+    out << "\n";
+  }
+}
+
+void ExportCsvFile(const TimeSeriesDb& db,
+                   std::span<const std::string> series,
+                   const std::string& path) {
+  std::ofstream out(path);
+  AMPERE_CHECK(out.good()) << "cannot open " << path << " for writing";
+  ExportCsv(db, series, out);
+  AMPERE_CHECK(out.good()) << "write to " << path << " failed";
+}
+
+}  // namespace ampere

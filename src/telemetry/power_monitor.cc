@@ -1,0 +1,113 @@
+#include "src/telemetry/power_monitor.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace ampere {
+
+PowerMonitor::PowerMonitor(DataCenter* dc, TimeSeriesDb* db,
+                           const PowerMonitorConfig& config, Rng rng)
+    : dc_(dc), db_(db), config_(config), rng_(rng),
+      latest_server_watts_(static_cast<size_t>(dc->num_servers()), 0.0),
+      latest_row_watts_(static_cast<size_t>(dc->num_rows()), 0.0) {
+  AMPERE_CHECK(dc != nullptr && db != nullptr);
+  AMPERE_CHECK(config.interval > SimTime());
+}
+
+void PowerMonitor::RegisterGroup(const std::string& name,
+                                 std::vector<ServerId> servers) {
+  AMPERE_CHECK(!started_) << "groups must be registered before Start";
+  AMPERE_CHECK(!servers.empty());
+  groups_.emplace_back(name, std::move(servers));
+  latest_group_watts_[name] = 0.0;
+}
+
+void PowerMonitor::Start(SimTime first_sample) {
+  AMPERE_CHECK(!started_);
+  started_ = true;
+  dc_->sim()->SchedulePeriodic(first_sample, config_.interval,
+                               [this](SimTime t) { SampleOnce(t); });
+}
+
+void PowerMonitor::SampleOnce(SimTime stamp) {
+  ++samples_taken_;
+  latest_sample_time_ = stamp;
+
+  // Read every server once through "IPMI": true draw + sensor noise, then
+  // watt quantization. All aggregates sum these readings (not the true
+  // values), as the streaming aggregation pipeline would.
+  for (int32_t s = 0; s < dc_->num_servers(); ++s) {
+    ServerId id(s);
+    double reading = dc_->server_power_watts(id) +
+                     rng_.Normal(0.0, config_.noise_sigma_watts);
+    if (config_.quantize_to_watts) {
+      reading = std::round(reading);
+    }
+    if (reading < 0.0) {
+      reading = 0.0;
+    }
+    latest_server_watts_[id.index()] = reading;
+    if (config_.record_servers) {
+      db_->Append(ServerSeries(id), stamp, reading);
+    }
+  }
+
+  if (config_.record_racks) {
+    for (int32_t r = 0; r < dc_->num_racks(); ++r) {
+      RackId id(r);
+      double sum = 0.0;
+      for (ServerId sid : dc_->servers_in_rack(id)) {
+        sum += latest_server_watts_[sid.index()];
+      }
+      db_->Append(RackSeries(id), stamp, sum);
+    }
+  }
+
+  double total = 0.0;
+  for (int32_t r = 0; r < dc_->num_rows(); ++r) {
+    RowId id(r);
+    double sum = 0.0;
+    for (ServerId sid : dc_->servers_in_row(id)) {
+      sum += latest_server_watts_[sid.index()];
+    }
+    latest_row_watts_[id.index()] = sum;
+    total += sum;
+    if (config_.record_rows) {
+      db_->Append(RowSeries(id), stamp, sum);
+    }
+  }
+  if (config_.record_total) {
+    db_->Append(kTotalSeries, stamp, total);
+  }
+
+  for (const auto& [name, servers] : groups_) {
+    double sum = 0.0;
+    for (ServerId sid : servers) {
+      sum += latest_server_watts_[sid.index()];
+    }
+    latest_group_watts_[name] = sum;
+    db_->Append(GroupSeries(name), stamp, sum);
+  }
+}
+
+double PowerMonitor::LatestGroupWatts(const std::string& name) const {
+  auto it = latest_group_watts_.find(name);
+  AMPERE_CHECK(it != latest_group_watts_.end()) << "unknown group " << name;
+  return it->second;
+}
+
+std::string PowerMonitor::ServerSeries(ServerId id) {
+  return "server/" + std::to_string(id.value()) + "/power";
+}
+std::string PowerMonitor::RackSeries(RackId id) {
+  return "rack/" + std::to_string(id.value()) + "/power";
+}
+std::string PowerMonitor::RowSeries(RowId id) {
+  return "row/" + std::to_string(id.value()) + "/power";
+}
+std::string PowerMonitor::GroupSeries(const std::string& name) {
+  return "group/" + name + "/power";
+}
+
+}  // namespace ampere

@@ -1,0 +1,73 @@
+#include "src/telemetry/timeseries_db.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace ampere {
+
+void TimeSeriesDb::Append(std::string_view series, SimTime t, double value) {
+  auto& points = series_[std::string(series)];
+  AMPERE_CHECK(points.empty() || points.back().time <= t)
+      << "out-of-order append to series " << series;
+  points.push_back(TimePoint{t, value});
+}
+
+std::span<const TimePoint> TimeSeriesDb::Series(
+    std::string_view series) const {
+  auto it = series_.find(std::string(series));
+  if (it == series_.end()) {
+    return {};
+  }
+  return it->second;
+}
+
+std::vector<double> TimeSeriesDb::Values(std::string_view series) const {
+  auto points = Series(series);
+  std::vector<double> values;
+  values.reserve(points.size());
+  for (const TimePoint& p : points) {
+    values.push_back(p.value);
+  }
+  return values;
+}
+
+std::optional<TimePoint> TimeSeriesDb::Latest(std::string_view series) const {
+  auto points = Series(series);
+  if (points.empty()) {
+    return std::nullopt;
+  }
+  return points.back();
+}
+
+std::vector<TimePoint> TimeSeriesDb::Query(std::string_view series,
+                                           SimTime from, SimTime to) const {
+  auto points = Series(series);
+  auto lo = std::lower_bound(
+      points.begin(), points.end(), from,
+      [](const TimePoint& p, SimTime t) { return p.time < t; });
+  auto hi = std::upper_bound(
+      points.begin(), points.end(), to,
+      [](SimTime t, const TimePoint& p) { return t < p.time; });
+  return std::vector<TimePoint>(lo, hi);
+}
+
+std::vector<std::string> TimeSeriesDb::SeriesNames() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, _] : series_) {
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+size_t TimeSeriesDb::TotalPoints() const {
+  size_t n = 0;
+  for (const auto& [_, points] : series_) {
+    n += points.size();
+  }
+  return n;
+}
+
+}  // namespace ampere

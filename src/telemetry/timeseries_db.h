@@ -1,0 +1,56 @@
+// In-memory time-series database.
+//
+// The production deployment stores one power sample per server per minute in
+// MySQL behind a RESTful query API (§3.3). Here the same role is played by an
+// append-only in-memory store with range queries; the controller and the
+// benches consume the identical query surface (latest value, range scan,
+// whole-series extraction).
+
+#ifndef SRC_TELEMETRY_TIMESERIES_DB_H_
+#define SRC_TELEMETRY_TIMESERIES_DB_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace ampere {
+
+struct TimePoint {
+  SimTime time;
+  double value = 0.0;
+};
+
+class TimeSeriesDb {
+ public:
+  // Appends a point; timestamps within one series must be non-decreasing
+  // (the monitor samples monotonically).
+  void Append(std::string_view series, SimTime t, double value);
+
+  // Whole series (empty span if the series does not exist).
+  std::span<const TimePoint> Series(std::string_view series) const;
+
+  // Values only, in time order.
+  std::vector<double> Values(std::string_view series) const;
+
+  // Most recent point, if any.
+  std::optional<TimePoint> Latest(std::string_view series) const;
+
+  // Points with from <= time <= to.
+  std::vector<TimePoint> Query(std::string_view series, SimTime from,
+                               SimTime to) const;
+
+  std::vector<std::string> SeriesNames() const;
+  size_t TotalPoints() const;
+
+ private:
+  std::unordered_map<std::string, std::vector<TimePoint>> series_;
+};
+
+}  // namespace ampere
+
+#endif  // SRC_TELEMETRY_TIMESERIES_DB_H_

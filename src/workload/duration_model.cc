@@ -1,0 +1,47 @@
+#include "src/workload/duration_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "src/common/check.h"
+
+namespace ampere {
+
+DurationModel::DurationModel(const DurationModelParams& params)
+    : params_(params) {
+  AMPERE_CHECK(params.log_sigma > 0.0);
+  AMPERE_CHECK(params.min_minutes > 0.0);
+  AMPERE_CHECK(params.max_minutes > params.min_minutes);
+}
+
+SimTime DurationModel::Sample(Rng& rng) const {
+  double minutes = rng.LogNormal(params_.log_mean_minutes, params_.log_sigma);
+  minutes = std::clamp(minutes, params_.min_minutes, params_.max_minutes);
+  return SimTime::Minutes(minutes);
+}
+
+double DurationModel::UntruncatedMeanMinutes() const {
+  return std::exp(params_.log_mean_minutes +
+                  params_.log_sigma * params_.log_sigma / 2.0);
+}
+
+namespace {
+// Standard normal CDF.
+double Phi(double x) { return 0.5 * std::erfc(-x / std::numbers::sqrt2); }
+}  // namespace
+
+double DurationModel::TruncatedMeanMinutes() const {
+  // E[clamp(X, a, b)] = a*P(X<a) + b*P(X>b) + E[X; a<=X<=b] for lognormal X:
+  // E[X; X<=t] = exp(mu + s^2/2) * Phi((ln t - mu)/s - s).
+  const double mu = params_.log_mean_minutes;
+  const double s = params_.log_sigma;
+  const double a = params_.min_minutes;
+  const double b = params_.max_minutes;
+  double alpha = (std::log(a) - mu) / s;
+  double beta = (std::log(b) - mu) / s;
+  double body = UntruncatedMeanMinutes() * (Phi(beta - s) - Phi(alpha - s));
+  return a * Phi(alpha) + b * (1.0 - Phi(beta)) + body;
+}
+
+}  // namespace ampere

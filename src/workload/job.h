@@ -1,0 +1,36 @@
+// Batch job model and the sink interface through which generated jobs reach
+// the scheduler.
+
+#ifndef SRC_WORKLOAD_JOB_H_
+#define SRC_WORKLOAD_JOB_H_
+
+#include <optional>
+
+#include "src/cluster/resources.h"
+#include "src/common/ids.h"
+#include "src/common/time.h"
+
+namespace ampere {
+
+struct JobSpec {
+  JobId id;
+  Resources demand;
+  // Work at full frequency; equals wall-clock duration on an unthrottled
+  // server (Fig. 7's "job duration").
+  SimTime duration;
+  // If set, the job must be placed on servers of this row. Models the
+  // "different rows mainly focus on running different sets of products"
+  // observation (§2.2) when reproducing Figs. 1-2.
+  std::optional<RowId> row_affinity;
+};
+
+// Destination for generated jobs (implemented by the scheduler).
+class JobSink {
+ public:
+  virtual ~JobSink() = default;
+  virtual void Submit(const JobSpec& job) = 0;
+};
+
+}  // namespace ampere
+
+#endif  // SRC_WORKLOAD_JOB_H_

@@ -1,0 +1,71 @@
+// Job-trace capture and replay.
+//
+// The paper's experiments run live production workload; a public release
+// needs a way to exchange workloads as data. A trace is a list of job
+// records (submit time, duration, demand, optional row affinity) with CSV
+// serialization. TraceWorkload replays a trace through the same JobSink
+// interface the synthetic generator uses, so any experiment can run from a
+// file instead of a distribution; SampleTrace materializes a synthetic
+// trace from the calibrated models for sharing.
+
+#ifndef SRC_WORKLOAD_TRACE_H_
+#define SRC_WORKLOAD_TRACE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/simulation.h"
+#include "src/workload/batch_workload.h"
+#include "src/workload/job.h"
+
+namespace ampere {
+
+struct TraceRecord {
+  double submit_minutes = 0.0;
+  double duration_minutes = 0.0;
+  double cpu_cores = 0.0;
+  double memory_gb = 0.0;
+  int32_t row_affinity = -1;  // -1 = schedule anywhere.
+};
+
+// CSV with header "submit_min,duration_min,cpu_cores,memory_gb,row".
+// Reading validates field count and numeric ranges; malformed input throws
+// CheckFailure with the offending line number.
+void WriteJobTrace(std::ostream& out, const std::vector<TraceRecord>& trace);
+std::vector<TraceRecord> ReadJobTrace(std::istream& in);
+void WriteJobTraceFile(const std::string& path,
+                       const std::vector<TraceRecord>& trace);
+std::vector<TraceRecord> ReadJobTraceFile(const std::string& path);
+
+// Materializes `duration` worth of the synthetic workload as a trace.
+std::vector<TraceRecord> SampleTrace(const BatchWorkloadParams& params,
+                                     SimTime duration, Rng rng);
+
+// Replays a trace into a JobSink on the simulation clock. Records may be in
+// any order; submissions are scheduled at their submit times (which must be
+// >= the current simulation time when Start is called).
+class TraceWorkload {
+ public:
+  // `sim`, `sink`, and `ids` must outlive the workload.
+  TraceWorkload(std::vector<TraceRecord> trace, Simulation* sim,
+                JobSink* sink, JobIdAllocator* ids);
+
+  void Start();
+
+  size_t jobs_total() const { return trace_.size(); }
+  uint64_t jobs_submitted() const { return jobs_submitted_; }
+
+ private:
+  std::vector<TraceRecord> trace_;
+  Simulation* sim_;
+  JobSink* sink_;
+  JobIdAllocator* ids_;
+  uint64_t jobs_submitted_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace ampere
+
+#endif  // SRC_WORKLOAD_TRACE_H_

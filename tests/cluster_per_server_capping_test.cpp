@@ -1,0 +1,125 @@
+// Tests for the per-server RAPL capping mode (CappingMode::kPerServer):
+// each server is throttled individually against its static share of the
+// row budget, which is how fleet RAPL deployments assign limits.
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/datacenter.h"
+
+#include "src/common/check.h"
+
+namespace ampere {
+namespace {
+
+TopologyConfig PerServerTopology(double row_budget) {
+  TopologyConfig config;
+  config.num_rows = 1;
+  config.racks_per_row = 1;
+  config.servers_per_rack = 4;
+  config.server_capacity = Resources{16.0, 64.0};
+  config.capping_enabled = true;
+  config.capping_mode = CappingMode::kPerServer;
+  config.row_budget_watts = row_budget;
+  return config;
+}
+
+TEST(PerServerCappingTest, OnlyOverdrawnServersAreThrottled) {
+  Simulation sim;
+  // Per-server share: 820/4 = 205 W; idle 162.5, so a server may draw up
+  // to 42.5 W of dynamic power (48.6 % utilization) before throttling.
+  DataCenter dc(PerServerTopology(820.0), &sim);
+  // Server 0: light load (25 %), stays uncapped.
+  ASSERT_TRUE(dc.PlaceTask(ServerId(0), TaskSpec{JobId(1), Resources{4.0, 4.0},
+                                                 SimTime::Hours(1)}));
+  // Server 1: heavy load (100 %), must be throttled.
+  ASSERT_TRUE(dc.PlaceTask(ServerId(1),
+                           TaskSpec{JobId(2), Resources{16.0, 16.0},
+                                    SimTime::Hours(1)}));
+  EXPECT_FALSE(dc.IsServerCapped(ServerId(0)));
+  EXPECT_TRUE(dc.IsServerCapped(ServerId(1)));
+  EXPECT_FALSE(dc.IsServerCapped(ServerId(2)));  // Idle.
+  EXPECT_NEAR(dc.FractionOfServersCapped(RowId(0)), 0.25, 1e-12);
+  // The capped server honors its share: 162.5 + 87.5 * f <= 205 needs
+  // f <= 0.486 -> ladder floor 0.5 is the best hardware can do (slightly
+  // over, like real RAPL at its lowest P-state).
+  EXPECT_DOUBLE_EQ(dc.server(ServerId(1)).frequency(), 0.5);
+}
+
+TEST(PerServerCappingTest, ThrottleReleasesWhenLoadEnds) {
+  Simulation sim;
+  DataCenter dc(PerServerTopology(820.0), &sim);
+  ASSERT_TRUE(dc.PlaceTask(ServerId(1),
+                           TaskSpec{JobId(2), Resources{16.0, 16.0},
+                                    SimTime::Minutes(10)}));
+  ASSERT_TRUE(dc.IsServerCapped(ServerId(1)));
+  // Runs at f = 0.5 -> finishes at 20 min.
+  sim.RunUntil(SimTime::Minutes(21));
+  EXPECT_FALSE(dc.IsServerCapped(ServerId(1)));
+  EXPECT_DOUBLE_EQ(dc.FractionOfServersCapped(RowId(0)), 0.0);
+  EXPECT_NEAR(dc.row_capped_time(RowId(0)).minutes(), 20.0, 0.1);
+}
+
+TEST(PerServerCappingTest, CappedTimeClockCountsAnyCappedServer) {
+  Simulation sim;
+  DataCenter dc(PerServerTopology(820.0), &sim);
+  // Two staggered heavy tasks: server 1 capped [0, 20], server 2's task
+  // placed at t=10 capped [10, 30]. Row capped time = 30 min (union).
+  ASSERT_TRUE(dc.PlaceTask(ServerId(1),
+                           TaskSpec{JobId(1), Resources{16.0, 16.0},
+                                    SimTime::Minutes(10)}));
+  sim.ScheduleAt(SimTime::Minutes(10), [&dc] {
+    AMPERE_CHECK(dc.PlaceTask(ServerId(2),
+                              TaskSpec{JobId(2), Resources{16.0, 16.0},
+                                       SimTime::Minutes(10)}));
+  });
+  sim.RunUntil(SimTime::Minutes(40));
+  EXPECT_NEAR(dc.row_capped_time(RowId(0)).minutes(), 30.0, 0.1);
+}
+
+TEST(PerServerCappingTest, DisablingReleasesAllServers) {
+  Simulation sim;
+  DataCenter dc(PerServerTopology(820.0), &sim);
+  for (int32_t s = 0; s < 4; ++s) {
+    ASSERT_TRUE(dc.PlaceTask(ServerId(s),
+                             TaskSpec{JobId(s), Resources{16.0, 16.0},
+                                      SimTime::Hours(1)}));
+  }
+  EXPECT_DOUBLE_EQ(dc.FractionOfServersCapped(RowId(0)), 1.0);
+  dc.SetCappingEnabled(false);
+  EXPECT_DOUBLE_EQ(dc.FractionOfServersCapped(RowId(0)), 0.0);
+  for (int32_t s = 0; s < 4; ++s) {
+    EXPECT_DOUBLE_EQ(dc.server(ServerId(s)).frequency(), 1.0);
+  }
+}
+
+TEST(PerServerCappingTest, LoweringBudgetRechecksEveryServer) {
+  Simulation sim;
+  // Generous budget first: nobody capped.
+  DataCenter dc(PerServerTopology(1000.0), &sim);
+  for (int32_t s = 0; s < 4; ++s) {
+    ASSERT_TRUE(dc.PlaceTask(ServerId(s),
+                             TaskSpec{JobId(s), Resources{16.0, 16.0},
+                                      SimTime::Hours(1)}));
+  }
+  EXPECT_DOUBLE_EQ(dc.FractionOfServersCapped(RowId(0)), 0.0);
+  dc.SetRowCappingBudget(RowId(0), 820.0);
+  EXPECT_DOUBLE_EQ(dc.FractionOfServersCapped(RowId(0)), 1.0);
+}
+
+TEST(PerServerCappingTest, UniformModeStillCountsCappedServers) {
+  Simulation sim;
+  TopologyConfig config = PerServerTopology(850.0);
+  config.capping_mode = CappingMode::kRowUniform;
+  DataCenter dc(config, &sim);
+  for (int32_t s = 0; s < 4; ++s) {
+    ASSERT_TRUE(dc.PlaceTask(ServerId(s),
+                             TaskSpec{JobId(s), Resources{16.0, 16.0},
+                                      SimTime::Hours(1)}));
+  }
+  // Uniform throttle caps everyone at once.
+  EXPECT_DOUBLE_EQ(dc.FractionOfServersCapped(RowId(0)), 1.0);
+  EXPECT_LT(dc.row_throttle(RowId(0)), 1.0);
+}
+
+}  // namespace
+}  // namespace ampere

@@ -1,0 +1,133 @@
+// Tests for the sleep-state substrate (§5.1 PowerNap-style baseline).
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/datacenter.h"
+#include "src/common/check.h"
+#include "src/sched/scheduler.h"
+
+namespace ampere {
+namespace {
+
+TopologyConfig SleepTopology() {
+  TopologyConfig config;
+  config.num_rows = 1;
+  config.racks_per_row = 1;
+  config.servers_per_rack = 4;
+  config.server_capacity = Resources{16.0, 64.0};
+  config.sleep_fraction = 0.06;  // 15 W.
+  config.wake_latency = SimTime::Seconds(30);
+  return config;
+}
+
+TEST(SleepStateTest, SleepDropsPowerToFloor) {
+  Simulation sim;
+  DataCenter dc(SleepTopology(), &sim);
+  double before = dc.row_power_watts(RowId(0));
+  dc.SleepServer(ServerId(0));
+  EXPECT_TRUE(dc.server(ServerId(0)).asleep());
+  EXPECT_NEAR(dc.server_power_watts(ServerId(0)), 15.0, 1e-9);
+  EXPECT_NEAR(dc.row_power_watts(RowId(0)), before - (162.5 - 15.0), 1e-9);
+}
+
+TEST(SleepStateTest, CannotSleepBusyServer) {
+  Simulation sim;
+  DataCenter dc(SleepTopology(), &sim);
+  ASSERT_TRUE(dc.PlaceTask(ServerId(0), TaskSpec{JobId(1), Resources{1.0, 1.0},
+                                                 SimTime::Minutes(5)}));
+  EXPECT_THROW(dc.SleepServer(ServerId(0)), CheckFailure);
+}
+
+TEST(SleepStateTest, PlacementOnAsleepServerFails) {
+  Simulation sim;
+  DataCenter dc(SleepTopology(), &sim);
+  dc.SleepServer(ServerId(0));
+  EXPECT_FALSE(dc.PlaceTask(ServerId(0),
+                            TaskSpec{JobId(1), Resources{1.0, 1.0},
+                                     SimTime::Minutes(5)}));
+}
+
+TEST(SleepStateTest, WakeTakesLatencyAndBurnsIdlePower) {
+  Simulation sim;
+  DataCenter dc(SleepTopology(), &sim);
+  dc.SleepServer(ServerId(0));
+  sim.RunUntil(SimTime::Minutes(10));
+  dc.WakeServer(ServerId(0));
+  // Booting: draws idle power but is not schedulable yet.
+  EXPECT_TRUE(dc.server(ServerId(0)).waking());
+  EXPECT_FALSE(dc.server(ServerId(0)).SchedulableState());
+  EXPECT_NEAR(dc.server_power_watts(ServerId(0)), 162.5, 1e-9);
+  sim.RunUntil(SimTime::Minutes(10) + SimTime::Seconds(29));
+  EXPECT_TRUE(dc.server(ServerId(0)).asleep());
+  sim.RunUntil(SimTime::Minutes(10) + SimTime::Seconds(31));
+  EXPECT_FALSE(dc.server(ServerId(0)).asleep());
+  EXPECT_FALSE(dc.server(ServerId(0)).waking());
+  EXPECT_TRUE(dc.server(ServerId(0)).SchedulableState());
+}
+
+TEST(SleepStateTest, SleepDuringWakeAborts) {
+  Simulation sim;
+  DataCenter dc(SleepTopology(), &sim);
+  dc.SleepServer(ServerId(0));
+  dc.WakeServer(ServerId(0));
+  dc.SleepServer(ServerId(0));  // Change of heart mid-boot.
+  sim.RunUntil(SimTime::Minutes(5));
+  EXPECT_TRUE(dc.server(ServerId(0)).asleep());
+  EXPECT_FALSE(dc.server(ServerId(0)).waking());
+  EXPECT_NEAR(dc.server_power_watts(ServerId(0)), 15.0, 1e-9);
+}
+
+TEST(SleepStateTest, WakeIsIdempotent) {
+  Simulation sim;
+  DataCenter dc(SleepTopology(), &sim);
+  dc.SleepServer(ServerId(0));
+  dc.WakeServer(ServerId(0));
+  dc.WakeServer(ServerId(0));  // No effect while already waking.
+  dc.WakeServer(ServerId(1));  // Already awake: no-op.
+  sim.RunUntil(SimTime::Minutes(1));
+  EXPECT_TRUE(dc.server(ServerId(0)).SchedulableState());
+  EXPECT_NEAR(dc.server_power_watts(ServerId(1)), 162.5, 1e-9);
+}
+
+TEST(SleepStateTest, SchedulerSkipsAsleepAndWakingServers) {
+  Simulation sim;
+  DataCenter dc(SleepTopology(), &sim);
+  Scheduler scheduler(&dc, SchedulerConfig{}, Rng(3));
+  dc.SleepServer(ServerId(0));
+  dc.SleepServer(ServerId(1));
+  dc.SleepServer(ServerId(2));
+  dc.WakeServer(ServerId(2));  // Booting, still not schedulable.
+  for (int i = 0; i < 6; ++i) {
+    JobSpec job;
+    job.id = JobId(i);
+    job.demand = Resources{2.0, 2.0};
+    job.duration = SimTime::Minutes(5);
+    scheduler.Submit(job);
+  }
+  EXPECT_EQ(dc.server(ServerId(3)).num_tasks(), 6u);
+}
+
+TEST(SleepStateTest, AggregatesStayConsistentThroughTransitions) {
+  Simulation sim;
+  DataCenter dc(SleepTopology(), &sim);
+  dc.SleepServer(ServerId(0));
+  dc.WakeServer(ServerId(0));
+  sim.RunUntil(SimTime::Minutes(1));
+  dc.SleepServer(ServerId(1));
+  double sum = 0.0;
+  for (int32_t s = 0; s < 4; ++s) {
+    sum += dc.server_power_watts(ServerId(s));
+  }
+  EXPECT_NEAR(dc.row_power_watts(RowId(0)), sum, 1e-9);
+  EXPECT_NEAR(dc.total_power_watts(), sum, 1e-9);
+}
+
+TEST(SleepStateTest, InvalidSleepFractionThrows) {
+  Simulation sim;
+  TopologyConfig config = SleepTopology();
+  config.sleep_fraction = 0.7;  // Above the idle fraction: nonsense.
+  EXPECT_THROW(DataCenter(config, &sim), CheckFailure);
+}
+
+}  // namespace
+}  // namespace ampere

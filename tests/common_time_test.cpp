@@ -1,0 +1,61 @@
+#include "src/common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace ampere {
+namespace {
+
+TEST(SimTimeTest, DefaultIsZero) {
+  EXPECT_EQ(SimTime().micros(), 0);
+  EXPECT_DOUBLE_EQ(SimTime().seconds(), 0.0);
+}
+
+TEST(SimTimeTest, UnitConversionsRoundTrip) {
+  EXPECT_EQ(SimTime::Seconds(1).micros(), 1000000);
+  EXPECT_EQ(SimTime::Millis(1.5).micros(), 1500);
+  EXPECT_EQ(SimTime::Minutes(1).micros(), 60000000);
+  EXPECT_EQ(SimTime::Hours(1).minutes(), 60.0);
+  EXPECT_DOUBLE_EQ(SimTime::Minutes(2.5).seconds(), 150.0);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  SimTime t = SimTime::Minutes(2) + SimTime::Seconds(30);
+  EXPECT_DOUBLE_EQ(t.seconds(), 150.0);
+  t -= SimTime::Seconds(50);
+  EXPECT_DOUBLE_EQ(t.seconds(), 100.0);
+  EXPECT_DOUBLE_EQ((t * 2.0).seconds(), 200.0);
+  EXPECT_DOUBLE_EQ((t * 0.5).seconds(), 50.0);
+}
+
+TEST(SimTimeTest, Comparisons) {
+  EXPECT_LT(SimTime::Seconds(59), SimTime::Minutes(1));
+  EXPECT_EQ(SimTime::Seconds(60), SimTime::Minutes(1));
+  EXPECT_GT(SimTime::Hours(1), SimTime::Minutes(59));
+}
+
+TEST(SimTimeTest, HourOfDayWrapsAtMidnight) {
+  EXPECT_EQ(SimTime::Hours(0).hour_of_day(), 0);
+  EXPECT_EQ(SimTime::Hours(13.5).hour_of_day(), 13);
+  EXPECT_EQ(SimTime::Hours(23.99).hour_of_day(), 23);
+  EXPECT_EQ(SimTime::Hours(24).hour_of_day(), 0);
+  EXPECT_EQ(SimTime::Hours(49).hour_of_day(), 1);
+}
+
+TEST(SimTimeTest, MinuteIndex) {
+  EXPECT_EQ(SimTime::Seconds(59).minute_index(), 0);
+  EXPECT_EQ(SimTime::Seconds(60).minute_index(), 1);
+  EXPECT_EQ(SimTime::Hours(1).minute_index(), 60);
+}
+
+TEST(SimTimeTest, ToStringFormatsHms) {
+  EXPECT_EQ((SimTime::Hours(2) + SimTime::Minutes(3) + SimTime::Seconds(4))
+                .ToString(),
+            "02:03:04");
+}
+
+TEST(SimTimeTest, MaxIsLargerThanAnyExperimentHorizon) {
+  EXPECT_GT(SimTime::Max(), SimTime::Hours(24 * 365 * 100));
+}
+
+}  // namespace
+}  // namespace ampere

@@ -1,0 +1,80 @@
+#include "src/control/et_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace ampere {
+namespace {
+
+TEST(EtEstimatorTest, ConstantProfile) {
+  EtEstimator et = EtEstimator::Constant(0.03);
+  for (int h = 0; h < 30; ++h) {
+    EXPECT_DOUBLE_EQ(et.Estimate(SimTime::Hours(h)), 0.03);
+  }
+}
+
+TEST(EtEstimatorTest, ConstantRejectsInvalid) {
+  EXPECT_THROW(EtEstimator::Constant(-0.01), CheckFailure);
+  EXPECT_THROW(EtEstimator::Constant(1.0), CheckFailure);
+}
+
+TEST(EtEstimatorTest, FromHistoryPicksHourlyQuantile) {
+  // Build 2 days of per-minute history where hour 5 has big jumps.
+  std::vector<double> history;
+  double v = 0.5;
+  Rng rng(1);
+  for (int m = 0; m < 2 * 24 * 60; ++m) {
+    int hour = (m / 60) % 24;
+    double step = hour == 5 ? rng.Uniform(0.0, 0.05) : rng.Uniform(0.0, 0.005);
+    v += step;
+    if (v > 1.0) {
+      v = 0.5;  // Reset so the series stays bounded.
+    }
+    history.push_back(v);
+  }
+  EtEstimator et = EtEstimator::FromHistory(history, 0, 0.9, 0.03);
+  double hour5 = et.Estimate(SimTime::Hours(5.5));
+  double hour10 = et.Estimate(SimTime::Hours(10.5));
+  EXPECT_GT(hour5, hour10);
+  EXPECT_GT(hour5, 0.02);
+  EXPECT_LT(hour10, 0.01);
+}
+
+TEST(EtEstimatorTest, FallbackForMissingHours) {
+  // One hour of data only.
+  std::vector<double> history(60, 0.5);
+  EtEstimator et = EtEstimator::FromHistory(history, 0, 0.995, 0.042);
+  EXPECT_DOUBLE_EQ(et.Estimate(SimTime::Hours(12)), 0.042);
+  EXPECT_DOUBLE_EQ(et.Estimate(SimTime::Hours(0.5)), 0.0);  // Flat history.
+}
+
+TEST(EtEstimatorTest, NegativeQuantilesClampToZero) {
+  // Monotonically falling power: all increases negative.
+  std::vector<double> history;
+  for (int m = 0; m < 24 * 60; ++m) {
+    history.push_back(1.0 - 0.0001 * m);
+  }
+  EtEstimator et = EtEstimator::FromHistory(history, 0, 0.995, 0.03);
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_GE(et.Estimate(SimTime::Hours(h)), 0.0);
+  }
+}
+
+TEST(EtEstimatorTest, EstimateUsesHourOfDayModulo) {
+  std::vector<double> history;
+  double v = 0.0;
+  for (int m = 0; m < 24 * 60; ++m) {
+    v += ((m / 60) % 24 == 3) ? 0.01 : 0.0;
+    history.push_back(v);
+  }
+  EtEstimator et = EtEstimator::FromHistory(history, 0, 0.9, 0.0);
+  // Day 2, hour 3 maps onto the same profile entry.
+  EXPECT_GT(et.Estimate(SimTime::Hours(27.5)), 0.005);
+}
+
+}  // namespace
+}  // namespace ampere

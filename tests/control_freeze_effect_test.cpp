@@ -1,0 +1,54 @@
+#include "src/control/freeze_effect.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace ampere {
+namespace {
+
+TEST(FreezeEffectTest, DirectConstruction) {
+  FreezeEffectModel model(0.05);
+  EXPECT_DOUBLE_EQ(model.kr(), 0.05);
+  EXPECT_DOUBLE_EQ(model.Effect(0.5), 0.025);
+  EXPECT_DOUBLE_EQ(model.fit_r_squared(), 1.0);
+}
+
+TEST(FreezeEffectTest, NonPositiveKrThrows) {
+  EXPECT_THROW(FreezeEffectModel{0.0}, CheckFailure);
+  EXPECT_THROW(FreezeEffectModel{-0.1}, CheckFailure);
+}
+
+TEST(FreezeEffectTest, FitRecoversSlopeFromNoisySamples) {
+  Rng rng(2);
+  std::vector<FuSample> samples;
+  const double true_kr = 0.08;
+  for (int i = 0; i < 2000; ++i) {
+    double u = rng.Uniform(0.0, 0.6);
+    samples.push_back(FuSample{u, true_kr * u + rng.Normal(0.0, 0.01)});
+  }
+  FreezeEffectModel model = FreezeEffectModel::Fit(samples);
+  EXPECT_NEAR(model.kr(), true_kr, 0.005);
+  EXPECT_GT(model.fit_r_squared(), 0.5);
+}
+
+TEST(FreezeEffectTest, FitRequiresMinimumSamples) {
+  std::vector<FuSample> samples{{0.1, 0.01}, {0.2, 0.02}};
+  EXPECT_THROW(FreezeEffectModel::Fit(samples, 10), CheckFailure);
+  EXPECT_NO_THROW(FreezeEffectModel::Fit(samples, 2));
+}
+
+TEST(FreezeEffectTest, FitRejectsNegativeSlope) {
+  std::vector<FuSample> samples;
+  for (int i = 1; i <= 20; ++i) {
+    double u = 0.03 * i;
+    samples.push_back(FuSample{u, -0.05 * u});  // Freezing raising power?!
+  }
+  EXPECT_THROW(FreezeEffectModel::Fit(samples), CheckFailure);
+}
+
+}  // namespace
+}  // namespace ampere

@@ -1,0 +1,136 @@
+#include "src/control/online_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace ampere {
+namespace {
+
+TEST(OnlinePredictorTest, BootstrapMarginBeforeData) {
+  OnlinePredictorParams params;
+  params.bootstrap_margin = 0.042;
+  OnlineEtPredictor predictor(params);
+  EXPECT_DOUBLE_EQ(predictor.Margin(), 0.042);
+  predictor.Observe(0.9);
+  EXPECT_DOUBLE_EQ(predictor.Margin(), 0.042);
+}
+
+TEST(OnlinePredictorTest, ConstantSeriesYieldsTinyMargin) {
+  OnlineEtPredictor predictor;
+  for (int i = 0; i < 100; ++i) {
+    predictor.Observe(0.9);
+  }
+  EXPECT_NEAR(predictor.PredictedIncrease(), 0.0, 1e-12);
+  EXPECT_LT(predictor.Margin(), 0.001);
+}
+
+TEST(OnlinePredictorTest, LinearRampPredictsTheSlope) {
+  OnlineEtPredictor predictor;
+  double p = 0.5;
+  for (int i = 0; i < 200; ++i) {
+    predictor.Observe(p);
+    p += 0.004;
+  }
+  EXPECT_NEAR(predictor.PredictedIncrease(), 0.004, 5e-4);
+  // Margin covers the predicted increase.
+  EXPECT_GE(predictor.Margin(), 0.003);
+}
+
+TEST(OnlinePredictorTest, MarginScalesWithNoise) {
+  Rng rng(5);
+  OnlineEtPredictor calm;
+  OnlineEtPredictor wild;
+  for (int i = 0; i < 500; ++i) {
+    calm.Observe(0.9 + rng.Normal(0.0, 0.002));
+    wild.Observe(0.9 + rng.Normal(0.0, 0.02));
+  }
+  EXPECT_GT(wild.Margin(), 2.0 * calm.Margin());
+}
+
+TEST(OnlinePredictorTest, MarginCoversTailOfIidIncreases) {
+  // For iid Gaussian increases, margin should cover ~99.5 % of them.
+  Rng rng(6);
+  OnlineEtPredictor predictor;
+  double p = 0.9;
+  std::vector<double> margins;
+  std::vector<double> next_increase;
+  double prev_margin = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    double inc = rng.Normal(0.0, 0.01);
+    p += inc;
+    if (i > 500) {
+      margins.push_back(prev_margin);
+      next_increase.push_back(inc);
+    }
+    predictor.Observe(p);
+    prev_margin = predictor.Margin();
+  }
+  int covered = 0;
+  for (size_t i = 0; i < margins.size(); ++i) {
+    if (next_increase[i] <= margins[i]) {
+      ++covered;
+    }
+  }
+  double coverage = static_cast<double>(covered) /
+                    static_cast<double>(margins.size());
+  EXPECT_GT(coverage, 0.985);
+}
+
+TEST(OnlinePredictorTest, AdaptsToRegimeChangeWithinWindow) {
+  Rng rng(7);
+  OnlinePredictorParams params;
+  params.window = 60;
+  OnlineEtPredictor predictor(params);
+  double p = 0.9;
+  for (int i = 0; i < 300; ++i) {
+    p += rng.Normal(0.0, 0.001);
+    predictor.Observe(p);
+  }
+  double calm_margin = predictor.Margin();
+  for (int i = 0; i < 300; ++i) {
+    p += rng.Normal(0.0, 0.02);
+    predictor.Observe(p);
+  }
+  double wild_margin = predictor.Margin();
+  EXPECT_GT(wild_margin, 3.0 * calm_margin);
+}
+
+TEST(OnlinePredictorTest, MarginRespectsBounds) {
+  OnlinePredictorParams params;
+  params.min_margin = 0.005;
+  params.max_margin = 0.05;
+  OnlineEtPredictor predictor(params);
+  Rng rng(8);
+  double p = 0.9;
+  for (int i = 0; i < 200; ++i) {
+    p += rng.Normal(0.0, 0.2);  // Absurd volatility.
+    predictor.Observe(p);
+  }
+  EXPECT_LE(predictor.Margin(), 0.05);
+  // And a falling deterministic series cannot push the margin below min.
+  OnlineEtPredictor falling(params);
+  for (int i = 0; i < 200; ++i) {
+    falling.Observe(1.0 - 0.001 * i);
+  }
+  EXPECT_GE(falling.Margin(), 0.005);
+}
+
+TEST(OnlinePredictorTest, InvalidParamsThrow) {
+  OnlinePredictorParams params;
+  params.window = 2;
+  EXPECT_THROW(OnlineEtPredictor{params}, CheckFailure);
+  params = OnlinePredictorParams{};
+  params.variance_alpha = 0.0;
+  EXPECT_THROW(OnlineEtPredictor{params}, CheckFailure);
+  params = OnlinePredictorParams{};
+  params.max_margin = params.min_margin;
+  EXPECT_THROW(OnlineEtPredictor{params}, CheckFailure);
+}
+
+}  // namespace
+}  // namespace ampere

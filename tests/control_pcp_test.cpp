@@ -1,0 +1,127 @@
+#include "src/control/pcp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/control/spcp.h"
+
+namespace ampere {
+namespace {
+
+PcpProblem LinearProblem(double p0, std::vector<double> e, double kr) {
+  PcpProblem problem;
+  problem.p0 = p0;
+  problem.e = std::move(e);
+  problem.pm = 1.0;
+  problem.f = [kr](double u) { return kr * u; };
+  return problem;
+}
+
+TEST(PcpGreedyTest, NoControlWhenNeverOverBudget) {
+  auto sol = SolvePcpGreedy(LinearProblem(0.9, {0.01, 0.02, -0.01}, 0.05));
+  EXPECT_TRUE(sol.feasible);
+  EXPECT_DOUBLE_EQ(sol.cost, 0.0);
+  for (double u : sol.u) {
+    EXPECT_DOUBLE_EQ(u, 0.0);
+  }
+}
+
+TEST(PcpGreedyTest, TrajectoryStaysWithinBudget) {
+  auto sol = SolvePcpGreedy(LinearProblem(0.98, {0.03, 0.03, 0.03}, 0.05));
+  ASSERT_TRUE(sol.feasible);
+  for (double p : sol.trajectory) {
+    EXPECT_LE(p, 1.0 + 1e-9);
+  }
+}
+
+TEST(PcpGreedyTest, MatchesIteratedSpcpForLinearEffect) {
+  double kr = 0.06;
+  std::vector<double> e{0.02, 0.05, 0.01, 0.04};
+  auto sol = SolvePcpGreedy(LinearProblem(0.97, e, kr));
+  ASSERT_TRUE(sol.feasible);
+  double p = 0.97;
+  for (size_t k = 0; k < e.size(); ++k) {
+    double expected_u = SolveSpcp(p, e[k], 1.0, kr);
+    EXPECT_NEAR(sol.u[k], expected_u, 1e-9) << "step " << k;
+    p = p + e[k] - kr * expected_u;
+  }
+}
+
+TEST(PcpGreedyTest, InfeasibleInstanceFlagged) {
+  // E far above f(1): even u = 1 cannot hold the budget.
+  auto sol = SolvePcpGreedy(LinearProblem(1.0, {0.2}, 0.05));
+  EXPECT_FALSE(sol.feasible);
+  EXPECT_DOUBLE_EQ(sol.u[0], 1.0);  // Best effort.
+}
+
+TEST(PcpGreedyTest, NonlinearEffectBisectionFindsMinimal) {
+  PcpProblem problem;
+  problem.p0 = 1.0;
+  problem.e = {0.04};
+  problem.pm = 1.0;
+  problem.f = [](double u) { return 0.08 * std::sqrt(u); };  // Concave.
+  auto sol = SolvePcpGreedy(problem);
+  ASSERT_TRUE(sol.feasible);
+  // Need 0.08*sqrt(u) >= 0.04 -> u >= 0.25.
+  EXPECT_NEAR(sol.u[0], 0.25, 1e-9);
+}
+
+TEST(PcpBruteForceTest, FindsZeroCostWhenSafe) {
+  auto sol =
+      SolvePcpBruteForce(LinearProblem(0.5, {0.1, 0.1}, 0.05), 10);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_DOUBLE_EQ(sol.cost, 0.0);
+}
+
+TEST(PcpBruteForceTest, RejectsInfeasible) {
+  auto sol = SolvePcpBruteForce(LinearProblem(1.0, {0.5}, 0.05), 10);
+  EXPECT_FALSE(sol.feasible);
+}
+
+TEST(PcpBruteForceTest, LargeHorizonThrows) {
+  auto problem = LinearProblem(0.5, std::vector<double>(10, 0.0), 0.05);
+  EXPECT_THROW(SolvePcpBruteForce(problem, 4), CheckFailure);
+}
+
+// --- Lemma 3.1: iterated SPCP (== greedy with linear f) is optimal for the
+// full-horizon PCP. Validated against exhaustive search on randomized
+// instances whose E_k <= kr (the paper's empirical feasibility condition).
+class Lemma31Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Lemma31Test, GreedyCostMatchesBruteForceOptimum) {
+  Rng rng(GetParam());
+  const int steps = 40;  // u grid granularity for the exhaustive search.
+  for (int trial = 0; trial < 20; ++trial) {
+    double kr = rng.Uniform(0.04, 0.12);
+    double p0 = rng.Uniform(0.9, 1.0);
+    size_t n = static_cast<size_t>(rng.UniformInt(1, 3));
+    std::vector<double> e;
+    for (size_t k = 0; k < n; ++k) {
+      e.push_back(rng.Uniform(0.0, kr));  // Feasibility condition.
+    }
+    auto problem = LinearProblem(p0, e, kr);
+    auto greedy = SolvePcpGreedy(problem);
+    ASSERT_TRUE(greedy.feasible);
+
+    // The brute-force grid cannot express arbitrary reals, so compare
+    // against it with grid-quantization slack: grid u's overshoot by at
+    // most 1/steps per step, and its optimum cannot beat greedy by more
+    // than the quantization error.
+    auto brute = SolvePcpBruteForce(problem, steps, kr / steps + 1e-9);
+    ASSERT_TRUE(brute.feasible);
+    double slack = static_cast<double>(n) / steps;
+    EXPECT_LE(greedy.cost, brute.cost + slack)
+        << "greedy should be optimal up to grid quantization";
+    EXPECT_GE(greedy.cost, brute.cost - slack)
+        << "greedy must not be infeasibly cheap vs the exhaustive optimum";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, Lemma31Test,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace ampere

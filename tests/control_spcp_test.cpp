@@ -1,0 +1,102 @@
+#include "src/control/spcp.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/common/check.h"
+
+namespace ampere {
+namespace {
+
+TEST(SpcpTest, NoControlNeededBelowBudget) {
+  EXPECT_DOUBLE_EQ(SolveSpcp(0.90, 0.02, 1.0, 0.05), 0.0);
+  EXPECT_DOUBLE_EQ(SolveSpcp(0.98, 0.02, 1.0, 0.05), 0.0);
+}
+
+TEST(SpcpTest, ExactClosedForm) {
+  // u = (P + E - PM) / kr.
+  EXPECT_NEAR(SolveSpcp(0.99, 0.02, 1.0, 0.05), 0.01 / 0.05, 1e-12);
+  EXPECT_NEAR(SolveSpcp(1.01, 0.03, 1.0, 0.08), 0.04 / 0.08, 1e-12);
+}
+
+TEST(SpcpTest, SaturatesAtOne) {
+  EXPECT_DOUBLE_EQ(SolveSpcp(1.20, 0.05, 1.0, 0.05), 1.0);
+}
+
+TEST(SpcpTest, ZeroKrThrows) {
+  EXPECT_THROW(SolveSpcp(0.9, 0.02, 1.0, 0.0), CheckFailure);
+}
+
+TEST(SpcpTest, SolutionSatisfiesConstraintWhenFeasible) {
+  // For any state where a feasible control exists, applying the closed-form
+  // u keeps the next-step power within budget.
+  for (double p = 0.8; p <= 1.04; p += 0.01) {
+    for (double e = 0.0; e <= 0.04; e += 0.01) {
+      double kr = 0.06;
+      double u = SolveSpcp(p, e, 1.0, kr);
+      double p_next = p + e - kr * u;
+      if (p + e - kr <= 1.0) {  // Feasible instance.
+        EXPECT_LE(p_next, 1.0 + 1e-12) << "p=" << p << " e=" << e;
+      }
+    }
+  }
+}
+
+TEST(SpcpTest, SolutionIsMinimal) {
+  // Any smaller u violates the constraint on binding instances.
+  double u = SolveSpcp(1.00, 0.02, 1.0, 0.05);
+  ASSERT_GT(u, 0.0);
+  double smaller = u - 1e-6;
+  EXPECT_GT(1.00 + 0.02 - 0.05 * smaller, 1.0);
+}
+
+TEST(ThresholdRatioTest, DefinesSafetyMargin) {
+  EXPECT_DOUBLE_EQ(ThresholdRatio(0.025, 1.0), 0.975);
+  EXPECT_DOUBLE_EQ(ThresholdRatio(0.0, 1.0), 1.0);
+}
+
+TEST(FreezeRatioForTest, ZeroBelowThreshold) {
+  EXPECT_DOUBLE_EQ(FreezeRatioFor(0.97, 0.025, 1.0, 0.05, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(FreezeRatioFor(0.975, 0.025, 1.0, 0.05, 0.5), 0.0);
+}
+
+TEST(FreezeRatioForTest, RampsAboveThreshold) {
+  double u = FreezeRatioFor(0.99, 0.025, 1.0, 0.05, 0.5);
+  EXPECT_NEAR(u, (0.99 + 0.025 - 1.0) / 0.05, 1e-12);
+}
+
+TEST(FreezeRatioForTest, RespectsOperationalCap) {
+  EXPECT_DOUBLE_EQ(FreezeRatioFor(1.05, 0.03, 1.0, 0.05, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(FreezeRatioFor(1.05, 0.03, 1.0, 0.05, 1.0), 1.0);
+}
+
+TEST(FreezeRatioForTest, InvalidCapThrows) {
+  EXPECT_THROW(FreezeRatioFor(0.9, 0.02, 1.0, 0.05, 0.0), CheckFailure);
+  EXPECT_THROW(FreezeRatioFor(0.9, 0.02, 1.0, 0.05, 1.5), CheckFailure);
+}
+
+// Fig. 6 shape: the F map is non-decreasing in P_t and continuous at the
+// threshold.
+class FreezeRatioMonotoneTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(FreezeRatioMonotoneTest, MonotoneNondecreasingInPower) {
+  auto [et, kr] = GetParam();
+  double prev = -1.0;
+  for (double p = 0.5; p <= 1.3; p += 0.005) {
+    double u = FreezeRatioFor(p, et, 1.0, kr, 0.5);
+    EXPECT_GE(u, prev - 1e-12);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 0.5);
+    prev = u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EtKrGrid, FreezeRatioMonotoneTest,
+    ::testing::Combine(::testing::Values(0.0, 0.01, 0.03, 0.08),
+                       ::testing::Values(0.02, 0.05, 0.12)));
+
+}  // namespace
+}  // namespace ampere

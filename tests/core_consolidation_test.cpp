@@ -1,0 +1,133 @@
+#include "src/core/consolidation.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+#include "src/workload/batch_workload.h"
+
+namespace ampere {
+namespace {
+
+struct Fixture {
+  Simulation sim;
+  DataCenter dc;
+  Scheduler scheduler;
+
+  static TopologyConfig Topology() {
+    TopologyConfig config;
+    config.num_rows = 1;
+    config.racks_per_row = 2;
+    config.servers_per_rack = 8;  // 16 servers.
+    config.wake_latency = SimTime::Seconds(10);
+    return config;
+  }
+
+  Fixture() : dc(Topology(), &sim), scheduler(&dc, SchedulerConfig{}, Rng(7)) {}
+
+  ConsolidationConfig Config() const {
+    ConsolidationConfig config;
+    config.sleep_below_utilization = 0.40;
+    config.wake_above_utilization = 0.60;
+    config.min_awake = 4;
+    config.step = 2;
+    return config;
+  }
+
+  void LoadServers(int count, double cores) {
+    for (int32_t s = 0; s < count; ++s) {
+      dc.PlaceTask(ServerId(s), TaskSpec{JobId(100 + s),
+                                         Resources{cores, cores},
+                                         SimTime::Hours(100)});
+    }
+  }
+};
+
+TEST(ConsolidationTest, SleepsIdleServersWhenUtilizationLow) {
+  Fixture f;
+  f.LoadServers(4, 8.0);  // Utilization 2/16 = 0.125.
+  ConsolidationController controller(&f.dc, &f.scheduler, f.Config());
+  controller.Tick();
+  EXPECT_EQ(controller.ServersAsleep(), 2u);  // One step.
+  controller.Tick();
+  EXPECT_EQ(controller.ServersAsleep(), 4u);
+  EXPECT_EQ(controller.sleeps_initiated(), 4u);
+}
+
+TEST(ConsolidationTest, NeverSleepsBelowMinAwake) {
+  Fixture f;  // Fully idle.
+  ConsolidationController controller(&f.dc, &f.scheduler, f.Config());
+  for (int i = 0; i < 20; ++i) {
+    controller.Tick();
+  }
+  EXPECT_EQ(controller.ServersAsleep(), 12u);  // 16 - min_awake(4).
+}
+
+TEST(ConsolidationTest, NeverSleepsBusyOrReservedServers) {
+  Fixture f;
+  f.LoadServers(2, 4.0);
+  f.dc.SetReserved(ServerId(5), true);
+  ConsolidationController controller(&f.dc, &f.scheduler, f.Config());
+  for (int i = 0; i < 20; ++i) {
+    controller.Tick();
+  }
+  EXPECT_FALSE(f.dc.server(ServerId(0)).asleep());
+  EXPECT_FALSE(f.dc.server(ServerId(1)).asleep());
+  EXPECT_FALSE(f.dc.server(ServerId(5)).asleep());
+}
+
+TEST(ConsolidationTest, WakesOnHighUtilization) {
+  Fixture f;
+  ConsolidationController controller(&f.dc, &f.scheduler, f.Config());
+  for (int i = 0; i < 20; ++i) {
+    controller.Tick();
+  }
+  ASSERT_EQ(controller.ServersAsleep(), 12u);
+  // Load the 4 awake servers hard: utilization on awake fleet > 0.6.
+  for (int32_t s = 0; s < 16; ++s) {
+    if (!f.dc.server(ServerId(s)).asleep()) {
+      f.dc.PlaceTask(ServerId(s), TaskSpec{JobId(200 + s),
+                                           Resources{12.0, 12.0},
+                                           SimTime::Hours(100)});
+    }
+  }
+  controller.Tick();
+  EXPECT_EQ(controller.wakes_initiated(), 2u);
+  f.sim.RunUntil(f.sim.now() + SimTime::Seconds(11));
+  EXPECT_EQ(controller.ServersAsleep(), 10u);
+}
+
+TEST(ConsolidationTest, WakesOnQueueBackPressure) {
+  Fixture f;
+  ConsolidationController controller(&f.dc, &f.scheduler, f.Config());
+  for (int i = 0; i < 20; ++i) {
+    controller.Tick();
+  }
+  // A job too big for the awake capacity queues.
+  for (int32_t s = 0; s < 16; ++s) {
+    if (!f.dc.server(ServerId(s)).asleep()) {
+      f.dc.PlaceTask(ServerId(s), TaskSpec{JobId(300 + s),
+                                           Resources{10.0, 10.0},
+                                           SimTime::Hours(100)});
+    }
+  }
+  JobSpec job;
+  job.id = JobId(999);
+  job.demand = Resources{8.0, 8.0};
+  job.duration = SimTime::Minutes(5);
+  f.scheduler.Submit(job);
+  ASSERT_EQ(f.scheduler.queue_length(), 1u);
+  controller.Tick();
+  EXPECT_GT(controller.wakes_initiated(), 0u);
+}
+
+TEST(ConsolidationTest, HysteresisBandRequired) {
+  Fixture f;
+  ConsolidationConfig config = f.Config();
+  config.sleep_below_utilization = 0.6;
+  config.wake_above_utilization = 0.5;
+  EXPECT_THROW(ConsolidationController(&f.dc, &f.scheduler, config),
+               CheckFailure);
+}
+
+}  // namespace
+}  // namespace ampere

@@ -1,0 +1,251 @@
+#include "src/core/controller.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ampere {
+namespace {
+
+// Fixture: one 8-server row, noiseless monitor, controller over all servers.
+struct ControllerFixture {
+  Simulation sim;
+  DataCenter dc;
+  TimeSeriesDb db;
+  Scheduler scheduler;
+  PowerMonitor monitor;
+
+  static TopologyConfig Topology() {
+    TopologyConfig config;
+    config.num_rows = 1;
+    config.racks_per_row = 1;
+    config.servers_per_rack = 8;
+    config.server_capacity = Resources{16.0, 64.0};
+    return config;
+  }
+  static PowerMonitorConfig MonitorConfig() {
+    PowerMonitorConfig config;
+    config.noise_sigma_watts = 0.0;
+    config.quantize_to_watts = false;
+    return config;
+  }
+
+  ControllerFixture()
+      : dc(Topology(), &sim), scheduler(&dc, SchedulerConfig{}, Rng(3)),
+        monitor(&dc, &db, MonitorConfig(), Rng(4)) {
+    std::vector<ServerId> all;
+    for (int32_t s = 0; s < dc.num_servers(); ++s) {
+      all.push_back(ServerId(s));
+    }
+    monitor.RegisterGroup("row", all);
+  }
+
+  std::vector<ServerId> AllServers() const {
+    std::vector<ServerId> all;
+    for (int32_t s = 0; s < dc.num_servers(); ++s) {
+      all.push_back(ServerId(s));
+    }
+    return all;
+  }
+
+  AmpereControllerConfig Config(double kr, double et) const {
+    AmpereControllerConfig config;
+    config.effect = FreezeEffectModel(kr);
+    config.et = EtEstimator::Constant(et);
+    return config;
+  }
+
+  // Loads server `s` with `cores` of long-running work.
+  void Load(int32_t s, double cores) {
+    dc.PlaceTask(ServerId(s), TaskSpec{JobId(1000 + s),
+                                       Resources{cores, cores},
+                                       SimTime::Hours(100)});
+  }
+
+  size_t FrozenCount() const {
+    size_t n = 0;
+    for (int32_t s = 0; s < dc.num_servers(); ++s) {
+      if (dc.server(ServerId(s)).frozen()) {
+        ++n;
+      }
+    }
+    return n;
+  }
+};
+
+TEST(ControllerTest, NoActionBelowThreshold) {
+  ControllerFixture f;
+  AmpereController controller(&f.scheduler, &f.monitor, f.Config(0.05, 0.02));
+  // Budget = full rated power: idle cluster is far below threshold.
+  controller.AddDomain(
+      {"row", f.AllServers(), 8 * 250.0});
+  f.monitor.SampleOnce(SimTime::Minutes(1));
+  controller.Tick(SimTime::Minutes(1));
+  EXPECT_EQ(f.FrozenCount(), 0u);
+  EXPECT_DOUBLE_EQ(controller.freeze_ratio(0), 0.0);
+}
+
+TEST(ControllerTest, FreezesWhenPowerExceedsThreshold) {
+  ControllerFixture f;
+  // Load all servers to 50 % -> power = 8 * (162.5 + 43.75) = 1650 W.
+  for (int32_t s = 0; s < 8; ++s) {
+    f.Load(s, 8.0);
+  }
+  AmpereController controller(&f.scheduler, &f.monitor, f.Config(0.05, 0.02));
+  // Budget 1600 W: normalized power 1.031, over the 0.98 threshold.
+  controller.AddDomain({"row", f.AllServers(), 1600.0});
+  f.monitor.SampleOnce(SimTime::Minutes(1));
+  controller.Tick(SimTime::Minutes(1));
+  // u = min((1.031 + 0.02 - 1)/0.05, 0.5) = 0.5 -> floor(0.5*8) = 4 frozen.
+  EXPECT_EQ(f.FrozenCount(), 4u);
+  EXPECT_DOUBLE_EQ(controller.freeze_ratio(0), 0.5);
+  EXPECT_EQ(controller.freeze_ops(), 4u);
+}
+
+TEST(ControllerTest, FreezesHighestPowerServersFirst) {
+  ControllerFixture f;
+  // Distinct loads: servers 0..7 get increasing utilization.
+  for (int32_t s = 0; s < 8; ++s) {
+    f.Load(s, 2.0 * s);
+  }
+  AmpereController controller(&f.scheduler, &f.monitor, f.Config(0.05, 0.02));
+  double power = f.dc.row_power_watts(RowId(0));
+  // Choose a budget so that u lands at ~0.25 -> 2 servers.
+  controller.AddDomain({"row", f.AllServers(), power / 1.0});
+  f.monitor.SampleOnce(SimTime::Minutes(1));
+  controller.Tick(SimTime::Minutes(1));
+  // Normalized power == 1.0 > threshold 0.98; u = (1.0+0.02-1)/0.05 = 0.4
+  // -> floor(3.2) = 3 frozen, and they must be the three hottest (7, 6, 5).
+  EXPECT_EQ(f.FrozenCount(), 3u);
+  EXPECT_TRUE(f.dc.server(ServerId(7)).frozen());
+  EXPECT_TRUE(f.dc.server(ServerId(6)).frozen());
+  EXPECT_TRUE(f.dc.server(ServerId(5)).frozen());
+}
+
+TEST(ControllerTest, ReleasesAllWhenBackUnderThreshold) {
+  ControllerFixture f;
+  for (int32_t s = 0; s < 8; ++s) {
+    f.dc.PlaceTask(ServerId(s), TaskSpec{JobId(2000 + s),
+                                         Resources{8.0, 8.0},
+                                         SimTime::Minutes(10)});
+  }
+  AmpereController controller(&f.scheduler, &f.monitor, f.Config(0.05, 0.02));
+  controller.AddDomain({"row", f.AllServers(), 1600.0});
+  f.monitor.SampleOnce(SimTime::Minutes(1));
+  controller.Tick(SimTime::Minutes(1));
+  ASSERT_GT(f.FrozenCount(), 0u);
+  // All tasks complete at 10 min; power returns to idle.
+  f.sim.RunUntil(SimTime::Minutes(11));
+  f.monitor.SampleOnce(SimTime::Minutes(11));
+  controller.Tick(SimTime::Minutes(11));
+  EXPECT_EQ(f.FrozenCount(), 0u);
+  EXPECT_GT(controller.unfreeze_ops(), 0u);
+}
+
+TEST(ControllerTest, HysteresisKeepsFrozenSetStable) {
+  ControllerFixture f;
+  for (int32_t s = 0; s < 8; ++s) {
+    f.Load(s, 8.0);
+  }
+  AmpereController controller(&f.scheduler, &f.monitor, f.Config(0.05, 0.02));
+  controller.AddDomain({"row", f.AllServers(), 1600.0});
+  f.monitor.SampleOnce(SimTime::Minutes(1));
+  controller.Tick(SimTime::Minutes(1));
+  uint64_t ops_after_first = controller.freeze_ops() +
+                             controller.unfreeze_ops();
+  // Re-tick with identical power: no churn at all.
+  for (int m = 2; m <= 5; ++m) {
+    f.monitor.SampleOnce(SimTime::Minutes(m));
+    controller.Tick(SimTime::Minutes(m));
+  }
+  EXPECT_EQ(controller.freeze_ops() + controller.unfreeze_ops(),
+            ops_after_first);
+}
+
+TEST(ControllerTest, StatelessRebuildMatchesSchedulerFlags) {
+  ControllerFixture f;
+  for (int32_t s = 0; s < 8; ++s) {
+    f.Load(s, 8.0);
+  }
+  AmpereController first(&f.scheduler, &f.monitor, f.Config(0.05, 0.02));
+  first.AddDomain({"row", f.AllServers(), 1600.0});
+  f.monitor.SampleOnce(SimTime::Minutes(1));
+  first.Tick(SimTime::Minutes(1));
+  size_t frozen_before = f.FrozenCount();
+  ASSERT_GT(frozen_before, 0u);
+
+  // "Failover": a replacement controller rebuilds state from the scheduler.
+  AmpereController replacement(&f.scheduler, &f.monitor,
+                               f.Config(0.05, 0.02));
+  replacement.AddDomain({"row", f.AllServers(), 1600.0});
+  EXPECT_EQ(replacement.frozen_count(0), 0u);
+  replacement.RebuildStateFromScheduler();
+  EXPECT_EQ(replacement.frozen_count(0), frozen_before);
+  // And it continues controlling without churn.
+  f.monitor.SampleOnce(SimTime::Minutes(2));
+  replacement.Tick(SimTime::Minutes(2));
+  EXPECT_EQ(f.FrozenCount(), frozen_before);
+}
+
+TEST(ControllerTest, MaxFreezeRatioCapsControl) {
+  ControllerFixture f;
+  for (int32_t s = 0; s < 8; ++s) {
+    f.Load(s, 16.0);  // Full blast: power = 2000 W.
+  }
+  AmpereControllerConfig config = f.Config(0.01, 0.02);  // Tiny kr.
+  config.max_freeze_ratio = 0.25;
+  AmpereController controller(&f.scheduler, &f.monitor, config);
+  controller.AddDomain({"row", f.AllServers(), 1600.0});
+  f.monitor.SampleOnce(SimTime::Minutes(1));
+  controller.Tick(SimTime::Minutes(1));
+  EXPECT_EQ(f.FrozenCount(), 2u);  // floor(0.25 * 8).
+}
+
+TEST(ControllerTest, PeriodicStartTicksOnSchedule) {
+  ControllerFixture f;
+  AmpereController controller(&f.scheduler, &f.monitor, f.Config(0.05, 0.02));
+  controller.AddDomain({"row", f.AllServers(), 2000.0});
+  f.monitor.Start(SimTime::Minutes(1));
+  controller.Start(&f.sim, SimTime::Minutes(1) + SimTime::Seconds(1));
+  f.sim.RunUntil(SimTime::Minutes(5.5));
+  EXPECT_EQ(controller.ticks(), 5u);
+}
+
+TEST(ControllerTest, MultipleDomainsControlledIndependently) {
+  Simulation sim;
+  TopologyConfig topo;
+  topo.num_rows = 2;
+  topo.racks_per_row = 1;
+  topo.servers_per_rack = 4;
+  DataCenter dc(topo, &sim);
+  TimeSeriesDb db;
+  Scheduler scheduler(&dc, SchedulerConfig{}, Rng(5));
+  PowerMonitorConfig mc;
+  mc.noise_sigma_watts = 0.0;
+  mc.quantize_to_watts = false;
+  PowerMonitor monitor(&dc, &db, mc, Rng(6));
+  std::vector<ServerId> row0{ServerId(0), ServerId(1), ServerId(2),
+                             ServerId(3)};
+  std::vector<ServerId> row1{ServerId(4), ServerId(5), ServerId(6),
+                             ServerId(7)};
+  monitor.RegisterGroup("row0", row0);
+  monitor.RegisterGroup("row1", row1);
+  // Row 0 hot, row 1 idle.
+  for (int32_t s = 0; s < 4; ++s) {
+    dc.PlaceTask(ServerId(s), TaskSpec{JobId(s), Resources{16.0, 16.0},
+                                       SimTime::Hours(10)});
+  }
+  AmpereControllerConfig config;
+  config.effect = FreezeEffectModel(0.05);
+  config.et = EtEstimator::Constant(0.02);
+  AmpereController controller(&scheduler, &monitor, config);
+  controller.AddDomain({"row0", row0, 900.0});
+  controller.AddDomain({"row1", row1, 900.0});
+  monitor.SampleOnce(SimTime::Minutes(1));
+  controller.Tick(SimTime::Minutes(1));
+  EXPECT_GT(controller.frozen_count(0), 0u);
+  EXPECT_EQ(controller.frozen_count(1), 0u);
+}
+
+}  // namespace
+}  // namespace ampere

@@ -1,0 +1,51 @@
+#include "src/core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ampere {
+namespace {
+
+TEST(GroupReportTest, FinalizeEmptyIsZeros) {
+  GroupReport report;
+  report.Finalize();
+  EXPECT_DOUBLE_EQ(report.u_mean, 0.0);
+  EXPECT_DOUBLE_EQ(report.p_max, 0.0);
+  EXPECT_EQ(report.violations, 0);
+}
+
+TEST(GroupReportTest, FinalizeComputesSummaries) {
+  GroupReport report;
+  report.minutes = {
+      {SimTime::Minutes(1), 800.0, 0.95, 0.0, false, 10},
+      {SimTime::Minutes(2), 850.0, 1.01, 0.25, true, 12},
+      {SimTime::Minutes(3), 820.0, 0.98, 0.50, false, 8},
+      {SimTime::Minutes(4), 860.0, 1.02, 0.25, true, 11},
+  };
+  report.Finalize();
+  EXPECT_NEAR(report.u_mean, 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(report.u_max, 0.50);
+  EXPECT_NEAR(report.p_mean, (0.95 + 1.01 + 0.98 + 1.02) / 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(report.p_max, 1.02);
+  EXPECT_EQ(report.violations, 2);
+}
+
+TEST(GainInTpwTest, MatchesEquation18) {
+  // Paper's worked examples (§4.4).
+  EXPECT_NEAR(GainInTpw(0.9, 0.25), 0.125, 1e-12);
+  EXPECT_NEAR(GainInTpw(0.8, 0.25), 0.0, 1e-12);
+  EXPECT_NEAR(GainInTpw(1.0, 0.17), 0.17, 1e-12);
+  EXPECT_NEAR(GainInTpw(0.95, 0.25), 0.1875, 1e-12);
+}
+
+TEST(GainInTpwTest, NoThroughputLossGainEqualsRatio) {
+  for (double ro : {0.13, 0.17, 0.21, 0.25}) {
+    EXPECT_NEAR(GainInTpw(1.0, ro), ro, 1e-12);
+  }
+}
+
+TEST(GainInTpwTest, GainCanBeNegative) {
+  EXPECT_LT(GainInTpw(0.7, 0.25), 0.0);
+}
+
+}  // namespace
+}  // namespace ampere

@@ -1,0 +1,222 @@
+// Randomized-operation invariant tests ("fuzz" style, deterministic seeds).
+//
+// Each test drives a component with a long random sequence of operations
+// and checks global invariants after every step (or batch). These are the
+// guards against state-accounting drift: power aggregates, resource
+// accounting, frozen/capped bookkeeping, and event-queue consistency.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/controller.h"
+#include "src/sched/scheduler.h"
+#include "src/telemetry/power_monitor.h"
+#include "src/workload/batch_workload.h"
+
+namespace ampere {
+namespace {
+
+TopologyConfig FuzzTopology(bool capping, CappingMode mode) {
+  TopologyConfig config;
+  config.num_rows = 3;
+  config.racks_per_row = 2;
+  config.servers_per_rack = 6;  // 36 servers.
+  config.server_capacity = Resources{16.0, 64.0};
+  config.capping_enabled = capping;
+  config.capping_mode = mode;
+  if (capping) {
+    config.row_budget_watts = 12 * 220.0;  // Tight enough to engage.
+  }
+  return config;
+}
+
+// Recomputed-from-scratch vs incrementally-maintained state must agree.
+void CheckPowerAggregates(const DataCenter& dc) {
+  double total = 0.0;
+  for (int32_t r = 0; r < dc.num_rows(); ++r) {
+    double row_sum = 0.0;
+    for (ServerId id : dc.servers_in_row(RowId(r))) {
+      row_sum += dc.server_power_watts(id);
+    }
+    ASSERT_NEAR(dc.row_power_watts(RowId(r)), row_sum, 1e-6)
+        << "row " << r << " aggregate drifted";
+    total += row_sum;
+  }
+  ASSERT_NEAR(dc.total_power_watts(), total, 1e-6);
+  for (int32_t k = 0; k < dc.num_racks(); ++k) {
+    double rack_sum = 0.0;
+    for (ServerId id : dc.servers_in_rack(RackId(k))) {
+      rack_sum += dc.server_power_watts(id);
+    }
+    ASSERT_NEAR(dc.rack_power_watts(RackId(k)), rack_sum, 1e-6);
+  }
+}
+
+void CheckCappedCounts(const DataCenter& dc) {
+  for (int32_t r = 0; r < dc.num_rows(); ++r) {
+    size_t capped = 0;
+    for (ServerId id : dc.servers_in_row(RowId(r))) {
+      if (dc.IsServerCapped(id)) {
+        ++capped;
+      }
+    }
+    double expected = static_cast<double>(capped) /
+                      static_cast<double>(dc.servers_in_row(RowId(r)).size());
+    ASSERT_NEAR(dc.FractionOfServersCapped(RowId(r)), expected, 1e-12);
+  }
+}
+
+class DataCenterFuzzTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(DataCenterFuzzTest, AggregatesNeverDrift) {
+  auto [seed, mode_int] = GetParam();
+  auto mode = static_cast<CappingMode>(mode_int);
+  Rng rng(seed);
+  Simulation sim;
+  DataCenter dc(FuzzTopology(/*capping=*/true, mode), &sim);
+  int32_t next_job = 0;
+
+  for (int step = 0; step < 3000; ++step) {
+    double op = rng.NextDouble();
+    ServerId target(static_cast<int32_t>(rng.UniformInt(0, 35)));
+    if (op < 0.55) {
+      // Random placement attempt (may fail; that's fine).
+      TaskSpec spec{JobId(next_job++),
+                    Resources{static_cast<double>(rng.UniformInt(1, 6)),
+                              static_cast<double>(rng.UniformInt(1, 16))},
+                    SimTime::Minutes(rng.Uniform(0.2, 30.0))};
+      dc.PlaceTask(target, spec);
+    } else if (op < 0.7) {
+      dc.SetFrozen(target, rng.Bernoulli(0.5));
+    } else if (op < 0.75) {
+      dc.SetRowCappingBudget(
+          RowId(static_cast<int32_t>(rng.UniformInt(0, 2))),
+          rng.Uniform(12 * 180.0, 12 * 260.0));
+    } else {
+      // Advance time; completions fire.
+      sim.RunUntil(sim.now() + SimTime::Seconds(rng.Uniform(1.0, 120.0)));
+    }
+    if (step % 97 == 0) {
+      CheckPowerAggregates(dc);
+      CheckCappedCounts(dc);
+    }
+  }
+  // Drain everything; power must return to the idle floor.
+  sim.RunUntil(sim.now() + SimTime::Hours(2));
+  CheckPowerAggregates(dc);
+  for (int32_t s = 0; s < dc.num_servers(); ++s) {
+    EXPECT_EQ(dc.server(ServerId(s)).num_tasks(), 0u);
+    EXPECT_DOUBLE_EQ(dc.server(ServerId(s)).utilization(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, DataCenterFuzzTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(0, 1)));  // kRowUniform, kPerServer.
+
+TEST(SchedulerFuzzTest, ResourceAccountingUnderChurn) {
+  Rng rng(77);
+  Simulation sim;
+  DataCenter dc(FuzzTopology(false, CappingMode::kRowUniform), &sim);
+  Scheduler scheduler(&dc, SchedulerConfig{}, rng.Fork(1));
+  int32_t next_job = 0;
+
+  for (int step = 0; step < 5000; ++step) {
+    double op = rng.NextDouble();
+    if (op < 0.6) {
+      JobSpec job;
+      job.id = JobId(next_job++);
+      job.demand = Resources{static_cast<double>(rng.UniformInt(1, 8)),
+                             static_cast<double>(rng.UniformInt(1, 24))};
+      job.duration = SimTime::Minutes(rng.Uniform(0.5, 20.0));
+      if (rng.Bernoulli(0.2)) {
+        job.row_affinity = RowId(static_cast<int32_t>(rng.UniformInt(0, 2)));
+      }
+      scheduler.Submit(job);
+    } else if (op < 0.8) {
+      ServerId target(static_cast<int32_t>(rng.UniformInt(0, 35)));
+      if (rng.Bernoulli(0.5)) {
+        scheduler.Freeze(target);
+      } else {
+        scheduler.Unfreeze(target);
+      }
+    } else {
+      sim.RunUntil(sim.now() + SimTime::Seconds(rng.Uniform(1.0, 180.0)));
+    }
+    if (step % 203 == 0) {
+      // Allocation never exceeds capacity, never goes negative.
+      for (int32_t s = 0; s < dc.num_servers(); ++s) {
+        const Server& server = dc.server(ServerId(s));
+        ASSERT_TRUE(server.capacity().Fits(server.allocated()));
+        ASSERT_TRUE(server.allocated().NonNegative());
+      }
+    }
+  }
+  // Conservation: everything submitted is placed, queued, or completed.
+  sim.RunUntil(sim.now() + SimTime::Hours(3));
+  // Unfreeze all so the queue can drain fully.
+  for (int32_t s = 0; s < dc.num_servers(); ++s) {
+    scheduler.Unfreeze(ServerId(s));
+  }
+  sim.RunUntil(sim.now() + SimTime::Hours(3));
+  EXPECT_EQ(scheduler.jobs_placed(),
+            scheduler.jobs_submitted() - scheduler.queue_length());
+  EXPECT_EQ(scheduler.jobs_completed(), scheduler.jobs_placed());
+}
+
+TEST(ClosedLoopFuzzTest, ControllerNeverBreaksSchedulerInvariants) {
+  // A controller with absurd parameters (huge margins, tiny kr, random
+  // selection) must still never place jobs on frozen servers or corrupt
+  // the frozen-set bookkeeping.
+  Rng rng(99);
+  Simulation sim;
+  DataCenter dc(FuzzTopology(false, CappingMode::kRowUniform), &sim);
+  TimeSeriesDb db;
+  Scheduler scheduler(&dc, SchedulerConfig{}, rng.Fork(1));
+  PowerMonitor monitor(&dc, &db, PowerMonitorConfig{}, rng.Fork(2));
+  std::vector<ServerId> all;
+  for (int32_t s = 0; s < dc.num_servers(); ++s) {
+    all.push_back(ServerId(s));
+  }
+  monitor.RegisterGroup("all", all);
+
+  JobIdAllocator ids;
+  BatchWorkloadParams params;
+  params.arrivals.base_rate_per_min = 40.0;
+  BatchWorkload workload(params, &sim, &scheduler, &ids, rng.Fork(3));
+
+  AmpereControllerConfig config;
+  config.effect = FreezeEffectModel(0.002);  // Tiny: u saturates often.
+  config.et = EtEstimator::Constant(0.15);   // Huge margin.
+  config.selection = FreezeSelection::kRandom;
+  AmpereController controller(&scheduler, &monitor, config);
+  controller.AddDomain({"all", all, 36 * 215.0});
+
+  bool frozen_placement = false;
+  scheduler.SetPlacementListener([&](const JobSpec&, ServerId server) {
+    if (dc.server(server).frozen()) {
+      frozen_placement = true;
+    }
+  });
+
+  workload.Start(SimTime());
+  monitor.Start(SimTime::Minutes(1));
+  controller.Start(&sim, SimTime::Minutes(1) + SimTime::Seconds(1));
+  sim.RunUntil(SimTime::Hours(6));
+
+  EXPECT_FALSE(frozen_placement);
+  // The controller's cached frozen set matches the scheduler's flags.
+  size_t flagged = 0;
+  for (int32_t s = 0; s < dc.num_servers(); ++s) {
+    if (dc.server(ServerId(s)).frozen()) {
+      ++flagged;
+    }
+  }
+  EXPECT_EQ(controller.frozen_count(0), flagged);
+}
+
+}  // namespace
+}  // namespace ampere

@@ -1,0 +1,208 @@
+// End-to-end closed-loop tests wiring every subsystem by hand (no harness):
+// workload -> scheduler -> datacenter -> monitor -> controller -> scheduler.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/controller.h"
+#include "src/core/experiment.h"
+#include "src/sched/scheduler.h"
+#include "src/telemetry/power_monitor.h"
+#include "src/workload/batch_workload.h"
+#include "src/workload/interactive_service.h"
+
+namespace ampere {
+namespace {
+
+struct Loop {
+  Simulation sim;
+  DataCenter dc;
+  TimeSeriesDb db;
+  Scheduler scheduler;
+  PowerMonitor monitor;
+  JobIdAllocator ids;
+  std::unique_ptr<BatchWorkload> workload;
+
+  static TopologyConfig Topology(bool capping) {
+    TopologyConfig config;
+    config.num_rows = 1;
+    config.racks_per_row = 4;
+    config.servers_per_rack = 15;  // 60 servers.
+    config.capping_enabled = capping;
+    return config;
+  }
+  static PowerMonitorConfig Noiseless() {
+    PowerMonitorConfig c;
+    c.noise_sigma_watts = 0.0;
+    c.quantize_to_watts = false;
+    return c;
+  }
+
+  explicit Loop(double rate_per_min, bool capping = false)
+      : dc(Topology(capping), &sim),
+        scheduler(&dc, SchedulerConfig{}, Rng(11)),
+        monitor(&dc, &db, Noiseless(), Rng(12)) {
+    BatchWorkloadParams params;
+    params.arrivals.base_rate_per_min = rate_per_min;
+    workload = std::make_unique<BatchWorkload>(params, &sim, &scheduler,
+                                               &ids, Rng(13));
+    std::vector<ServerId> all;
+    for (int32_t s = 0; s < dc.num_servers(); ++s) {
+      all.push_back(ServerId(s));
+    }
+    monitor.RegisterGroup("row", all);
+  }
+
+  std::vector<ServerId> AllServers() const {
+    std::vector<ServerId> all;
+    for (int32_t s = 0; s < dc.num_servers(); ++s) {
+      all.push_back(ServerId(s));
+    }
+    return all;
+  }
+};
+
+TEST(ClosedLoopTest, SteadyStateConcurrencyMatchesLittlesLaw) {
+  // rate * mean duration jobs in flight once warm.
+  Loop loop(30.0);
+  loop.workload->Start(SimTime());
+  loop.monitor.Start(SimTime::Minutes(1));
+  loop.sim.RunUntil(SimTime::Hours(3));
+  size_t running = 0;
+  for (int32_t s = 0; s < loop.dc.num_servers(); ++s) {
+    running += loop.dc.server(ServerId(s)).num_tasks();
+  }
+  // 30 jobs/min * ~8.6 min mean (truncated lognormal) ~ 260 tasks.
+  EXPECT_GT(running, 180u);
+  EXPECT_LT(running, 340u);
+}
+
+TEST(ClosedLoopTest, ControllerHoldsRowUnderOperatorTarget) {
+  // Two rows sharing one scheduler: the controller caps row 0 and the
+  // diverted jobs land on row 1, mirroring the production structure where a
+  // controlled row sheds load to the rest of the fleet. Power control in a
+  // *closed* single row is only possible through queue back-pressure; with
+  // an overflow row it works through placement diversion (§3.4).
+  Simulation sim;
+  TopologyConfig topo;
+  topo.num_rows = 2;
+  topo.racks_per_row = 2;
+  topo.servers_per_rack = 15;  // 30 per row.
+  DataCenter dc(topo, &sim);
+  TimeSeriesDb db;
+  Scheduler scheduler(&dc, SchedulerConfig{}, Rng(11));
+  PowerMonitorConfig mc;
+  mc.noise_sigma_watts = 0.0;
+  mc.quantize_to_watts = false;
+  PowerMonitor monitor(&dc, &db, mc, Rng(12));
+  std::vector<ServerId> row0(dc.servers_in_row(RowId(0)).begin(),
+                             dc.servers_in_row(RowId(0)).end());
+  monitor.RegisterGroup("row0", row0);
+  JobIdAllocator ids;
+  BatchWorkloadParams params;
+  params.arrivals.base_rate_per_min = 32.0;  // ~60 % CPU across both rows.
+  BatchWorkload workload(params, &sim, &scheduler, &ids, Rng(13));
+
+  workload.Start(SimTime());
+  monitor.Start(SimTime::Minutes(1));
+  sim.RunUntil(SimTime::Hours(2));
+  double uncontrolled = dc.row_power_watts(RowId(0));
+
+  // The budget sits just above the mean demand, so control only has to
+  // shave workload peaks — the paper's operating regime. (A target far
+  // below mean demand would exceed the authority of the 50 % freeze cap.)
+  AmpereControllerConfig config;
+  config.effect = FreezeEffectModel(0.025);
+  config.et = EtEstimator::Constant(0.015);
+  AmpereController controller(&scheduler, &monitor, config);
+  double target = uncontrolled * 1.03;
+  controller.AddDomain({"row0", row0, target});
+  controller.Start(&sim, SimTime::Hours(2) + SimTime::Seconds(1));
+
+  // Count violating samples over the controlled window (after settling).
+  struct Counters {
+    int violations = 0;
+    int samples = 0;
+  };
+  Counters counters;
+  sim.SchedulePeriodic(
+      SimTime::Hours(2) + SimTime::Minutes(30) + SimTime::Seconds(2),
+      SimTime::Minutes(1), [&](SimTime) {
+        ++counters.samples;
+        if (monitor.LatestGroupWatts("row0") > target) {
+          ++counters.violations;
+        }
+      });
+  sim.RunUntil(SimTime::Hours(8));
+  ASSERT_GT(counters.samples, 300);
+  EXPECT_LT(static_cast<double>(counters.violations) / counters.samples,
+            0.10);
+  EXPECT_GT(controller.freeze_ops(), 0u);
+  // Diverted load showed up on the uncontrolled row.
+  EXPECT_GT(scheduler.placements_in_row(RowId(1)),
+            scheduler.placements_in_row(RowId(0)));
+}
+
+TEST(ClosedLoopTest, CappingActsAsSafetyNetUnderSpikes) {
+  // Capping enabled with a low row budget: the row is throttled, the
+  // breaker never trips, and the budget is honored at every event (the
+  // budget is chosen above the ladder's floor so hardware can meet it).
+  Loop loop(80.0, /*capping=*/true);
+  double budget = 60 * 162.5 + 60 * 87.5 * 0.7;
+  loop.dc.SetRowCappingBudget(RowId(0), budget);
+  loop.workload->Start(SimTime());
+  loop.monitor.Start(SimTime::Minutes(1));
+  loop.sim.RunUntil(SimTime::Hours(4));
+  EXPECT_FALSE(loop.dc.AnyBreakerTripped());
+  EXPECT_GT(loop.dc.row_capped_time(RowId(0)), SimTime::Minutes(30));
+  EXPECT_LE(loop.dc.row_power_watts(RowId(0)), budget + 1e-6);
+}
+
+TEST(ClosedLoopTest, FreezeDrainsAndUnfreezeRefills) {
+  // Freeze a busy server: its tasks finish and no new ones arrive; power
+  // decays toward idle (the Fig. 4 drain). Unfreeze: it fills back up.
+  Loop loop(50.0);
+  loop.workload->Start(SimTime());
+  loop.sim.RunUntil(SimTime::Hours(2));
+  ServerId victim(7);
+  double busy_power = loop.dc.server_power_watts(victim);
+  ASSERT_GT(busy_power, 170.0);
+
+  // Job durations are clamped at 120 min, so 2.5 h after freezing even the
+  // longest resident job has finished.
+  loop.scheduler.Freeze(victim);
+  loop.sim.RunUntil(SimTime::Hours(4.6));
+  double frozen_power = loop.dc.server_power_watts(victim);
+  EXPECT_NEAR(frozen_power, 162.5, 1.0);  // At idle.
+
+  loop.scheduler.Unfreeze(victim);
+  loop.sim.RunUntil(SimTime::Hours(5.6));
+  EXPECT_GT(loop.dc.server_power_watts(victim), frozen_power + 10.0);
+}
+
+TEST(ClosedLoopTest, InteractiveServiceCoexistsWithBatch) {
+  Loop loop(30.0);
+  // Reserve 4 servers for the service.
+  std::vector<ServerId> redis{ServerId(0), ServerId(1), ServerId(2),
+                              ServerId(3)};
+  for (ServerId id : redis) {
+    loop.dc.SetReserved(id, true);
+  }
+  InteractiveServiceParams params;
+  params.servers = redis;
+  params.requests_per_sec_per_server = 500.0;
+  InteractiveService service(params, &loop.sim, &loop.dc, Rng(21));
+  service.Run(SimTime::Minutes(1), SimTime::Minutes(31),
+              SimTime::Minutes(5));
+  loop.workload->Start(SimTime());
+  loop.sim.RunUntil(SimTime::Minutes(40));
+  // Batch jobs never landed on reserved servers (only the resident task).
+  for (ServerId id : redis) {
+    EXPECT_EQ(loop.dc.server(id).num_tasks(), 1u);
+  }
+  EXPECT_GT(service.requests_served(), 10000u);
+}
+
+}  // namespace
+}  // namespace ampere

@@ -1,0 +1,87 @@
+#include "src/power/breaker.h"
+
+#include <gtest/gtest.h>
+
+namespace ampere {
+namespace {
+
+BreakerParams Params() {
+  BreakerParams p;
+  p.tolerance = 1.10;
+  p.trip_delay = SimTime::Seconds(30);
+  return p;
+}
+
+TEST(BreakerTest, StaysClosedUnderBudget) {
+  CircuitBreaker b(Params());
+  for (int s = 0; s < 100; ++s) {
+    EXPECT_FALSE(b.Observe(SimTime::Seconds(s), 900.0, 1000.0));
+  }
+  EXPECT_FALSE(b.tripped());
+}
+
+TEST(BreakerTest, ToleratesMildOverload) {
+  CircuitBreaker b(Params());
+  // 5 % over budget is inside the 10 % tolerance forever.
+  for (int s = 0; s < 1000; ++s) {
+    b.Observe(SimTime::Seconds(s), 1050.0, 1000.0);
+  }
+  EXPECT_FALSE(b.tripped());
+}
+
+TEST(BreakerTest, TripsAfterSustainedSevereOverload) {
+  CircuitBreaker b(Params());
+  bool tripped_now = false;
+  for (int s = 0; s <= 35; ++s) {
+    tripped_now = b.Observe(SimTime::Seconds(s), 1200.0, 1000.0);
+    if (tripped_now) {
+      break;
+    }
+  }
+  EXPECT_TRUE(b.tripped());
+  EXPECT_TRUE(tripped_now);
+  EXPECT_EQ(b.tripped_at(), SimTime::Seconds(30));
+}
+
+TEST(BreakerTest, BriefSpikesDoNotTrip) {
+  CircuitBreaker b(Params());
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    SimTime base = SimTime::Minutes(cycle);
+    // 10 s of severe overload, then relief.
+    for (int s = 0; s < 10; ++s) {
+      b.Observe(base + SimTime::Seconds(s), 1300.0, 1000.0);
+    }
+    b.Observe(base + SimTime::Seconds(10), 800.0, 1000.0);
+  }
+  EXPECT_FALSE(b.tripped());
+}
+
+TEST(BreakerTest, RecoveryResetsOverloadTimer) {
+  CircuitBreaker b(Params());
+  b.Observe(SimTime::Seconds(0), 1300.0, 1000.0);
+  b.Observe(SimTime::Seconds(29), 1300.0, 1000.0);
+  b.Observe(SimTime::Seconds(30), 900.0, 1000.0);   // Relief just in time.
+  b.Observe(SimTime::Seconds(31), 1300.0, 1000.0);  // Overload restarts.
+  b.Observe(SimTime::Seconds(60), 1300.0, 1000.0);  // Only 29 s so far.
+  EXPECT_FALSE(b.tripped());
+  b.Observe(SimTime::Seconds(61), 1300.0, 1000.0);
+  EXPECT_TRUE(b.tripped());
+}
+
+TEST(BreakerTest, ResetClearsTrip) {
+  CircuitBreaker b(Params());
+  b.Observe(SimTime::Seconds(0), 1300.0, 1000.0);
+  b.Observe(SimTime::Seconds(31), 1300.0, 1000.0);
+  ASSERT_TRUE(b.tripped());
+  b.Reset();
+  EXPECT_FALSE(b.tripped());
+  EXPECT_FALSE(b.Observe(SimTime::Seconds(100), 900.0, 1000.0));
+}
+
+TEST(BreakerTest, DefaultConstructible) {
+  CircuitBreaker b;
+  EXPECT_FALSE(b.tripped());
+}
+
+}  // namespace
+}  // namespace ampere

@@ -1,0 +1,98 @@
+#include "src/power/dvfs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+
+namespace ampere {
+namespace {
+
+TEST(DvfsLadderTest, DefaultLadderSpansHalfToFull) {
+  DvfsLadder ladder;
+  EXPECT_DOUBLE_EQ(ladder.min_multiplier(), 0.5);
+  EXPECT_DOUBLE_EQ(ladder.steps().back(), 1.0);
+}
+
+TEST(DvfsLadderTest, ClampDownRoundsDown) {
+  DvfsLadder ladder({0.5, 0.75, 1.0});
+  EXPECT_DOUBLE_EQ(ladder.ClampDown(0.9), 0.75);
+  EXPECT_DOUBLE_EQ(ladder.ClampDown(0.75), 0.75);
+  EXPECT_DOUBLE_EQ(ladder.ClampDown(0.74), 0.5);
+  EXPECT_DOUBLE_EQ(ladder.ClampDown(1.0), 1.0);
+}
+
+TEST(DvfsLadderTest, BelowLadderClampsToMinimum) {
+  DvfsLadder ladder({0.5, 1.0});
+  EXPECT_DOUBLE_EQ(ladder.ClampDown(0.1), 0.5);
+  EXPECT_DOUBLE_EQ(ladder.ClampDown(0.0), 0.5);
+}
+
+TEST(DvfsLadderTest, InvalidLaddersThrow) {
+  EXPECT_THROW(DvfsLadder(std::vector<double>{}), CheckFailure);
+  EXPECT_THROW(DvfsLadder({1.0, 0.5}), CheckFailure);       // Unsorted.
+  EXPECT_THROW(DvfsLadder({0.5, 0.9}), CheckFailure);       // Missing 1.0.
+  EXPECT_THROW(DvfsLadder({0.0, 1.0}), CheckFailure);       // Zero step.
+}
+
+TEST(ComputeRowCapTest, UnderBudgetNoThrottle) {
+  DvfsLadder ladder;
+  CapDecision d = ComputeRowCap(1000.0, 500.0, 2000.0, ladder);
+  EXPECT_FALSE(d.engaged);
+  EXPECT_DOUBLE_EQ(d.throttle, 1.0);
+}
+
+TEST(ComputeRowCapTest, ExactBudgetNoThrottle) {
+  DvfsLadder ladder;
+  CapDecision d = ComputeRowCap(1000.0, 1000.0, 2000.0, ladder);
+  EXPECT_FALSE(d.engaged);
+}
+
+TEST(ComputeRowCapTest, OverBudgetPicksLargestSafeStep) {
+  DvfsLadder ladder({0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
+  // idle 1000 + dyn 1000 vs budget 1750: need t <= 0.75 -> step 0.7.
+  CapDecision d = ComputeRowCap(1000.0, 1000.0, 1750.0, ladder);
+  EXPECT_TRUE(d.engaged);
+  EXPECT_DOUBLE_EQ(d.throttle, 0.7);
+  // Resulting power honors the budget.
+  EXPECT_LE(1000.0 + 1000.0 * d.throttle, 1750.0);
+}
+
+TEST(ComputeRowCapTest, IdleFloorAboveBudgetCapsAtMinimum) {
+  DvfsLadder ladder;
+  CapDecision d = ComputeRowCap(2000.0, 500.0, 1500.0, ladder);
+  EXPECT_TRUE(d.engaged);
+  EXPECT_DOUBLE_EQ(d.throttle, 0.5);
+}
+
+TEST(ComputeRowCapTest, ZeroDynamicOverBudgetCapsAtMinimum) {
+  DvfsLadder ladder;
+  CapDecision d = ComputeRowCap(2000.0, 0.0, 1500.0, ladder);
+  EXPECT_TRUE(d.engaged);
+  EXPECT_DOUBLE_EQ(d.throttle, 0.5);
+}
+
+// Property sweep: for any overload ratio, the chosen step never exceeds the
+// exact requirement (caps are honored, never "rounded up").
+class RowCapSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RowCapSweepTest, ThrottleNeverExceedsRequirement) {
+  DvfsLadder ladder;
+  double budget = GetParam();
+  double idle = 1000.0;
+  double dynamic = 800.0;
+  CapDecision d = ComputeRowCap(idle, dynamic, budget, ladder);
+  if (budget >= idle + dynamic) {
+    EXPECT_FALSE(d.engaged);
+  } else if (budget > idle + dynamic * ladder.min_multiplier()) {
+    EXPECT_LE(idle + dynamic * d.throttle, budget + 1e-9);
+  } else {
+    EXPECT_DOUBLE_EQ(d.throttle, ladder.min_multiplier());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, RowCapSweepTest,
+                         ::testing::Values(900.0, 1200.0, 1400.0, 1500.0,
+                                           1650.0, 1799.0, 1800.0, 2000.0));
+
+}  // namespace
+}  // namespace ampere

@@ -1,0 +1,80 @@
+#include "src/power/power_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+
+namespace ampere {
+namespace {
+
+PowerModelParams DefaultParams() {
+  PowerModelParams p;
+  p.rated_watts = 250.0;
+  p.idle_fraction = 0.65;
+  p.alpha = 1.0;
+  return p;
+}
+
+TEST(PowerModelTest, IdleAtZeroUtilization) {
+  ServerPowerModel model(DefaultParams());
+  EXPECT_DOUBLE_EQ(model.PowerAt(0.0, 1.0), 162.5);
+  EXPECT_DOUBLE_EQ(model.idle_watts(), 162.5);
+}
+
+TEST(PowerModelTest, RatedAtFullUtilizationFullFrequency) {
+  ServerPowerModel model(DefaultParams());
+  EXPECT_DOUBLE_EQ(model.PowerAt(1.0, 1.0), 250.0);
+}
+
+TEST(PowerModelTest, LinearInUtilization) {
+  ServerPowerModel model(DefaultParams());
+  double p_half = model.PowerAt(0.5, 1.0);
+  EXPECT_DOUBLE_EQ(p_half, 162.5 + 0.5 * 87.5);
+}
+
+TEST(PowerModelTest, ThrottlingScalesOnlyDynamicComponent) {
+  ServerPowerModel model(DefaultParams());
+  double full = model.PowerAt(0.8, 1.0);
+  double capped = model.PowerAt(0.8, 0.5);
+  EXPECT_DOUBLE_EQ(capped, 162.5 + 0.5 * (full - 162.5));
+  // Idle draw is unaffected by frequency.
+  EXPECT_DOUBLE_EQ(model.PowerAt(0.0, 0.5), 162.5);
+}
+
+TEST(PowerModelTest, UtilizationClampedToUnitRange) {
+  ServerPowerModel model(DefaultParams());
+  EXPECT_DOUBLE_EQ(model.PowerAt(1.5, 1.0), 250.0);
+  EXPECT_DOUBLE_EQ(model.PowerAt(-0.5, 1.0), 162.5);
+}
+
+TEST(PowerModelTest, AlphaShapesCurve) {
+  PowerModelParams p = DefaultParams();
+  p.alpha = 2.0;
+  ServerPowerModel model(p);
+  EXPECT_DOUBLE_EQ(model.DynamicPowerAt(0.5, 1.0), 87.5 * 0.25);
+}
+
+TEST(PowerModelTest, MonotoneInUtilization) {
+  ServerPowerModel model(DefaultParams());
+  double prev = -1.0;
+  for (double u = 0.0; u <= 1.0; u += 0.05) {
+    double p = model.PowerAt(u, 1.0);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PowerModelTest, InvalidParamsThrow) {
+  PowerModelParams p = DefaultParams();
+  p.rated_watts = 0.0;
+  EXPECT_THROW(ServerPowerModel{p}, CheckFailure);
+  p = DefaultParams();
+  p.idle_fraction = 1.0;
+  EXPECT_THROW(ServerPowerModel{p}, CheckFailure);
+  p = DefaultParams();
+  p.alpha = 0.0;
+  EXPECT_THROW(ServerPowerModel{p}, CheckFailure);
+}
+
+}  // namespace
+}  // namespace ampere

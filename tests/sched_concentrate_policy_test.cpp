@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "src/sched/scheduler.h"
+
+namespace ampere {
+namespace {
+
+TopologyConfig FourRowTopology() {
+  TopologyConfig config;
+  config.num_rows = 4;
+  config.racks_per_row = 1;
+  config.servers_per_rack = 8;
+  config.server_capacity = Resources{16.0, 64.0};
+  return config;
+}
+
+JobSpec MakeJob(int32_t id, double cores = 2.0,
+                SimTime duration = SimTime::Hours(10)) {
+  JobSpec job;
+  job.id = JobId(id);
+  job.demand = Resources{cores, cores * 2.0};
+  job.duration = duration;
+  return job;
+}
+
+struct Fixture {
+  Simulation sim;
+  DataCenter dc;
+  Scheduler scheduler;
+  explicit Fixture(double ceiling = 0.92)
+      : dc(FourRowTopology(), &sim),
+        scheduler(&dc, MakeConfig(ceiling), Rng(23)) {}
+  static SchedulerConfig MakeConfig(double ceiling) {
+    SchedulerConfig config;
+    config.policy = PlacementPolicy::kConcentrateRows;
+    config.concentrate_power_ceiling = ceiling;
+    return config;
+  }
+};
+
+TEST(ConcentratePolicyTest, PacksOneRowBeforeSpilling) {
+  Fixture f;
+  // 8 servers/row * 16 cores = 128 cores per row. 40 jobs of 2 cores fit
+  // comfortably in one row's CPU, and its power stays below the ceiling
+  // (util 0.625 -> power 0.87 of rated).
+  for (int i = 0; i < 40; ++i) {
+    f.scheduler.Submit(MakeJob(i));
+  }
+  uint64_t in_rows[4];
+  uint64_t max_row = 0;
+  for (int32_t r = 0; r < 4; ++r) {
+    in_rows[r] = f.scheduler.placements_in_row(RowId(r));
+    max_row = std::max(max_row, in_rows[r]);
+  }
+  EXPECT_EQ(max_row, 40u) << "all jobs should land on one row";
+}
+
+TEST(ConcentratePolicyTest, CeilingStopsPacking) {
+  Fixture f(/*ceiling=*/0.80);
+  // Power ceiling 0.80 -> util ceiling (0.8-0.65)/0.35 = 0.43 -> ~55 cores
+  // of 128. Submitting 60 jobs x 2 cores = 120 cores must spill into at
+  // least two rows.
+  for (int i = 0; i < 60; ++i) {
+    f.scheduler.Submit(MakeJob(i));
+  }
+  int rows_used = 0;
+  for (int32_t r = 0; r < 4; ++r) {
+    if (f.scheduler.placements_in_row(RowId(r)) > 0) {
+      ++rows_used;
+    }
+  }
+  EXPECT_GE(rows_used, 2);
+  EXPECT_LE(rows_used, 3);
+  EXPECT_EQ(f.scheduler.jobs_placed(), 60u);  // Work-conserving.
+}
+
+TEST(ConcentratePolicyTest, RespectsRowAffinity) {
+  Fixture f;
+  for (int i = 0; i < 10; ++i) {
+    JobSpec job = MakeJob(100 + i);
+    job.row_affinity = RowId(2);
+    f.scheduler.Submit(job);
+  }
+  EXPECT_EQ(f.scheduler.placements_in_row(RowId(2)), 10u);
+}
+
+TEST(ConcentratePolicyTest, SkipsFrozenServersInHotRow) {
+  Fixture f;
+  // Freeze every server in what would be the hottest row after the first
+  // placement: jobs must go elsewhere, not stall.
+  f.scheduler.Submit(MakeJob(0));
+  RowId hot;
+  for (int32_t r = 0; r < 4; ++r) {
+    if (f.scheduler.placements_in_row(RowId(r)) > 0) {
+      hot = RowId(r);
+    }
+  }
+  for (ServerId id : f.dc.servers_in_row(hot)) {
+    f.scheduler.Freeze(id);
+  }
+  for (int i = 1; i <= 10; ++i) {
+    f.scheduler.Submit(MakeJob(i));
+  }
+  EXPECT_EQ(f.scheduler.jobs_placed(), 11u);
+  EXPECT_EQ(f.scheduler.placements_in_row(hot), 1u);
+}
+
+TEST(ConcentratePolicyTest, FallsBackWhenAllRowsAboveCeiling) {
+  // Ceiling below idle power: every row is always "too hot", so the policy
+  // must fall back to random-fit rather than queueing everything.
+  Fixture f(/*ceiling=*/0.5);
+  for (int i = 0; i < 10; ++i) {
+    f.scheduler.Submit(MakeJob(i));
+  }
+  EXPECT_EQ(f.scheduler.jobs_placed(), 10u);
+}
+
+TEST(PowerAwareSpreadTest, PrefersColdestRow) {
+  Simulation sim;
+  DataCenter dc(FourRowTopology(), &sim);
+  SchedulerConfig config;
+  config.policy = PlacementPolicy::kPowerAwareSpread;
+  Scheduler scheduler(&dc, config, Rng(31));
+  // Pre-heat rows 0-2 with resident load; row 3 stays cold.
+  for (int32_t r = 0; r < 3; ++r) {
+    for (ServerId id : dc.servers_in_row(RowId(r))) {
+      dc.PlaceTask(id, TaskSpec{JobId(1000 + id.value()),
+                                Resources{8.0, 8.0}, SimTime::Hours(10)});
+    }
+  }
+  for (int i = 0; i < 12; ++i) {
+    scheduler.Submit(MakeJob(i));
+  }
+  EXPECT_EQ(scheduler.placements_in_row(RowId(3)), 12u);
+}
+
+TEST(PowerAwareSpreadTest, RefusesRowsAboveCeilingUntilForced) {
+  Simulation sim;
+  DataCenter dc(FourRowTopology(), &sim);
+  SchedulerConfig config;
+  config.policy = PlacementPolicy::kPowerAwareSpread;
+  config.concentrate_power_ceiling = 0.80;
+  Scheduler scheduler(&dc, config, Rng(32));
+  // Heat every row above the 0.80 ceiling (util 0.75 -> power 0.91).
+  for (int32_t s = 0; s < dc.num_servers(); ++s) {
+    dc.PlaceTask(ServerId(s), TaskSpec{JobId(2000 + s),
+                                       Resources{12.0, 12.0},
+                                       SimTime::Hours(10)});
+  }
+  // Work-conserving fallback: jobs still place despite every row being
+  // over the ceiling.
+  for (int i = 0; i < 8; ++i) {
+    scheduler.Submit(MakeJob(i, 2.0));
+  }
+  EXPECT_EQ(scheduler.jobs_placed(), 8u);
+}
+
+}  // namespace
+}  // namespace ampere

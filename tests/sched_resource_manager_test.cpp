@@ -1,0 +1,101 @@
+#include "src/sched/resource_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace ampere {
+namespace {
+
+TopologyConfig SmallTopology() {
+  TopologyConfig config;
+  config.num_rows = 1;
+  config.racks_per_row = 1;
+  config.servers_per_rack = 4;
+  config.server_capacity = Resources{16.0, 64.0};
+  return config;
+}
+
+TEST(ResourceManagerTest, FreezeRemovesFromCandidateList) {
+  Simulation sim;
+  DataCenter dc(SmallTopology(), &sim);
+  ResourceManager rm(&dc);
+  EXPECT_TRUE(rm.IsCandidate(ServerId(0)));
+  rm.Freeze(ServerId(0));
+  EXPECT_FALSE(rm.IsCandidate(ServerId(0)));
+  EXPECT_TRUE(rm.IsFrozen(ServerId(0)));
+  rm.Unfreeze(ServerId(0));
+  EXPECT_TRUE(rm.IsCandidate(ServerId(0)));
+  EXPECT_EQ(rm.freeze_calls(), 1u);
+  EXPECT_EQ(rm.unfreeze_calls(), 1u);
+}
+
+TEST(ResourceManagerTest, ReservedAndAsleepAreNotCandidates) {
+  Simulation sim;
+  DataCenter dc(SmallTopology(), &sim);
+  ResourceManager rm(&dc);
+  dc.SetReserved(ServerId(1), true);
+  EXPECT_FALSE(rm.IsCandidate(ServerId(1)));
+  dc.SleepServer(ServerId(2));
+  EXPECT_FALSE(rm.IsCandidate(ServerId(2)));
+  dc.WakeServer(ServerId(2));
+  EXPECT_FALSE(rm.IsCandidate(ServerId(2)));  // Still booting.
+  sim.RunUntil(SimTime::Minutes(1));
+  EXPECT_TRUE(rm.IsCandidate(ServerId(2)));
+}
+
+TEST(ResourceManagerTest, CanHostChecksBothStateAndFit) {
+  Simulation sim;
+  DataCenter dc(SmallTopology(), &sim);
+  ResourceManager rm(&dc);
+  Resources big{12.0, 12.0};
+  EXPECT_TRUE(rm.CanHost(ServerId(0), big));
+  ASSERT_TRUE(rm.ClaimContainer(
+      ServerId(0), TaskSpec{JobId(1), big, SimTime::Minutes(5)}));
+  EXPECT_FALSE(rm.CanHost(ServerId(0), big));          // No room left.
+  EXPECT_TRUE(rm.CanHost(ServerId(0), Resources{2.0, 2.0}));
+  rm.Freeze(ServerId(0));
+  EXPECT_FALSE(rm.CanHost(ServerId(0), Resources{2.0, 2.0}));  // Frozen.
+}
+
+TEST(ResourceManagerTest, ClaimRefusesNonCandidates) {
+  Simulation sim;
+  DataCenter dc(SmallTopology(), &sim);
+  ResourceManager rm(&dc);
+  rm.Freeze(ServerId(0));
+  EXPECT_FALSE(rm.ClaimContainer(
+      ServerId(0), TaskSpec{JobId(1), Resources{1.0, 1.0},
+                            SimTime::Minutes(5)}));
+  EXPECT_EQ(rm.containers_claimed(), 0u);
+  // Unlike DataCenter::PlaceTask, the low level enforces the frozen flag
+  // itself — the upper level cannot bypass the candidate list.
+  EXPECT_TRUE(dc.PlaceTask(ServerId(0),
+                           TaskSpec{JobId(1), Resources{1.0, 1.0},
+                                    SimTime::Minutes(5)}));
+}
+
+TEST(ResourceManagerTest, ClaimBindsResourcesAndRunsTask) {
+  Simulation sim;
+  DataCenter dc(SmallTopology(), &sim);
+  ResourceManager rm(&dc);
+  ASSERT_TRUE(rm.ClaimContainer(
+      ServerId(3), TaskSpec{JobId(9), Resources{4.0, 8.0},
+                            SimTime::Minutes(10)}));
+  EXPECT_EQ(rm.containers_claimed(), 1u);
+  EXPECT_EQ(dc.server(ServerId(3)).num_tasks(), 1u);
+  sim.RunUntil(SimTime::Minutes(11));
+  EXPECT_EQ(dc.server(ServerId(3)).num_tasks(), 0u);
+}
+
+TEST(ResourceManagerTest, FreezeDoesNotTouchRunningContainers) {
+  Simulation sim;
+  DataCenter dc(SmallTopology(), &sim);
+  ResourceManager rm(&dc);
+  ASSERT_TRUE(rm.ClaimContainer(
+      ServerId(0), TaskSpec{JobId(1), Resources{4.0, 4.0},
+                            SimTime::Minutes(10)}));
+  rm.Freeze(ServerId(0));
+  sim.RunUntil(SimTime::Minutes(11));
+  EXPECT_EQ(dc.server(ServerId(0)).num_tasks(), 0u);  // Finished normally.
+}
+
+}  // namespace
+}  // namespace ampere

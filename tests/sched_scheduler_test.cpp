@@ -1,0 +1,201 @@
+#include "src/sched/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ampere {
+namespace {
+
+TopologyConfig TwoRowTopology() {
+  TopologyConfig config;
+  config.num_rows = 2;
+  config.racks_per_row = 1;
+  config.servers_per_rack = 8;
+  config.server_capacity = Resources{16.0, 64.0};
+  return config;
+}
+
+JobSpec MakeJob(int32_t id, double cores = 2.0,
+                SimTime duration = SimTime::Minutes(5)) {
+  JobSpec job;
+  job.id = JobId(id);
+  job.demand = Resources{cores, cores * 2.0};
+  job.duration = duration;
+  return job;
+}
+
+struct Fixture {
+  Simulation sim;
+  DataCenter dc;
+  Scheduler scheduler;
+  explicit Fixture(PlacementPolicy policy = PlacementPolicy::kRandomFit,
+                   TopologyConfig topo = TwoRowTopology())
+      : dc(topo, &sim),
+        scheduler(&dc, MakeConfig(policy), Rng(17)) {}
+  static SchedulerConfig MakeConfig(PlacementPolicy policy) {
+    SchedulerConfig c;
+    c.policy = policy;
+    return c;
+  }
+};
+
+TEST(SchedulerTest, PlacesSubmittedJob) {
+  Fixture f;
+  f.scheduler.Submit(MakeJob(1));
+  EXPECT_EQ(f.scheduler.jobs_submitted(), 1u);
+  EXPECT_EQ(f.scheduler.jobs_placed(), 1u);
+  EXPECT_EQ(f.scheduler.queue_length(), 0u);
+}
+
+TEST(SchedulerTest, NeverPlacesOnFrozenServers) {
+  Fixture f;
+  // Freeze everything except server 5.
+  for (int32_t s = 0; s < f.dc.num_servers(); ++s) {
+    if (s != 5) {
+      f.scheduler.Freeze(ServerId(s));
+    }
+  }
+  for (int i = 0; i < 6; ++i) {
+    f.scheduler.Submit(MakeJob(100 + i));
+  }
+  EXPECT_EQ(f.scheduler.jobs_placed(), 6u);
+  EXPECT_EQ(f.dc.server(ServerId(5)).num_tasks(), 6u);
+}
+
+TEST(SchedulerTest, AllFrozenQueuesJobs) {
+  Fixture f;
+  for (int32_t s = 0; s < f.dc.num_servers(); ++s) {
+    f.scheduler.Freeze(ServerId(s));
+  }
+  f.scheduler.Submit(MakeJob(1));
+  EXPECT_EQ(f.scheduler.jobs_placed(), 0u);
+  EXPECT_EQ(f.scheduler.queue_length(), 1u);
+}
+
+TEST(SchedulerTest, UnfreezeDrainsQueue) {
+  Fixture f;
+  for (int32_t s = 0; s < f.dc.num_servers(); ++s) {
+    f.scheduler.Freeze(ServerId(s));
+  }
+  f.scheduler.Submit(MakeJob(1));
+  f.scheduler.Submit(MakeJob(2));
+  ASSERT_EQ(f.scheduler.queue_length(), 2u);
+  f.scheduler.Unfreeze(ServerId(3));
+  EXPECT_EQ(f.scheduler.queue_length(), 0u);
+  EXPECT_EQ(f.dc.server(ServerId(3)).num_tasks(), 2u);
+}
+
+TEST(SchedulerTest, CompletionDrainsQueue) {
+  Fixture f;
+  // Fill every server to capacity with 16-core jobs.
+  int32_t id = 0;
+  for (int32_t s = 0; s < f.dc.num_servers(); ++s) {
+    f.scheduler.Submit(MakeJob(id++, 16.0, SimTime::Minutes(1)));
+  }
+  f.scheduler.Submit(MakeJob(id++, 16.0, SimTime::Minutes(1)));
+  EXPECT_EQ(f.scheduler.queue_length(), 1u);
+  f.sim.RunUntil(SimTime::Minutes(1.5));
+  EXPECT_EQ(f.scheduler.queue_length(), 0u);
+  EXPECT_EQ(f.scheduler.jobs_completed(), 16u);
+}
+
+TEST(SchedulerTest, RowAffinityRespected) {
+  Fixture f;
+  for (int i = 0; i < 20; ++i) {
+    JobSpec job = MakeJob(200 + i);
+    job.row_affinity = RowId(1);
+    f.scheduler.Submit(job);
+  }
+  EXPECT_EQ(f.scheduler.placements_in_row(RowId(0)), 0u);
+  EXPECT_EQ(f.scheduler.placements_in_row(RowId(1)), 20u);
+}
+
+TEST(SchedulerTest, ReservedServersSkipped) {
+  Fixture f;
+  for (int32_t s = 0; s < f.dc.num_servers(); ++s) {
+    if (s != 7) {
+      f.dc.SetReserved(ServerId(s), true);
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    f.scheduler.Submit(MakeJob(300 + i));
+  }
+  EXPECT_EQ(f.dc.server(ServerId(7)).num_tasks(), 4u);
+}
+
+TEST(SchedulerTest, PlacementListenerFires) {
+  Fixture f;
+  std::vector<int32_t> placed_on;
+  f.scheduler.SetPlacementListener(
+      [&](const JobSpec&, ServerId s) { placed_on.push_back(s.value()); });
+  f.scheduler.Submit(MakeJob(1));
+  f.scheduler.Submit(MakeJob(2));
+  EXPECT_EQ(placed_on.size(), 2u);
+}
+
+TEST(SchedulerTest, StatisticalSpreadAcrossRows) {
+  // With random-fit and symmetric rows, placements split roughly evenly —
+  // the statistical property Ampere's indirect control relies on (§3.4).
+  Fixture f;
+  for (int i = 0; i < 2000; ++i) {
+    f.scheduler.Submit(MakeJob(1000 + i, 1.0, SimTime::Hours(10)));
+  }
+  auto row0 = static_cast<double>(f.scheduler.placements_in_row(RowId(0)));
+  auto row1 = static_cast<double>(f.scheduler.placements_in_row(RowId(1)));
+  EXPECT_NEAR(row0 / (row0 + row1), 0.5, 0.05);
+}
+
+TEST(SchedulerTest, FreezingShiftsPlacementShareProportionally) {
+  // Freeze half of row 0: its share of new placements should drop to ~1/3
+  // (4 available vs 8 in row 1).
+  Fixture f;
+  for (int32_t s = 0; s < 4; ++s) {
+    f.scheduler.Freeze(ServerId(s));
+  }
+  for (int i = 0; i < 3000; ++i) {
+    f.scheduler.Submit(MakeJob(1000 + i, 0.1, SimTime::Hours(10)));
+  }
+  auto row0 = static_cast<double>(f.scheduler.placements_in_row(RowId(0)));
+  auto row1 = static_cast<double>(f.scheduler.placements_in_row(RowId(1)));
+  EXPECT_NEAR(row0 / (row0 + row1), 1.0 / 3.0, 0.05);
+}
+
+TEST(SchedulerTest, LeastLoadedPrefersIdleServers) {
+  Fixture f(PlacementPolicy::kLeastLoaded);
+  // Pre-load servers 0..13 heavily; 14 and 15 stay empty.
+  for (int32_t s = 0; s < 14; ++s) {
+    f.dc.PlaceTask(ServerId(s), TaskSpec{JobId(9000 + s),
+                                         Resources{14.0, 14.0},
+                                         SimTime::Hours(10)});
+  }
+  for (int i = 0; i < 10; ++i) {
+    f.scheduler.Submit(MakeJob(400 + i, 1.0, SimTime::Hours(10)));
+  }
+  // The two idle servers should absorb well over their uniform share (10 *
+  // 2/16 ≈ 1.25 jobs) of the 10 placements.
+  size_t idle_tasks = f.dc.server(ServerId(14)).num_tasks() +
+                      f.dc.server(ServerId(15)).num_tasks();
+  EXPECT_GE(idle_tasks, 5u);
+}
+
+TEST(SchedulerTest, RoundRobinCyclesServers) {
+  Fixture f(PlacementPolicy::kRoundRobin);
+  for (int i = 0; i < 16; ++i) {
+    f.scheduler.Submit(MakeJob(500 + i, 1.0, SimTime::Hours(10)));
+  }
+  for (int32_t s = 0; s < 16; ++s) {
+    EXPECT_EQ(f.dc.server(ServerId(s)).num_tasks(), 1u) << "server " << s;
+  }
+}
+
+TEST(SchedulerTest, OversizedJobStaysQueuedWithoutBlockingOthers) {
+  Fixture f;
+  f.scheduler.Submit(MakeJob(1, 32.0));  // Larger than any server.
+  f.scheduler.Submit(MakeJob(2, 2.0));
+  EXPECT_EQ(f.scheduler.queue_length(), 1u);
+  EXPECT_EQ(f.scheduler.jobs_placed(), 1u);
+}
+
+}  // namespace
+}  // namespace ampere

@@ -1,0 +1,170 @@
+#include "src/sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace ampere {
+namespace {
+
+TEST(SimulationTest, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(SimTime::Seconds(3), [&] { order.push_back(3); });
+  sim.ScheduleAt(SimTime::Seconds(1), [&] { order.push_back(1); });
+  sim.ScheduleAt(SimTime::Seconds(2), [&] { order.push_back(2); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::Seconds(3));
+}
+
+TEST(SimulationTest, SameTimeEventsFireFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.ScheduleAt(SimTime::Seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulationTest, ClockAdvancesToEventTime) {
+  Simulation sim;
+  SimTime seen;
+  sim.ScheduleAt(SimTime::Minutes(5), [&] { seen = sim.now(); });
+  sim.RunToCompletion();
+  EXPECT_EQ(seen, SimTime::Minutes(5));
+}
+
+TEST(SimulationTest, SchedulingIntoThePastThrows) {
+  Simulation sim;
+  sim.ScheduleAt(SimTime::Seconds(10), [] {});
+  sim.RunToCompletion();
+  EXPECT_THROW(sim.ScheduleAt(SimTime::Seconds(5), [] {}), CheckFailure);
+}
+
+TEST(SimulationTest, ScheduleAfterIsRelative) {
+  Simulation sim;
+  std::vector<double> fire_times;
+  sim.ScheduleAt(SimTime::Seconds(10), [&] {
+    sim.ScheduleAfter(SimTime::Seconds(5),
+                      [&] { fire_times.push_back(sim.now().seconds()); });
+  });
+  sim.RunToCompletion();
+  ASSERT_EQ(fire_times.size(), 1u);
+  EXPECT_DOUBLE_EQ(fire_times[0], 15.0);
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  auto handle = sim.ScheduleAt(SimTime::Seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.Cancel();
+  EXPECT_FALSE(handle.pending());
+  sim.RunToCompletion();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulationTest, CancelAfterFireIsNoop) {
+  Simulation sim;
+  auto handle = sim.ScheduleAt(SimTime::Seconds(1), [] {});
+  sim.RunToCompletion();
+  EXPECT_FALSE(handle.pending());
+  handle.Cancel();  // Must not crash.
+}
+
+TEST(SimulationTest, DefaultHandleIsInert) {
+  Simulation::EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+  handle.Cancel();
+}
+
+TEST(SimulationTest, RunUntilStopsAtBoundaryAndSetsClock) {
+  Simulation sim;
+  std::vector<double> fired;
+  sim.ScheduleAt(SimTime::Seconds(1), [&] { fired.push_back(1.0); });
+  sim.ScheduleAt(SimTime::Seconds(5), [&] { fired.push_back(5.0); });
+  sim.RunUntil(SimTime::Seconds(3));
+  EXPECT_EQ(fired, std::vector<double>{1.0});
+  EXPECT_EQ(sim.now(), SimTime::Seconds(3));
+  sim.RunUntil(SimTime::Seconds(10));
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 5.0}));
+}
+
+TEST(SimulationTest, EventAtBoundaryIncludedInRunUntil) {
+  Simulation sim;
+  bool fired = false;
+  sim.ScheduleAt(SimTime::Seconds(3), [&] { fired = true; });
+  sim.RunUntil(SimTime::Seconds(3));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulationTest, RunUntilHonorsBoundaryPastCancelledEvents) {
+  // Regression: a cancelled entry at the queue head must not let RunUntil
+  // execute a live event beyond the boundary.
+  Simulation sim;
+  bool late_fired = false;
+  auto early = sim.ScheduleAt(SimTime::Seconds(1), [] {});
+  sim.ScheduleAt(SimTime::Seconds(100), [&] { late_fired = true; });
+  early.Cancel();
+  sim.RunUntil(SimTime::Seconds(10));
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(sim.now(), SimTime::Seconds(10));
+  sim.RunUntil(SimTime::Seconds(200));
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(SimulationTest, PeriodicTaskFiresAtInterval) {
+  Simulation sim;
+  std::vector<double> fire_minutes;
+  sim.SchedulePeriodic(SimTime::Minutes(1), SimTime::Minutes(1),
+                       [&](SimTime t) { fire_minutes.push_back(t.minutes()); });
+  sim.RunUntil(SimTime::Minutes(5.5));
+  EXPECT_EQ(fire_minutes, (std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0}));
+}
+
+TEST(SimulationTest, PeriodicTasksInterleaveDeterministically) {
+  Simulation sim;
+  std::vector<char> order;
+  sim.SchedulePeriodic(SimTime::Minutes(1), SimTime::Minutes(1),
+                       [&](SimTime) { order.push_back('a'); });
+  sim.SchedulePeriodic(SimTime::Minutes(1), SimTime::Minutes(1),
+                       [&](SimTime) { order.push_back('b'); });
+  sim.RunUntil(SimTime::Minutes(3));
+  // 'a' was registered first and must stay first at every shared instant.
+  EXPECT_EQ(order, (std::vector<char>{'a', 'b', 'a', 'b', 'a', 'b'}));
+}
+
+TEST(SimulationTest, ProcessedEventCountTracks) {
+  Simulation sim;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(SimTime::Seconds(i), [] {});
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(sim.processed_events(), 10u);
+}
+
+TEST(SimulationTest, StepReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulationTest, EventsScheduledDuringRunExecute) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      sim.ScheduleAfter(SimTime::Seconds(1), recurse);
+    }
+  };
+  sim.ScheduleAt(SimTime::Seconds(0), recurse);
+  sim.RunToCompletion();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), SimTime::Seconds(4));
+}
+
+}  // namespace
+}  // namespace ampere

@@ -1,0 +1,67 @@
+#include "src/stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace ampere {
+namespace {
+
+TEST(PearsonTest, PerfectPositive) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{2.0, 4.0, 6.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegative) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{9.0, 6.0, 3.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSeriesGivesZero) {
+  std::vector<double> x{5.0, 5.0, 5.0};
+  std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(PearsonTest, IndependentSeriesNearZero) {
+  Rng rng(3);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.StandardNormal());
+    y.push_back(rng.StandardNormal());
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.0, 0.02);
+}
+
+TEST(PearsonTest, InvariantToAffineTransform) {
+  Rng rng(4);
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> y_scaled;
+  for (int i = 0; i < 1000; ++i) {
+    double a = rng.StandardNormal();
+    double b = a + rng.Normal(0.0, 0.5);
+    x.push_back(a);
+    y.push_back(b);
+    y_scaled.push_back(3.0 * b + 100.0);
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), PearsonCorrelation(x, y_scaled),
+              1e-12);
+}
+
+TEST(PairwiseTest, UpperTriangleCount) {
+  std::vector<std::vector<double>> series{
+      {1.0, 2.0, 3.0}, {2.0, 4.0, 6.0}, {3.0, 2.0, 1.0}, {1.0, 3.0, 2.0}};
+  auto cors = PairwiseCorrelations(series);
+  EXPECT_EQ(cors.size(), 6u);  // C(4,2).
+  EXPECT_NEAR(cors[0], 1.0, 1e-12);   // series 0 vs 1.
+  EXPECT_NEAR(cors[1], -1.0, 1e-12);  // series 0 vs 2.
+}
+
+}  // namespace
+}  // namespace ampere

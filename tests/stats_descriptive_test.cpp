@@ -1,0 +1,65 @@
+#include "src/stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ampere {
+namespace {
+
+TEST(SummarizeTest, EmptyInput) {
+  Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(SummarizeTest, KnownValues) {
+  std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  Summary s = Summarize(v);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.sum, 40.0);
+  // Sample variance with n-1: sum of squared devs = 32, / 7.
+  EXPECT_NEAR(s.variance, 32.0 / 7.0, 1e-12);
+}
+
+TEST(OnlineStatsTest, SingleValue) {
+  OnlineStats acc;
+  acc.Add(3.5);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.5);
+}
+
+TEST(OnlineStatsTest, MatchesBatchOnRandomStream) {
+  OnlineStats acc;
+  std::vector<double> v;
+  double x = 0.1;
+  for (int i = 0; i < 1000; ++i) {
+    x = 3.9 * x * (1.0 - x);  // Deterministic chaotic stream.
+    acc.Add(x);
+    v.push_back(x);
+  }
+  Summary batch = Summarize(v);
+  EXPECT_NEAR(acc.mean(), batch.mean, 1e-12);
+  EXPECT_NEAR(acc.variance(), batch.variance, 1e-10);
+  EXPECT_DOUBLE_EQ(acc.min(), batch.min);
+  EXPECT_DOUBLE_EQ(acc.max(), batch.max);
+}
+
+TEST(OnlineStatsTest, NumericallyStableWithLargeOffset) {
+  OnlineStats acc;
+  const double offset = 1e9;
+  acc.Add(offset + 1.0);
+  acc.Add(offset + 2.0);
+  acc.Add(offset + 3.0);
+  EXPECT_NEAR(acc.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(acc.variance(), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ampere

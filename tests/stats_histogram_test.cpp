@@ -1,0 +1,86 @@
+#include "src/stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/stats/percentile.h"
+
+namespace ampere {
+namespace {
+
+TEST(HistogramTest, CountAndMean) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(1.0);
+  h.Add(2.0);
+  h.Add(3.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 3.0);
+}
+
+TEST(HistogramTest, QuantileOfEmptyThrows) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW(h.Quantile(0.5), CheckFailure);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBin) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) {
+    h.Add(4.5);  // All mass in bin [4,5).
+  }
+  double q = h.Quantile(0.5);
+  EXPECT_GE(q, 4.0);
+  EXPECT_LE(q, 5.0);
+}
+
+TEST(HistogramTest, OverflowMassReportsMaxSeen) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(5.0);
+  h.Add(9.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 9.0);
+}
+
+TEST(HistogramTest, UnderflowClampsToLo) {
+  Histogram h(10.0, 20.0, 4);
+  h.Add(1.0);
+  h.Add(2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.1), 10.0);
+}
+
+TEST(HistogramTest, QuantilesMatchExactWithinBinWidth) {
+  Rng rng(11);
+  Histogram h(0.0, 100.0, 10000);  // 0.01-wide bins.
+  std::vector<double> exact;
+  for (int i = 0; i < 100000; ++i) {
+    double v = rng.Exponential(5.0);
+    h.Add(v);
+    exact.push_back(v);
+  }
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(h.Quantile(q), Percentile(exact, q), 0.05)
+        << "quantile " << q;
+  }
+}
+
+TEST(HistogramTest, MergeCombinesMass) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  a.Add(1.0);
+  b.Add(9.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max_seen(), 9.0);
+}
+
+TEST(HistogramTest, MergeLayoutMismatchThrows) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 20.0, 10);
+  EXPECT_THROW(a.Merge(b), CheckFailure);
+}
+
+}  // namespace
+}  // namespace ampere

@@ -1,0 +1,95 @@
+#include "src/stats/percentile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace ampere {
+namespace {
+
+TEST(PercentileTest, SingleElement) {
+  std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 7.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenOrderStatistics) {
+  std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 25.0);
+  EXPECT_NEAR(Percentile(v, 1.0 / 3.0), 20.0, 1e-12);
+}
+
+TEST(PercentileTest, UnsortedInputHandled) {
+  std::vector<double> v{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 25.0);
+}
+
+TEST(PercentileTest, EmptyThrows) {
+  EXPECT_THROW(Percentile({}, 0.5), CheckFailure);
+}
+
+TEST(PercentileTest, OutOfRangeQuantileThrows) {
+  std::vector<double> v{1.0};
+  EXPECT_THROW(Percentile(v, -0.1), CheckFailure);
+  EXPECT_THROW(Percentile(v, 1.1), CheckFailure);
+}
+
+TEST(EmpiricalCdfTest, EvaluateCountsFraction) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(100.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, QuantileIsInverseOfEvaluate) {
+  Rng rng(9);
+  std::vector<double> sample;
+  for (int i = 0; i < 5000; ++i) {
+    sample.push_back(rng.Normal(10.0, 2.0));
+  }
+  EmpiricalCdf cdf(sample);
+  for (double q : {0.1, 0.25, 0.5, 0.9, 0.99}) {
+    double x = cdf.Quantile(q);
+    EXPECT_NEAR(cdf.Evaluate(x), q, 0.01);
+  }
+}
+
+TEST(EmpiricalCdfTest, PlotPointsSpanRangeAndAreMonotone) {
+  EmpiricalCdf cdf({5.0, 1.0, 3.0, 2.0, 4.0});
+  auto points = cdf.PlotPoints(11);
+  ASSERT_EQ(points.size(), 11u);
+  EXPECT_DOUBLE_EQ(points.front().first, 1.0);
+  EXPECT_DOUBLE_EQ(points.back().first, 5.0);
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].second, points[i - 1].second);
+  }
+}
+
+// Property sweep: quantiles of uniform samples track the theoretical value.
+class PercentileSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileSweepTest, UniformSampleQuantileNearTheoretical) {
+  double q = GetParam();
+  Rng rng(1234);
+  std::vector<double> v;
+  for (int i = 0; i < 40000; ++i) {
+    v.push_back(rng.NextDouble());
+  }
+  EXPECT_NEAR(Percentile(v, q), q, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, PercentileSweepTest,
+                         ::testing::Values(0.05, 0.25, 0.5, 0.75, 0.95,
+                                           0.995));
+
+}  // namespace
+}  // namespace ampere

@@ -1,0 +1,105 @@
+#include "src/stats/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace ampere {
+namespace {
+
+TEST(FitLinearTest, ExactLine) {
+  std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  std::vector<double> y{1.0, 3.0, 5.0, 7.0};
+  LinearFit fit = FitLinear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(fit.count, 4u);
+}
+
+TEST(FitLinearTest, NoisyLineRecoversSlope) {
+  Rng rng(5);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 5000; ++i) {
+    double xi = rng.Uniform(0.0, 10.0);
+    x.push_back(xi);
+    y.push_back(3.0 * xi - 2.0 + rng.Normal(0.0, 0.5));
+  }
+  LinearFit fit = FitLinear(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.02);
+  EXPECT_NEAR(fit.intercept, -2.0, 0.1);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(FitLinearTest, ConstantXThrows) {
+  std::vector<double> x{2.0, 2.0, 2.0};
+  std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_THROW(FitLinear(x, y), CheckFailure);
+}
+
+TEST(FitLinearTest, TooFewPointsThrows) {
+  std::vector<double> x{1.0};
+  std::vector<double> y{1.0};
+  EXPECT_THROW(FitLinear(x, y), CheckFailure);
+}
+
+TEST(FitThroughOriginTest, ExactProportionalLine) {
+  std::vector<double> x{1.0, 2.0, 4.0};
+  std::vector<double> y{0.05, 0.10, 0.20};
+  LinearFit fit = FitThroughOrigin(x, y);
+  EXPECT_NEAR(fit.slope, 0.05, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.intercept, 0.0);
+}
+
+TEST(FitThroughOriginTest, MinimizesResidualsThroughOrigin) {
+  // Points with an offset: through-origin slope is sum(xy)/sum(xx), not the
+  // OLS slope.
+  std::vector<double> x{1.0, 2.0};
+  std::vector<double> y{2.0, 3.0};
+  LinearFit fit = FitThroughOrigin(x, y);
+  EXPECT_NEAR(fit.slope, (1.0 * 2.0 + 2.0 * 3.0) / (1.0 + 4.0), 1e-12);
+}
+
+TEST(FitThroughOriginTest, AllZeroXThrows) {
+  std::vector<double> x{0.0, 0.0};
+  std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW(FitThroughOrigin(x, y), CheckFailure);
+}
+
+TEST(QuantilesByBucketTest, GroupsAndComputesQuantiles) {
+  // x in [0,1), y = x bucket index value.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(0.005 + 0.01 * i);          // Spread over [0, 1).
+    y.push_back(i < 50 ? 1.0 : 3.0);        // Low half 1.0, high half 3.0.
+  }
+  std::vector<double> qs{0.5};
+  auto buckets = QuantilesByBucket(x, y, 2, qs);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets[0].quantiles[0], 1.0);
+  EXPECT_DOUBLE_EQ(buckets[1].quantiles[0], 3.0);
+  EXPECT_EQ(buckets[0].count + buckets[1].count, 100u);
+}
+
+TEST(QuantilesByBucketTest, EmptyInputYieldsNoBuckets) {
+  std::vector<double> qs{0.5};
+  EXPECT_TRUE(QuantilesByBucket({}, {}, 4, qs).empty());
+}
+
+TEST(QuantilesByBucketTest, DegenerateConstantX) {
+  std::vector<double> x{1.0, 1.0, 1.0};
+  std::vector<double> y{1.0, 2.0, 3.0};
+  std::vector<double> qs{0.5};
+  auto buckets = QuantilesByBucket(x, y, 3, qs);
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].count, 3u);
+  EXPECT_DOUBLE_EQ(buckets[0].quantiles[0], 2.0);
+}
+
+}  // namespace
+}  // namespace ampere

@@ -1,0 +1,93 @@
+#include "src/stats/timeseries_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ampere {
+namespace {
+
+TEST(FirstOrderDifferencesTest, Basic) {
+  std::vector<double> v{1.0, 3.0, 2.0, 6.0};
+  auto d = FirstOrderDifferences(v);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], -1.0);
+  EXPECT_DOUBLE_EQ(d[2], 4.0);
+}
+
+TEST(FirstOrderDifferencesTest, ShortInputsEmpty) {
+  EXPECT_TRUE(FirstOrderDifferences({}).empty());
+  std::vector<double> one{1.0};
+  EXPECT_TRUE(FirstOrderDifferences(one).empty());
+}
+
+TEST(WindowedMaxTest, ExactWindows) {
+  std::vector<double> v{1.0, 5.0, 2.0, 4.0, 3.0, 6.0};
+  auto m = WindowedMax(v, 2);
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_DOUBLE_EQ(m[0], 5.0);
+  EXPECT_DOUBLE_EQ(m[1], 4.0);
+  EXPECT_DOUBLE_EQ(m[2], 6.0);
+}
+
+TEST(WindowedMaxTest, RaggedTail) {
+  std::vector<double> v{1.0, 2.0, 3.0, 9.0, 4.0};
+  auto m = WindowedMax(v, 3);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m[0], 3.0);
+  EXPECT_DOUBLE_EQ(m[1], 9.0);
+}
+
+TEST(WindowedMaxTest, WindowOneIsIdentity) {
+  std::vector<double> v{3.0, 1.0, 2.0};
+  auto m = WindowedMax(v, 1);
+  EXPECT_EQ(m, v);
+}
+
+TEST(ScaledPowerChangesTest, MatchesFigure9Method) {
+  // Per-minute series; 2-minute scale = diffs of per-2-min maxima.
+  std::vector<double> v{1.0, 3.0, 2.0, 2.5, 4.0, 1.0};
+  auto changes = ScaledPowerChanges(v, 2);
+  // Maxima: 3.0, 2.5, 4.0 -> diffs: -0.5, 1.5.
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_DOUBLE_EQ(changes[0], -0.5);
+  EXPECT_DOUBLE_EQ(changes[1], 1.5);
+}
+
+TEST(HourlyIncreaseQuantileTest, AttributesToCorrectHour) {
+  // 3 hours of per-minute data: hour 0 flat, hour 1 rises by 2 per minute,
+  // hour 2 falls by 1 per minute.
+  std::vector<double> series;
+  double v = 0.0;
+  for (int m = 0; m < 60; ++m) {
+    series.push_back(v);
+  }
+  for (int m = 0; m < 60; ++m) {
+    v += 2.0;
+    series.push_back(v);
+  }
+  for (int m = 0; m < 60; ++m) {
+    v -= 1.0;
+    series.push_back(v);
+  }
+  auto profile = HourlyIncreaseQuantile(series, 0, 0.5, -99.0);
+  EXPECT_DOUBLE_EQ(profile[0], 0.0);   // Mostly zero increases.
+  EXPECT_DOUBLE_EQ(profile[1], 2.0);
+  EXPECT_DOUBLE_EQ(profile[2], -1.0);
+  EXPECT_DOUBLE_EQ(profile[3], -99.0);  // No data -> fallback.
+}
+
+TEST(HourlyIncreaseQuantileTest, StartOffsetShiftsAttribution) {
+  // Series starting at 23:30: the first 30 diffs belong to hour 23.
+  std::vector<double> series;
+  for (int m = 0; m <= 30; ++m) {
+    series.push_back(static_cast<double>(m) * 5.0);
+  }
+  auto profile = HourlyIncreaseQuantile(series, 23 * 60 + 30, 0.5, 0.0);
+  EXPECT_DOUBLE_EQ(profile[23], 5.0);
+  EXPECT_DOUBLE_EQ(profile[0], 0.0);  // Fallback: no hour-0 samples.
+}
+
+}  // namespace
+}  // namespace ampere

@@ -1,0 +1,142 @@
+#include "src/telemetry/power_monitor.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace ampere {
+namespace {
+
+TopologyConfig SmallTopology() {
+  TopologyConfig config;
+  config.num_rows = 2;
+  config.racks_per_row = 1;
+  config.servers_per_rack = 4;
+  return config;
+}
+
+PowerMonitorConfig NoiselessConfig() {
+  PowerMonitorConfig config;
+  config.noise_sigma_watts = 0.0;
+  config.quantize_to_watts = false;
+  return config;
+}
+
+TEST(PowerMonitorTest, SamplesEveryMinute) {
+  Simulation sim;
+  DataCenter dc(SmallTopology(), &sim);
+  TimeSeriesDb db;
+  PowerMonitor monitor(&dc, &db, NoiselessConfig(), Rng(1));
+  monitor.Start(SimTime::Minutes(1));
+  sim.RunUntil(SimTime::Minutes(10.5));
+  EXPECT_EQ(monitor.samples_taken(), 10u);
+  EXPECT_EQ(db.Series(PowerMonitor::RowSeries(RowId(0))).size(), 10u);
+  EXPECT_EQ(db.Series(PowerMonitor::kTotalSeries).size(), 10u);
+}
+
+TEST(PowerMonitorTest, NoiselessReadingsMatchTruth) {
+  Simulation sim;
+  DataCenter dc(SmallTopology(), &sim);
+  TimeSeriesDb db;
+  PowerMonitor monitor(&dc, &db, NoiselessConfig(), Rng(1));
+  dc.PlaceTask(ServerId(0), TaskSpec{JobId(1), Resources{8.0, 8.0},
+                                     SimTime::Hours(2)});
+  monitor.SampleOnce(SimTime::Minutes(1));
+  EXPECT_NEAR(monitor.LatestServerWatts(ServerId(0)),
+              dc.server_power_watts(ServerId(0)), 1e-9);
+  EXPECT_NEAR(monitor.LatestRowWatts(RowId(0)),
+              dc.row_power_watts(RowId(0)), 1e-9);
+}
+
+TEST(PowerMonitorTest, QuantizationRoundsToWholeWatts) {
+  Simulation sim;
+  DataCenter dc(SmallTopology(), &sim);
+  TimeSeriesDb db;
+  PowerMonitorConfig config;
+  config.noise_sigma_watts = 0.0;
+  config.quantize_to_watts = true;
+  PowerMonitor monitor(&dc, &db, config, Rng(1));
+  monitor.SampleOnce(SimTime::Minutes(1));
+  double reading = monitor.LatestServerWatts(ServerId(0));
+  EXPECT_DOUBLE_EQ(reading, std::round(reading));
+}
+
+TEST(PowerMonitorTest, NoiseAveragesOut) {
+  Simulation sim;
+  DataCenter dc(SmallTopology(), &sim);
+  TimeSeriesDb db;
+  PowerMonitorConfig config;
+  config.noise_sigma_watts = 3.0;
+  config.quantize_to_watts = false;
+  PowerMonitor monitor(&dc, &db, config, Rng(7));
+  double truth = dc.server_power_watts(ServerId(0));
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 1; i <= n; ++i) {
+    monitor.SampleOnce(SimTime::Minutes(i));
+    sum += monitor.LatestServerWatts(ServerId(0));
+  }
+  EXPECT_NEAR(sum / n, truth, 0.3);
+}
+
+TEST(PowerMonitorTest, GroupAggregation) {
+  Simulation sim;
+  DataCenter dc(SmallTopology(), &sim);
+  TimeSeriesDb db;
+  PowerMonitor monitor(&dc, &db, NoiselessConfig(), Rng(1));
+  monitor.RegisterGroup("evens", {ServerId(0), ServerId(2), ServerId(4),
+                                  ServerId(6)});
+  monitor.SampleOnce(SimTime::Minutes(1));
+  double expected = 4 * dc.server_power_watts(ServerId(0));
+  EXPECT_NEAR(monitor.LatestGroupWatts("evens"), expected, 1e-9);
+  EXPECT_EQ(db.Series(PowerMonitor::GroupSeries("evens")).size(), 1u);
+}
+
+TEST(PowerMonitorTest, UnknownGroupThrows) {
+  Simulation sim;
+  DataCenter dc(SmallTopology(), &sim);
+  TimeSeriesDb db;
+  PowerMonitor monitor(&dc, &db, NoiselessConfig(), Rng(1));
+  EXPECT_THROW(monitor.LatestGroupWatts("nope"), CheckFailure);
+}
+
+TEST(PowerMonitorTest, RegisterGroupAfterStartThrows) {
+  Simulation sim;
+  DataCenter dc(SmallTopology(), &sim);
+  TimeSeriesDb db;
+  PowerMonitor monitor(&dc, &db, NoiselessConfig(), Rng(1));
+  monitor.Start(SimTime::Minutes(1));
+  EXPECT_THROW(monitor.RegisterGroup("late", {ServerId(0)}), CheckFailure);
+}
+
+TEST(PowerMonitorTest, PerServerSeriesOptIn) {
+  Simulation sim;
+  DataCenter dc(SmallTopology(), &sim);
+  TimeSeriesDb db;
+  PowerMonitorConfig config = NoiselessConfig();
+  config.record_servers = true;
+  PowerMonitor monitor(&dc, &db, config, Rng(1));
+  monitor.SampleOnce(SimTime::Minutes(1));
+  EXPECT_EQ(db.Series(PowerMonitor::ServerSeries(ServerId(3))).size(), 1u);
+}
+
+TEST(PowerMonitorTest, RackSeriesSumToRowSeries) {
+  Simulation sim;
+  TopologyConfig topo = SmallTopology();
+  topo.racks_per_row = 2;
+  DataCenter dc(topo, &sim);
+  TimeSeriesDb db;
+  PowerMonitor monitor(&dc, &db, NoiselessConfig(), Rng(1));
+  dc.PlaceTask(ServerId(1), TaskSpec{JobId(1), Resources{8.0, 8.0},
+                                     SimTime::Hours(1)});
+  monitor.SampleOnce(SimTime::Minutes(1));
+  double rack_sum =
+      db.Latest(PowerMonitor::RackSeries(RackId(0)))->value +
+      db.Latest(PowerMonitor::RackSeries(RackId(1)))->value;
+  double row = db.Latest(PowerMonitor::RowSeries(RowId(0)))->value;
+  EXPECT_NEAR(rack_sum, row, 1e-9);
+}
+
+}  // namespace
+}  // namespace ampere

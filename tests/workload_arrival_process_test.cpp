@@ -1,0 +1,96 @@
+#include "src/workload/arrival_process.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/stats/descriptive.h"
+
+namespace ampere {
+namespace {
+
+ArrivalProcessParams FlatParams(double rate) {
+  ArrivalProcessParams p;
+  p.base_rate_per_min = rate;
+  p.diurnal_amplitude = 0.0;
+  p.ar_sigma = 0.0;
+  p.burst_prob = 0.0;
+  return p;
+}
+
+TEST(ArrivalProcessTest, FlatRateProducesExpectedMeanCount) {
+  ArrivalProcess proc(FlatParams(200.0), Rng(1));
+  double total = 0.0;
+  const int minutes = 2000;
+  for (int m = 0; m < minutes; ++m) {
+    total += static_cast<double>(
+        proc.SampleMinute(SimTime::Minutes(m)).size());
+  }
+  EXPECT_NEAR(total / minutes, 200.0, 2.0);
+}
+
+TEST(ArrivalProcessTest, OffsetsWithinMinuteAndSorted) {
+  ArrivalProcess proc(FlatParams(500.0), Rng(2));
+  auto offsets = proc.SampleMinute(SimTime::Minutes(10));
+  ASSERT_FALSE(offsets.empty());
+  SimTime prev;
+  for (SimTime t : offsets) {
+    EXPECT_GE(t, SimTime());
+    EXPECT_LT(t, SimTime::Minutes(1));
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(ArrivalProcessTest, DiurnalProfilePeaksAtConfiguredHour) {
+  ArrivalProcessParams p = FlatParams(100.0);
+  p.diurnal_amplitude = 0.3;
+  p.peak_hour = 14.0;
+  ArrivalProcess proc(p, Rng(3));
+  double rate_peak = proc.CurrentRatePerMin(SimTime::Hours(14));
+  double rate_trough = proc.CurrentRatePerMin(SimTime::Hours(2));
+  EXPECT_NEAR(rate_peak, 130.0, 1e-9);
+  EXPECT_NEAR(rate_trough, 70.0, 1.0);
+  EXPECT_GT(rate_peak, rate_trough);
+}
+
+TEST(ArrivalProcessTest, ArModulationWandersButStaysCentered) {
+  ArrivalProcessParams p = FlatParams(100.0);
+  p.ar_rho = 0.95;
+  p.ar_sigma = 0.02;
+  ArrivalProcess proc(p, Rng(4));
+  OnlineStats counts;
+  for (int m = 0; m < 5000; ++m) {
+    counts.Add(static_cast<double>(
+        proc.SampleMinute(SimTime::Minutes(m)).size()));
+  }
+  EXPECT_NEAR(counts.mean(), 100.0, 4.0);
+  // AR modulation inflates variance beyond pure Poisson (~100).
+  EXPECT_GT(counts.variance(), 110.0);
+}
+
+TEST(ArrivalProcessTest, BurstsRaiseTailCounts) {
+  ArrivalProcessParams p = FlatParams(100.0);
+  p.burst_prob = 0.05;
+  p.burst_factor = 2.0;
+  ArrivalProcess proc(p, Rng(5));
+  int high_minutes = 0;
+  const int minutes = 4000;
+  for (int m = 0; m < minutes; ++m) {
+    // With bursts, some minutes should see ~2x the base rate; 160 is > 5
+    // sigma for a Poisson(100), so only burst minutes land here.
+    if (proc.SampleMinute(SimTime::Minutes(m)).size() > 160) {
+      ++high_minutes;
+    }
+  }
+  double frac = static_cast<double>(high_minutes) / minutes;
+  EXPECT_NEAR(frac, 0.05, 0.02);
+}
+
+TEST(ArrivalProcessTest, ZeroRateProducesNoArrivals) {
+  ArrivalProcess proc(FlatParams(0.0), Rng(6));
+  EXPECT_TRUE(proc.SampleMinute(SimTime()).empty());
+}
+
+}  // namespace
+}  // namespace ampere

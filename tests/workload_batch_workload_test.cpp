@@ -1,0 +1,153 @@
+#include "src/workload/batch_workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/sim/simulation.h"
+
+namespace ampere {
+namespace {
+
+// A sink that records submissions.
+class RecordingSink : public JobSink {
+ public:
+  void Submit(const JobSpec& job) override { jobs.push_back(job); }
+  std::vector<JobSpec> jobs;
+};
+
+BatchWorkloadParams FlatParams(double rate) {
+  BatchWorkloadParams params;
+  params.arrivals.base_rate_per_min = rate;
+  params.arrivals.diurnal_amplitude = 0.0;
+  params.arrivals.ar_sigma = 0.0;
+  params.arrivals.burst_prob = 0.0;
+  return params;
+}
+
+TEST(BatchWorkloadTest, GeneratesAtConfiguredRate) {
+  Simulation sim;
+  RecordingSink sink;
+  JobIdAllocator ids;
+  BatchWorkload workload(FlatParams(50.0), &sim, &sink, &ids, Rng(1));
+  workload.Start(SimTime());
+  sim.RunUntil(SimTime::Hours(2));
+  EXPECT_NEAR(static_cast<double>(sink.jobs.size()), 6000.0, 300.0);
+  // The generator counts jobs as it schedules them; the final minute's
+  // batch may not have been delivered yet when the clock stops.
+  EXPECT_GE(workload.jobs_generated(), sink.jobs.size());
+  EXPECT_LE(workload.jobs_generated(), sink.jobs.size() + 200);
+}
+
+TEST(BatchWorkloadTest, JobIdsAreUniqueAndMonotone) {
+  Simulation sim;
+  RecordingSink sink;
+  JobIdAllocator ids;
+  BatchWorkload workload(FlatParams(30.0), &sim, &sink, &ids, Rng(2));
+  workload.Start(SimTime());
+  sim.RunUntil(SimTime::Minutes(30));
+  ASSERT_GT(sink.jobs.size(), 100u);
+  for (size_t i = 1; i < sink.jobs.size(); ++i) {
+    EXPECT_GT(sink.jobs[i].id.value(), sink.jobs[i - 1].id.value());
+  }
+}
+
+TEST(BatchWorkloadTest, SharedIdAllocatorAvoidsCollisions) {
+  Simulation sim;
+  RecordingSink sink;
+  JobIdAllocator ids;
+  BatchWorkload a(FlatParams(20.0), &sim, &sink, &ids, Rng(3));
+  BatchWorkload b(FlatParams(20.0), &sim, &sink, &ids, Rng(4));
+  a.Start(SimTime());
+  b.Start(SimTime());
+  sim.RunUntil(SimTime::Minutes(30));
+  std::vector<int32_t> seen;
+  for (const JobSpec& job : sink.jobs) {
+    seen.push_back(job.id.value());
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end())
+      << "duplicate job ids across generators";
+}
+
+TEST(BatchWorkloadTest, DefaultDemandMixAveragesTwoCores) {
+  Simulation sim;
+  RecordingSink sink;
+  JobIdAllocator ids;
+  BatchWorkload workload(FlatParams(100.0), &sim, &sink, &ids, Rng(5));
+  workload.Start(SimTime());
+  sim.RunUntil(SimTime::Hours(3));
+  double cores = 0.0;
+  for (const JobSpec& job : sink.jobs) {
+    cores += job.demand.cpu_cores;
+  }
+  EXPECT_NEAR(cores / static_cast<double>(sink.jobs.size()), 2.0, 0.05);
+}
+
+TEST(BatchWorkloadTest, CustomDemandMixRespected) {
+  Simulation sim;
+  RecordingSink sink;
+  JobIdAllocator ids;
+  BatchWorkloadParams params = FlatParams(60.0);
+  params.demands = {{Resources{3.0, 6.0}, 1.0}};
+  BatchWorkload workload(params, &sim, &sink, &ids, Rng(6));
+  workload.Start(SimTime());
+  sim.RunUntil(SimTime::Minutes(20));
+  ASSERT_FALSE(sink.jobs.empty());
+  for (const JobSpec& job : sink.jobs) {
+    EXPECT_DOUBLE_EQ(job.demand.cpu_cores, 3.0);
+    EXPECT_DOUBLE_EQ(job.demand.memory_gb, 6.0);
+  }
+}
+
+TEST(BatchWorkloadTest, RowAffinityPropagates) {
+  Simulation sim;
+  RecordingSink sink;
+  JobIdAllocator ids;
+  BatchWorkloadParams params = FlatParams(40.0);
+  params.row_affinity = RowId(3);
+  BatchWorkload workload(params, &sim, &sink, &ids, Rng(7));
+  workload.Start(SimTime());
+  sim.RunUntil(SimTime::Minutes(10));
+  ASSERT_FALSE(sink.jobs.empty());
+  for (const JobSpec& job : sink.jobs) {
+    ASSERT_TRUE(job.row_affinity.has_value());
+    EXPECT_EQ(*job.row_affinity, RowId(3));
+  }
+}
+
+TEST(BatchWorkloadTest, DeterministicGivenSeed) {
+  auto run = [] {
+    Simulation sim;
+    RecordingSink sink;
+    JobIdAllocator ids;
+    BatchWorkload workload(FlatParams(25.0), &sim, &sink, &ids, Rng(42));
+    workload.Start(SimTime());
+    sim.RunUntil(SimTime::Hours(1));
+    double fingerprint = 0.0;
+    for (const JobSpec& job : sink.jobs) {
+      fingerprint += job.duration.seconds() + job.demand.cpu_cores;
+    }
+    return std::pair{sink.jobs.size(), fingerprint};
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+TEST(BatchWorkloadTest, DelayedStartGeneratesNothingBefore) {
+  Simulation sim;
+  RecordingSink sink;
+  JobIdAllocator ids;
+  BatchWorkload workload(FlatParams(50.0), &sim, &sink, &ids, Rng(8));
+  workload.Start(SimTime::Hours(1));
+  sim.RunUntil(SimTime::Minutes(59));
+  EXPECT_TRUE(sink.jobs.empty());
+  sim.RunUntil(SimTime::Minutes(90));
+  EXPECT_FALSE(sink.jobs.empty());
+}
+
+}  // namespace
+}  // namespace ampere

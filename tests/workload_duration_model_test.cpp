@@ -1,0 +1,87 @@
+#include "src/workload/duration_model.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/percentile.h"
+
+namespace ampere {
+namespace {
+
+std::vector<double> SampleMinutes(const DurationModel& model, int n,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(model.Sample(rng).minutes());
+  }
+  return out;
+}
+
+// The Fig. 7 calibration points: mean ~9 min, ~40 % <= 2 min, ~96 % <= 50.
+TEST(DurationModelTest, MatchesFigure7Calibration) {
+  DurationModel model;
+  auto samples = SampleMinutes(model, 200000, 7);
+  Summary s = Summarize(samples);
+  EXPECT_NEAR(s.mean, 9.0, 0.5);
+  EmpiricalCdf cdf{std::move(samples)};
+  EXPECT_NEAR(cdf.Evaluate(2.0), 0.40, 0.02);
+  EXPECT_NEAR(cdf.Evaluate(50.0), 0.96, 0.015);
+}
+
+TEST(DurationModelTest, TruncatedMeanMatchesEmpirical) {
+  DurationModelParams params;
+  params.max_minutes = 40.0;  // Aggressive clamp to exercise the formula.
+  DurationModel model(params);
+  auto samples = SampleMinutes(model, 300000, 13);
+  Summary s = Summarize(samples);
+  EXPECT_NEAR(model.TruncatedMeanMinutes(), s.mean, 0.1);
+  // And the clamp visibly lowers the mean vs the untruncated formula.
+  EXPECT_LT(model.TruncatedMeanMinutes(),
+            model.UntruncatedMeanMinutes() - 0.5);
+}
+
+TEST(DurationModelTest, RespectsTruncationBounds) {
+  DurationModelParams params;
+  params.min_minutes = 0.5;
+  params.max_minutes = 30.0;
+  DurationModel model(params);
+  for (double v : SampleMinutes(model, 20000, 8)) {
+    EXPECT_GE(v, 0.5);
+    EXPECT_LE(v, 30.0);
+  }
+}
+
+TEST(DurationModelTest, UntruncatedMeanFormula) {
+  DurationModelParams params;
+  params.log_mean_minutes = 1.0;
+  params.log_sigma = 0.5;
+  DurationModel model(params);
+  EXPECT_NEAR(model.UntruncatedMeanMinutes(), std::exp(1.0 + 0.125), 1e-12);
+}
+
+TEST(DurationModelTest, InvalidParamsThrow) {
+  DurationModelParams params;
+  params.log_sigma = 0.0;
+  EXPECT_THROW(DurationModel{params}, CheckFailure);
+  params = DurationModelParams{};
+  params.min_minutes = 0.0;
+  EXPECT_THROW(DurationModel{params}, CheckFailure);
+  params = DurationModelParams{};
+  params.max_minutes = params.min_minutes;
+  EXPECT_THROW(DurationModel{params}, CheckFailure);
+}
+
+TEST(DurationModelTest, DeterministicGivenSeed) {
+  DurationModel model;
+  auto a = SampleMinutes(model, 100, 99);
+  auto b = SampleMinutes(model, 100, 99);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ampere

@@ -1,0 +1,147 @@
+#include "src/workload/interactive_service.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+
+namespace ampere {
+namespace {
+
+TopologyConfig OneRackTopology() {
+  TopologyConfig config;
+  config.num_rows = 1;
+  config.racks_per_row = 1;
+  config.servers_per_rack = 4;
+  config.server_capacity = Resources{16.0, 64.0};
+  return config;
+}
+
+InteractiveServiceParams ServiceParams(std::vector<ServerId> servers) {
+  InteractiveServiceParams p;
+  p.servers = std::move(servers);
+  p.requests_per_sec_per_server = 1000.0;
+  return p;
+}
+
+TEST(RedisOpTest, NamesAndCostsDefined) {
+  for (int i = 0; i < kNumRedisOps; ++i) {
+    auto op = static_cast<RedisOp>(i);
+    EXPECT_STRNE(RedisOpName(op), "?");
+    EXPECT_GT(RedisOpBaseServiceMicros(op), 0.0);
+  }
+  // LRANGE_600 is the expensive scan op.
+  EXPECT_GT(RedisOpBaseServiceMicros(RedisOp::kLrange600),
+            5.0 * RedisOpBaseServiceMicros(RedisOp::kGet));
+}
+
+TEST(InteractiveServiceTest, ServesRequestsAndRecordsLatency) {
+  Simulation sim;
+  DataCenter dc(OneRackTopology(), &sim);
+  InteractiveService service(
+      ServiceParams({ServerId(0), ServerId(1)}), &sim, &dc, Rng(1));
+  service.Run(SimTime::Seconds(1), SimTime::Seconds(31), SimTime::Seconds(1));
+  sim.RunUntil(SimTime::Seconds(40));
+  EXPECT_GT(service.requests_served(), 40000u);
+  uint64_t recorded = 0;
+  for (int i = 0; i < kNumRedisOps; ++i) {
+    recorded += service.latency_histogram(static_cast<RedisOp>(i)).count();
+  }
+  EXPECT_GT(recorded, 40000u);
+}
+
+TEST(InteractiveServiceTest, ResidentTaskRaisesServerPower) {
+  Simulation sim;
+  DataCenter dc(OneRackTopology(), &sim);
+  double idle = dc.server_power_watts(ServerId(0));
+  InteractiveService service(ServiceParams({ServerId(0)}), &sim, &dc, Rng(2));
+  service.Run(SimTime::Seconds(1), SimTime::Seconds(2), SimTime::Seconds(1));
+  EXPECT_GT(dc.server_power_watts(ServerId(0)), idle);
+}
+
+TEST(InteractiveServiceTest, LatencyUnaffectedServersFasterThanThrottled) {
+  // Two identical single-server services; one server gets capped.
+  Simulation sim;
+  TopologyConfig config = OneRackTopology();
+  DataCenter dc(config, &sim);
+
+  InteractiveService fast(ServiceParams({ServerId(0)}), &sim, &dc, Rng(3));
+  InteractiveService slow(ServiceParams({ServerId(1)}), &sim, &dc, Rng(3));
+  fast.Run(SimTime::Seconds(1), SimTime::Seconds(61), SimTime::Seconds(5));
+  slow.Run(SimTime::Seconds(1), SimTime::Seconds(61), SimTime::Seconds(5));
+
+  // Throttle the whole row (both servers share it), then un-reserve the
+  // fast one by... we cannot throttle per-server through the public API, so
+  // instead enable capping with a budget that forces a row-wide throttle and
+  // compare against an uncapped duplicate simulation. Simpler here: compare
+  // the same service under different frequencies using two simulations.
+  sim.RunUntil(SimTime::Seconds(70));
+  double fast_p999 = fast.latency_histogram(RedisOp::kGet).Quantile(0.999);
+
+  Simulation sim2;
+  TopologyConfig capped = OneRackTopology();
+  capped.capping_enabled = true;
+  // Idle 650 + resident dynamic; force the minimum 0.5 step by a budget just
+  // above the idle floor.
+  capped.row_budget_watts = 4 * 162.5 + 10.0;
+  DataCenter dc2(capped, &sim2);
+  InteractiveService throttled(ServiceParams({ServerId(1)}), &sim2, &dc2,
+                               Rng(3));
+  throttled.Run(SimTime::Seconds(1), SimTime::Seconds(61),
+                SimTime::Seconds(5));
+  sim2.RunUntil(SimTime::Seconds(70));
+  ASSERT_LT(dc2.server(ServerId(1)).frequency(), 1.0);
+  double slow_p999 =
+      throttled.latency_histogram(RedisOp::kGet).Quantile(0.999);
+
+  // Halving the clock should roughly double tail latency (or worse, with
+  // queueing).
+  EXPECT_GT(slow_p999, 1.5 * fast_p999);
+}
+
+TEST(InteractiveServiceTest, OpsSampledUniformly) {
+  Simulation sim;
+  DataCenter dc(OneRackTopology(), &sim);
+  InteractiveService service(ServiceParams({ServerId(0)}), &sim, &dc,
+                             Rng(9));
+  service.Run(SimTime::Seconds(1), SimTime::Seconds(121),
+              SimTime::Seconds(1));
+  sim.RunUntil(SimTime::Seconds(130));
+  uint64_t total = 0;
+  for (int i = 0; i < kNumRedisOps; ++i) {
+    total += service.latency_histogram(static_cast<RedisOp>(i)).count();
+  }
+  ASSERT_GT(total, 50000u);
+  for (int i = 0; i < kNumRedisOps; ++i) {
+    double share =
+        static_cast<double>(
+            service.latency_histogram(static_cast<RedisOp>(i)).count()) /
+        static_cast<double>(total);
+    EXPECT_NEAR(share, 1.0 / kNumRedisOps, 0.02)
+        << RedisOpName(static_cast<RedisOp>(i));
+  }
+}
+
+TEST(InteractiveServiceTest, ExpensiveOpsHaveHigherMeanLatency) {
+  Simulation sim;
+  DataCenter dc(OneRackTopology(), &sim);
+  InteractiveService service(ServiceParams({ServerId(0)}), &sim, &dc,
+                             Rng(10));
+  service.Run(SimTime::Seconds(1), SimTime::Seconds(61),
+              SimTime::Seconds(1));
+  sim.RunUntil(SimTime::Seconds(70));
+  double get_mean = service.latency_histogram(RedisOp::kGet).mean();
+  double lrange_mean =
+      service.latency_histogram(RedisOp::kLrange600).mean();
+  EXPECT_GT(lrange_mean, 3.0 * get_mean);
+}
+
+TEST(InteractiveServiceTest, RequiresServers) {
+  Simulation sim;
+  DataCenter dc(OneRackTopology(), &sim);
+  InteractiveServiceParams p;
+  p.servers = {};
+  EXPECT_THROW(InteractiveService(p, &sim, &dc, Rng(1)), CheckFailure);
+}
+
+}  // namespace
+}  // namespace ampere
