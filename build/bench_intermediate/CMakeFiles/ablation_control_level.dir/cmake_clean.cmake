@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_control_level"
+  "../bench/ablation_control_level.pdb"
+  "CMakeFiles/ablation_control_level.dir/ablation_control_level.cpp.o"
+  "CMakeFiles/ablation_control_level.dir/ablation_control_level.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_control_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

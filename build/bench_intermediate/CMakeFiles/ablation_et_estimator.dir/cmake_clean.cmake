@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_et_estimator"
+  "../bench/ablation_et_estimator.pdb"
+  "CMakeFiles/ablation_et_estimator.dir/ablation_et_estimator.cpp.o"
+  "CMakeFiles/ablation_et_estimator.dir/ablation_et_estimator.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_et_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

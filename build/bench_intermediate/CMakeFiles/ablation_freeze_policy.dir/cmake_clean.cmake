@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_freeze_policy"
+  "../bench/ablation_freeze_policy.pdb"
+  "CMakeFiles/ablation_freeze_policy.dir/ablation_freeze_policy.cpp.o"
+  "CMakeFiles/ablation_freeze_policy.dir/ablation_freeze_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_freeze_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_heterogeneous_fleet"
+  "../bench/ablation_heterogeneous_fleet.pdb"
+  "CMakeFiles/ablation_heterogeneous_fleet.dir/ablation_heterogeneous_fleet.cpp.o"
+  "CMakeFiles/ablation_heterogeneous_fleet.dir/ablation_heterogeneous_fleet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_heterogeneous_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

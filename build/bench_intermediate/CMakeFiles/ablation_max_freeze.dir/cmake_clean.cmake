@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_max_freeze"
+  "../bench/ablation_max_freeze.pdb"
+  "CMakeFiles/ablation_max_freeze.dir/ablation_max_freeze.cpp.o"
+  "CMakeFiles/ablation_max_freeze.dir/ablation_max_freeze.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_max_freeze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_rstable"
+  "../bench/ablation_rstable.pdb"
+  "CMakeFiles/ablation_rstable.dir/ablation_rstable.cpp.o"
+  "CMakeFiles/ablation_rstable.dir/ablation_rstable.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rstable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_consolidation"
+  "../bench/baseline_consolidation.pdb"
+  "CMakeFiles/baseline_consolidation.dir/baseline_consolidation.cpp.o"
+  "CMakeFiles/baseline_consolidation.dir/baseline_consolidation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

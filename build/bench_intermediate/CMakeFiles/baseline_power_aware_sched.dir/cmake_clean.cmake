@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_power_aware_sched"
+  "../bench/baseline_power_aware_sched.pdb"
+  "CMakeFiles/baseline_power_aware_sched.dir/baseline_power_aware_sched.cpp.o"
+  "CMakeFiles/baseline_power_aware_sched.dir/baseline_power_aware_sched.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_power_aware_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

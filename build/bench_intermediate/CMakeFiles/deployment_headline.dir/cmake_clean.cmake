@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/deployment_headline"
+  "../bench/deployment_headline.pdb"
+  "CMakeFiles/deployment_headline.dir/deployment_headline.cpp.o"
+  "CMakeFiles/deployment_headline.dir/deployment_headline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_online_predictor"
+  "../bench/extension_online_predictor.pdb"
+  "CMakeFiles/extension_online_predictor.dir/extension_online_predictor.cpp.o"
+  "CMakeFiles/extension_online_predictor.dir/extension_online_predictor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_online_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

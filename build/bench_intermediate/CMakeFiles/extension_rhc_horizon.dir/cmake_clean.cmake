@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_rhc_horizon"
+  "../bench/extension_rhc_horizon.pdb"
+  "CMakeFiles/extension_rhc_horizon.dir/extension_rhc_horizon.cpp.o"
+  "CMakeFiles/extension_rhc_horizon.dir/extension_rhc_horizon.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_rhc_horizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_variance_scheduling"
+  "../bench/extension_variance_scheduling.pdb"
+  "CMakeFiles/extension_variance_scheduling.dir/extension_variance_scheduling.cpp.o"
+  "CMakeFiles/extension_variance_scheduling.dir/extension_variance_scheduling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_variance_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_power_utilization_cdf"
+  "../bench/fig01_power_utilization_cdf.pdb"
+  "CMakeFiles/fig01_power_utilization_cdf.dir/fig01_power_utilization_cdf.cpp.o"
+  "CMakeFiles/fig01_power_utilization_cdf.dir/fig01_power_utilization_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_power_utilization_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_row_power_variation"
+  "../bench/fig02_row_power_variation.pdb"
+  "CMakeFiles/fig02_row_power_variation.dir/fig02_row_power_variation.cpp.o"
+  "CMakeFiles/fig02_row_power_variation.dir/fig02_row_power_variation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_row_power_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

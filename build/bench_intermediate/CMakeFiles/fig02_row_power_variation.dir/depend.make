@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_row_power_variation.
+# This may be replaced when dependencies are built.

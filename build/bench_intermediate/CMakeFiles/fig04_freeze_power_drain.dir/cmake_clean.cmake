@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_freeze_power_drain"
+  "../bench/fig04_freeze_power_drain.pdb"
+  "CMakeFiles/fig04_freeze_power_drain.dir/fig04_freeze_power_drain.cpp.o"
+  "CMakeFiles/fig04_freeze_power_drain.dir/fig04_freeze_power_drain.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_freeze_power_drain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_fu_regression"
+  "../bench/fig05_fu_regression.pdb"
+  "CMakeFiles/fig05_fu_regression.dir/fig05_fu_regression.cpp.o"
+  "CMakeFiles/fig05_fu_regression.dir/fig05_fu_regression.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_fu_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_control_function"
+  "../bench/fig06_control_function.pdb"
+  "CMakeFiles/fig06_control_function.dir/fig06_control_function.cpp.o"
+  "CMakeFiles/fig06_control_function.dir/fig06_control_function.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_control_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

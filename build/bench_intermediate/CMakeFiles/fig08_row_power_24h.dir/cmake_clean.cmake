@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_row_power_24h"
+  "../bench/fig08_row_power_24h.pdb"
+  "CMakeFiles/fig08_row_power_24h.dir/fig08_row_power_24h.cpp.o"
+  "CMakeFiles/fig08_row_power_24h.dir/fig08_row_power_24h.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_row_power_24h.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

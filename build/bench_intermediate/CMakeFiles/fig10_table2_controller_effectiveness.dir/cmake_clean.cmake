@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_table2_controller_effectiveness"
+  "../bench/fig10_table2_controller_effectiveness.pdb"
+  "CMakeFiles/fig10_table2_controller_effectiveness.dir/fig10_table2_controller_effectiveness.cpp.o"
+  "CMakeFiles/fig10_table2_controller_effectiveness.dir/fig10_table2_controller_effectiveness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_table2_controller_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_table2_controller_effectiveness.
+# This may be replaced when dependencies are built.

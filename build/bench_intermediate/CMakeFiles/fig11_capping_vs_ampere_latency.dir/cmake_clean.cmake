@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_capping_vs_ampere_latency"
+  "../bench/fig11_capping_vs_ampere_latency.pdb"
+  "CMakeFiles/fig11_capping_vs_ampere_latency.dir/fig11_capping_vs_ampere_latency.cpp.o"
+  "CMakeFiles/fig11_capping_vs_ampere_latency.dir/fig11_capping_vs_ampere_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_capping_vs_ampere_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

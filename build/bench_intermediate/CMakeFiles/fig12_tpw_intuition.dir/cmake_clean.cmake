@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_tpw_intuition"
+  "../bench/fig12_tpw_intuition.pdb"
+  "CMakeFiles/fig12_tpw_intuition.dir/fig12_tpw_intuition.cpp.o"
+  "CMakeFiles/fig12_tpw_intuition.dir/fig12_tpw_intuition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_tpw_intuition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/soak_production_deployment"
+  "../bench/soak_production_deployment.pdb"
+  "CMakeFiles/soak_production_deployment.dir/soak_production_deployment.cpp.o"
+  "CMakeFiles/soak_production_deployment.dir/soak_production_deployment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soak_production_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

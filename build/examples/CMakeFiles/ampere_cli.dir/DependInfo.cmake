@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ampere_cli.cpp" "examples/CMakeFiles/ampere_cli.dir/ampere_cli.cpp.o" "gcc" "examples/CMakeFiles/ampere_cli.dir/ampere_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ampere_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/ampere_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/ampere_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ampere_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ampere_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ampere_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ampere_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ampere_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ampere_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ampere_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ampere_cli.dir/ampere_cli.cpp.o"
+  "CMakeFiles/ampere_cli.dir/ampere_cli.cpp.o.d"
+  "ampere_cli"
+  "ampere_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ampere_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_observatory.dir/fleet_observatory.cpp.o"
+  "CMakeFiles/fleet_observatory.dir/fleet_observatory.cpp.o.d"
+  "fleet_observatory"
+  "fleet_observatory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_observatory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

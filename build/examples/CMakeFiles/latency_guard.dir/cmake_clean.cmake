@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_guard.dir/latency_guard.cpp.o"
+  "CMakeFiles/latency_guard.dir/latency_guard.cpp.o.d"
+  "latency_guard"
+  "latency_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

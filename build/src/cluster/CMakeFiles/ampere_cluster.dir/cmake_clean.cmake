@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ampere_cluster.dir/datacenter.cc.o"
+  "CMakeFiles/ampere_cluster.dir/datacenter.cc.o.d"
+  "CMakeFiles/ampere_cluster.dir/server.cc.o"
+  "CMakeFiles/ampere_cluster.dir/server.cc.o.d"
+  "libampere_cluster.a"
+  "libampere_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ampere_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ampere_common.dir/check.cc.o"
+  "CMakeFiles/ampere_common.dir/check.cc.o.d"
+  "CMakeFiles/ampere_common.dir/log.cc.o"
+  "CMakeFiles/ampere_common.dir/log.cc.o.d"
+  "CMakeFiles/ampere_common.dir/rng.cc.o"
+  "CMakeFiles/ampere_common.dir/rng.cc.o.d"
+  "CMakeFiles/ampere_common.dir/time.cc.o"
+  "CMakeFiles/ampere_common.dir/time.cc.o.d"
+  "libampere_common.a"
+  "libampere_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ampere_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/et_estimator.cc" "src/control/CMakeFiles/ampere_control.dir/et_estimator.cc.o" "gcc" "src/control/CMakeFiles/ampere_control.dir/et_estimator.cc.o.d"
+  "/root/repo/src/control/freeze_effect.cc" "src/control/CMakeFiles/ampere_control.dir/freeze_effect.cc.o" "gcc" "src/control/CMakeFiles/ampere_control.dir/freeze_effect.cc.o.d"
+  "/root/repo/src/control/online_predictor.cc" "src/control/CMakeFiles/ampere_control.dir/online_predictor.cc.o" "gcc" "src/control/CMakeFiles/ampere_control.dir/online_predictor.cc.o.d"
+  "/root/repo/src/control/pcp.cc" "src/control/CMakeFiles/ampere_control.dir/pcp.cc.o" "gcc" "src/control/CMakeFiles/ampere_control.dir/pcp.cc.o.d"
+  "/root/repo/src/control/spcp.cc" "src/control/CMakeFiles/ampere_control.dir/spcp.cc.o" "gcc" "src/control/CMakeFiles/ampere_control.dir/spcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ampere_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ampere_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ampere_control.dir/et_estimator.cc.o"
+  "CMakeFiles/ampere_control.dir/et_estimator.cc.o.d"
+  "CMakeFiles/ampere_control.dir/freeze_effect.cc.o"
+  "CMakeFiles/ampere_control.dir/freeze_effect.cc.o.d"
+  "CMakeFiles/ampere_control.dir/online_predictor.cc.o"
+  "CMakeFiles/ampere_control.dir/online_predictor.cc.o.d"
+  "CMakeFiles/ampere_control.dir/pcp.cc.o"
+  "CMakeFiles/ampere_control.dir/pcp.cc.o.d"
+  "CMakeFiles/ampere_control.dir/spcp.cc.o"
+  "CMakeFiles/ampere_control.dir/spcp.cc.o.d"
+  "libampere_control.a"
+  "libampere_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ampere_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

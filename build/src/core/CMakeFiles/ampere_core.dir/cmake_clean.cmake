@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ampere_core.dir/consolidation.cc.o"
+  "CMakeFiles/ampere_core.dir/consolidation.cc.o.d"
+  "CMakeFiles/ampere_core.dir/controller.cc.o"
+  "CMakeFiles/ampere_core.dir/controller.cc.o.d"
+  "CMakeFiles/ampere_core.dir/experiment.cc.o"
+  "CMakeFiles/ampere_core.dir/experiment.cc.o.d"
+  "CMakeFiles/ampere_core.dir/fleet.cc.o"
+  "CMakeFiles/ampere_core.dir/fleet.cc.o.d"
+  "CMakeFiles/ampere_core.dir/metrics.cc.o"
+  "CMakeFiles/ampere_core.dir/metrics.cc.o.d"
+  "libampere_core.a"
+  "libampere_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ampere_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

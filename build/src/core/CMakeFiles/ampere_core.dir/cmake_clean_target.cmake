@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libampere_core.a"
+)

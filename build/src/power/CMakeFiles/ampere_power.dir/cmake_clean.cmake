@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ampere_power.dir/breaker.cc.o"
+  "CMakeFiles/ampere_power.dir/breaker.cc.o.d"
+  "CMakeFiles/ampere_power.dir/dvfs.cc.o"
+  "CMakeFiles/ampere_power.dir/dvfs.cc.o.d"
+  "CMakeFiles/ampere_power.dir/power_model.cc.o"
+  "CMakeFiles/ampere_power.dir/power_model.cc.o.d"
+  "libampere_power.a"
+  "libampere_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ampere_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ampere_sched.dir/resource_manager.cc.o"
+  "CMakeFiles/ampere_sched.dir/resource_manager.cc.o.d"
+  "CMakeFiles/ampere_sched.dir/scheduler.cc.o"
+  "CMakeFiles/ampere_sched.dir/scheduler.cc.o.d"
+  "libampere_sched.a"
+  "libampere_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ampere_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libampere_sched.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ampere_sim.dir/simulation.cc.o"
+  "CMakeFiles/ampere_sim.dir/simulation.cc.o.d"
+  "libampere_sim.a"
+  "libampere_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ampere_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cc" "src/stats/CMakeFiles/ampere_stats.dir/correlation.cc.o" "gcc" "src/stats/CMakeFiles/ampere_stats.dir/correlation.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/ampere_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/ampere_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/ampere_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/ampere_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/percentile.cc" "src/stats/CMakeFiles/ampere_stats.dir/percentile.cc.o" "gcc" "src/stats/CMakeFiles/ampere_stats.dir/percentile.cc.o.d"
+  "/root/repo/src/stats/regression.cc" "src/stats/CMakeFiles/ampere_stats.dir/regression.cc.o" "gcc" "src/stats/CMakeFiles/ampere_stats.dir/regression.cc.o.d"
+  "/root/repo/src/stats/timeseries_ops.cc" "src/stats/CMakeFiles/ampere_stats.dir/timeseries_ops.cc.o" "gcc" "src/stats/CMakeFiles/ampere_stats.dir/timeseries_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ampere_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

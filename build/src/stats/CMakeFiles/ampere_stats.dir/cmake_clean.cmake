@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ampere_stats.dir/correlation.cc.o"
+  "CMakeFiles/ampere_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/ampere_stats.dir/descriptive.cc.o"
+  "CMakeFiles/ampere_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/ampere_stats.dir/histogram.cc.o"
+  "CMakeFiles/ampere_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/ampere_stats.dir/percentile.cc.o"
+  "CMakeFiles/ampere_stats.dir/percentile.cc.o.d"
+  "CMakeFiles/ampere_stats.dir/regression.cc.o"
+  "CMakeFiles/ampere_stats.dir/regression.cc.o.d"
+  "CMakeFiles/ampere_stats.dir/timeseries_ops.cc.o"
+  "CMakeFiles/ampere_stats.dir/timeseries_ops.cc.o.d"
+  "libampere_stats.a"
+  "libampere_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ampere_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

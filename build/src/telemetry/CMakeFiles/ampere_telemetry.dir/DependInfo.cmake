@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/csv_export.cc" "src/telemetry/CMakeFiles/ampere_telemetry.dir/csv_export.cc.o" "gcc" "src/telemetry/CMakeFiles/ampere_telemetry.dir/csv_export.cc.o.d"
+  "/root/repo/src/telemetry/power_monitor.cc" "src/telemetry/CMakeFiles/ampere_telemetry.dir/power_monitor.cc.o" "gcc" "src/telemetry/CMakeFiles/ampere_telemetry.dir/power_monitor.cc.o.d"
+  "/root/repo/src/telemetry/timeseries_db.cc" "src/telemetry/CMakeFiles/ampere_telemetry.dir/timeseries_db.cc.o" "gcc" "src/telemetry/CMakeFiles/ampere_telemetry.dir/timeseries_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/ampere_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ampere_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ampere_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ampere_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ampere_telemetry.dir/csv_export.cc.o"
+  "CMakeFiles/ampere_telemetry.dir/csv_export.cc.o.d"
+  "CMakeFiles/ampere_telemetry.dir/power_monitor.cc.o"
+  "CMakeFiles/ampere_telemetry.dir/power_monitor.cc.o.d"
+  "CMakeFiles/ampere_telemetry.dir/timeseries_db.cc.o"
+  "CMakeFiles/ampere_telemetry.dir/timeseries_db.cc.o.d"
+  "libampere_telemetry.a"
+  "libampere_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ampere_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrival_process.cc" "src/workload/CMakeFiles/ampere_workload.dir/arrival_process.cc.o" "gcc" "src/workload/CMakeFiles/ampere_workload.dir/arrival_process.cc.o.d"
+  "/root/repo/src/workload/batch_workload.cc" "src/workload/CMakeFiles/ampere_workload.dir/batch_workload.cc.o" "gcc" "src/workload/CMakeFiles/ampere_workload.dir/batch_workload.cc.o.d"
+  "/root/repo/src/workload/duration_model.cc" "src/workload/CMakeFiles/ampere_workload.dir/duration_model.cc.o" "gcc" "src/workload/CMakeFiles/ampere_workload.dir/duration_model.cc.o.d"
+  "/root/repo/src/workload/interactive_service.cc" "src/workload/CMakeFiles/ampere_workload.dir/interactive_service.cc.o" "gcc" "src/workload/CMakeFiles/ampere_workload.dir/interactive_service.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/ampere_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/ampere_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ampere_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ampere_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ampere_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ampere_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ampere_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

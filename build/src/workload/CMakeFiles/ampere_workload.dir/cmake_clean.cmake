@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ampere_workload.dir/arrival_process.cc.o"
+  "CMakeFiles/ampere_workload.dir/arrival_process.cc.o.d"
+  "CMakeFiles/ampere_workload.dir/batch_workload.cc.o"
+  "CMakeFiles/ampere_workload.dir/batch_workload.cc.o.d"
+  "CMakeFiles/ampere_workload.dir/duration_model.cc.o"
+  "CMakeFiles/ampere_workload.dir/duration_model.cc.o.d"
+  "CMakeFiles/ampere_workload.dir/interactive_service.cc.o"
+  "CMakeFiles/ampere_workload.dir/interactive_service.cc.o.d"
+  "CMakeFiles/ampere_workload.dir/trace.cc.o"
+  "CMakeFiles/ampere_workload.dir/trace.cc.o.d"
+  "libampere_workload.a"
+  "libampere_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ampere_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

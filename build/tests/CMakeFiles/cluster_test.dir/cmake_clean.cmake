@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_test.dir/cluster_datacenter_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster_datacenter_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster_heterogeneous_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster_heterogeneous_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster_per_server_capping_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster_per_server_capping_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster_sleep_states_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster_sleep_states_test.cpp.o.d"
+  "cluster_test"
+  "cluster_test.pdb"
+  "cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

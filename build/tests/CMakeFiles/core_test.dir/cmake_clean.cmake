@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core_consolidation_test.cpp.o"
+  "CMakeFiles/core_test.dir/core_consolidation_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core_controller_extensions_test.cpp.o"
+  "CMakeFiles/core_test.dir/core_controller_extensions_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core_controller_test.cpp.o"
+  "CMakeFiles/core_test.dir/core_controller_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core_fleet_test.cpp.o"
+  "CMakeFiles/core_test.dir/core_fleet_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core_metrics_test.cpp.o"
+  "CMakeFiles/core_test.dir/core_metrics_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

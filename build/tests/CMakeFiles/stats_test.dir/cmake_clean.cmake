@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_test.dir/stats_correlation_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats_correlation_test.cpp.o.d"
+  "CMakeFiles/stats_test.dir/stats_descriptive_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats_descriptive_test.cpp.o.d"
+  "CMakeFiles/stats_test.dir/stats_histogram_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats_histogram_test.cpp.o.d"
+  "CMakeFiles/stats_test.dir/stats_percentile_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats_percentile_test.cpp.o.d"
+  "CMakeFiles/stats_test.dir/stats_regression_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats_regression_test.cpp.o.d"
+  "CMakeFiles/stats_test.dir/stats_timeseries_ops_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats_timeseries_ops_test.cpp.o.d"
+  "stats_test"
+  "stats_test.pdb"
+  "stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_test.dir/workload_arrival_process_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workload_arrival_process_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workload_batch_workload_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workload_batch_workload_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workload_duration_model_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workload_duration_model_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workload_interactive_service_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workload_interactive_service_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workload_trace_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workload_trace_test.cpp.o.d"
+  "workload_test"
+  "workload_test.pdb"
+  "workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
