@@ -10,6 +10,9 @@
 //     a hot one) — stranded slack;
 //   * coordinated row-uniform capping only engages when the row total
 //     violates, so at the same demand it throttles far less.
+//
+// The four (mode x demand) combinations are independent half-day
+// simulations and run in parallel through the scenario harness.
 
 #include <vector>
 
@@ -20,6 +23,12 @@ namespace ampere {
 namespace {
 
 constexpr uint64_t kSeed = 20160429;
+
+struct ModeSpec {
+  const char* name;
+  CappingMode mode;
+  double demand_norm;
+};
 
 struct GranularityResult {
   double mean_capped_fraction = 0.0;  // Mean fraction of servers capped.
@@ -85,32 +94,41 @@ GranularityResult RunMode(CappingMode mode, double demand_norm) {
   return result;
 }
 
-void PrintRow(const char* label, const GranularityResult& r) {
-  std::printf("%12s %14.3f %14.3f %12.3f %12.3f %12llu\n", label,
-              r.mean_capped_fraction, r.capped_time_fraction,
-              r.mean_power_norm, r.over_budget_fraction,
-              static_cast<unsigned long long>(r.jobs_completed));
-}
-
-void Main() {
+void Main(const harness::HarnessArgs& args) {
   bench::Header("Ablation: capping granularity",
                 "row-uniform vs per-server RAPL limits", kSeed);
 
-  bench::Section("demand ~0.96 of budget (aggregate only peaks past it diurnally)");
-  std::printf("%12s %14s %14s %12s %12s %12s\n", "mode", "capped_frac",
-              "capped_time", "power/budg", "over_budg", "completed");
-  GranularityResult uniform_ok = RunMode(CappingMode::kRowUniform, 0.96);
-  GranularityResult server_ok = RunMode(CappingMode::kPerServer, 0.96);
-  PrintRow("row-uniform", uniform_ok);
-  PrintRow("per-server", server_ok);
+  const std::vector<ModeSpec> specs = {
+      {"row-uniform demand=0.96", CappingMode::kRowUniform, 0.96},
+      {"per-server demand=0.96", CappingMode::kPerServer, 0.96},
+      {"row-uniform demand=1.05", CappingMode::kRowUniform, 1.05},
+      {"per-server demand=1.05", CappingMode::kPerServer, 1.05},
+  };
+  auto grid = bench::RunGrid(
+      args, specs,
+      [](const ModeSpec& spec, size_t) {
+        return harness::GridMeta{spec.name, kSeed};
+      },
+      [](const ModeSpec& spec, harness::RunContext& context) {
+        GranularityResult r = RunMode(spec.mode, spec.demand_norm);
+        context.Metric("demand", spec.demand_norm);
+        context.Metric("capped_frac", r.mean_capped_fraction);
+        context.Metric("capped_time", r.capped_time_fraction);
+        context.Metric("power_over_budget", r.mean_power_norm);
+        context.Metric("over_budget_frac", r.over_budget_fraction);
+        context.Metric("completed", static_cast<double>(r.jobs_completed));
+        return r;
+      });
 
-  bench::Section("demand ~1.05 of budget (sustained overload)");
-  std::printf("%12s %14s %14s %12s %12s %12s\n", "mode", "capped_frac",
-              "capped_time", "power/budg", "over_budg", "completed");
-  GranularityResult uniform_hot = RunMode(CappingMode::kRowUniform, 1.05);
-  GranularityResult server_hot = RunMode(CappingMode::kPerServer, 1.05);
-  PrintRow("row-uniform", uniform_hot);
-  PrintRow("per-server", server_hot);
+  bench::Section("12 h runs, demand ~0.96 (diurnal peaks) and ~1.05 "
+                 "(sustained overload) of budget");
+  if (!bench::EmitResults(grid.table, args)) {
+    return;
+  }
+  const GranularityResult& uniform_ok = grid.values[0];
+  const GranularityResult& server_ok = grid.values[1];
+  const GranularityResult& uniform_hot = grid.values[2];
+  const GranularityResult& server_hot = grid.values[3];
 
   bench::Section("shape checks");
   bench::ShapeCheck(server_ok.mean_capped_fraction >
@@ -140,7 +158,7 @@ void Main() {
 }  // namespace
 }  // namespace ampere
 
-int main() {
-  ampere::Main();
+int main(int argc, char** argv) {
+  ampere::Main(ampere::harness::ParseHarnessArgs(argc, argv));
   return 0;
 }

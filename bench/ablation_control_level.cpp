@@ -7,7 +7,11 @@
 // domain, once with ten rack-level domains splitting the same total budget.
 // Expected shape: rack-level control freezes more servers (chasing local
 // spikes the row never sees) for no less violation exposure.
+//
+// The two arms are independent hand-assembled simulations and run in
+// parallel through the scenario harness.
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -114,23 +118,31 @@ LevelResult RunLevel(bool rack_level) {
   return result;
 }
 
-void Main() {
+void Main(const harness::HarnessArgs& args) {
   bench::Header("Ablation: control level",
                 "row-level vs rack-level domains, same total budget", kSeed);
 
-  LevelResult row = RunLevel(/*rack_level=*/false);
-  LevelResult rack = RunLevel(/*rack_level=*/true);
+  const std::array<bool, 2> arms{false, true};  // row, rack.
+  auto grid = bench::RunGrid(
+      args, arms,
+      [](bool rack_level, size_t) {
+        return harness::GridMeta{rack_level ? "rack" : "row", kSeed};
+      },
+      [](bool rack_level, harness::RunContext& context) {
+        LevelResult result = RunLevel(rack_level);
+        context.Metric("u_mean", result.mean_freeze_ratio);
+        context.Metric("violations", result.violations);
+        context.Metric("unused_W", result.mean_unused_watts);
+        context.Metric("freeze_ops", static_cast<double>(result.freeze_ops));
+        return result;
+      });
 
   bench::Section("24 h controlled run at rO=0.25, demand ~0.96 of budget");
-  std::printf("%12s %14s %12s %14s %12s\n", "level", "u_mean", "violations",
-              "unused_W", "freeze_ops");
-  std::printf("%12s %14.4f %12d %14.0f %12llu\n", "row",
-              row.mean_freeze_ratio, row.violations, row.mean_unused_watts,
-              static_cast<unsigned long long>(row.freeze_ops));
-  std::printf("%12s %14.4f %12d %14.0f %12llu\n", "rack",
-              rack.mean_freeze_ratio, rack.violations,
-              rack.mean_unused_watts,
-              static_cast<unsigned long long>(rack.freeze_ops));
+  if (!bench::EmitResults(grid.table, args)) {
+    return;
+  }
+  const LevelResult& row = grid.values[0];
+  const LevelResult& rack = grid.values[1];
 
   bench::Section("shape checks vs. paper (§2.2 rationale)");
   bench::ShapeCheck(rack.mean_freeze_ratio > row.mean_freeze_ratio,
@@ -142,7 +154,7 @@ void Main() {
 }  // namespace
 }  // namespace ampere
 
-int main() {
-  ampere::Main();
+int main(int argc, char** argv) {
+  ampere::Main(ampere::harness::ParseHarnessArgs(argc, argv));
   return 0;
 }

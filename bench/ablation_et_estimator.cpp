@@ -10,8 +10,13 @@
 // Expected shape: no margin -> the most violations; a large flat margin ->
 // fewest violations but the most freezing; the history profile sits on the
 // efficient frontier between them.
+//
+// The 48-hour history pass runs first (the four arms depend on it); the
+// four controlled arms are then independent and run in parallel through
+// the scenario harness.
 
-#include <array>
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -34,27 +39,19 @@ ExperimentConfig BaseConfig() {
   return config;
 }
 
-struct EtResult {
+struct EtArm {
   const char* name;
+  EtEstimator et;
+};
+
+struct EtResult {
+  const char* name = nullptr;
   int violations = 0;
   double u_mean = 0.0;
   double r_thru = 0.0;
 };
 
-EtResult RunWith(const char* name, const EtEstimator& et) {
-  ExperimentConfig config = BaseConfig();
-  config.controller.et = et;
-  ControlledExperiment experiment(config);
-  ExperimentResult result = experiment.Run();
-  EtResult out;
-  out.name = name;
-  out.violations = result.experiment.violations;
-  out.u_mean = result.experiment.u_mean;
-  out.r_thru = std::min(result.throughput_ratio, 1.0);
-  return out;
-}
-
-void Main() {
+void Main(const harness::HarnessArgs& args) {
   bench::Header("Ablation: E_t estimator",
                 "zero vs flat vs per-hour-history safety margin", kSeed);
 
@@ -63,8 +60,7 @@ void Main() {
   ExperimentConfig history_config = BaseConfig();
   history_config.enable_ampere = false;
   history_config.duration = SimTime::Hours(48);
-  ControlledExperiment history_run(history_config);
-  ExperimentResult history = history_run.Run();
+  ExperimentResult history = RunExperimentToResult(history_config);
   std::vector<double> series;
   for (const MinutePoint& m : history.experiment.minutes) {
     series.push_back(m.normalized_power);
@@ -77,19 +73,37 @@ void Main() {
   }
   std::printf("\n");
 
-  std::vector<EtResult> results;
-  results.push_back(RunWith("none (0.00)", EtEstimator::Constant(0.0)));
-  results.push_back(RunWith("flat 0.02", EtEstimator::Constant(0.02)));
-  results.push_back(RunWith("flat 0.05", EtEstimator::Constant(0.05)));
-  results.push_back(RunWith("history 99.5p", learned));
+  const std::vector<EtArm> arms = {
+      {"none (0.00)", EtEstimator::Constant(0.0)},
+      {"flat 0.02", EtEstimator::Constant(0.02)},
+      {"flat 0.05", EtEstimator::Constant(0.05)},
+      {"history 99.5p", learned},
+  };
+  auto grid = bench::RunGrid(
+      args, arms,
+      [](const EtArm& arm, size_t) {
+        return harness::GridMeta{arm.name, kSeed};
+      },
+      [](const EtArm& arm, harness::RunContext& context) {
+        ExperimentConfig config = BaseConfig();
+        config.controller.et = arm.et;
+        ExperimentResult result = RunExperimentToResult(config);
+        EtResult out;
+        out.name = arm.name;
+        out.violations = result.experiment.violations;
+        out.u_mean = result.experiment.u_mean;
+        out.r_thru = std::min(result.throughput_ratio, 1.0);
+        context.Metric("violations", out.violations);
+        context.Metric("u_mean", out.u_mean);
+        context.Metric("r_thru", out.r_thru);
+        return out;
+      });
 
   bench::Section("24 h controlled runs at rO=0.25, demand ~0.99 of budget");
-  std::printf("%16s %12s %10s %10s\n", "estimator", "violations", "u_mean",
-              "r_thru");
-  for (const EtResult& r : results) {
-    std::printf("%16s %12d %10.3f %10.3f\n", r.name, r.violations, r.u_mean,
-                r.r_thru);
+  if (!bench::EmitResults(grid.table, args)) {
+    return;
   }
+  const std::vector<EtResult>& results = grid.values;
 
   bench::Section("shape checks vs. paper");
   bench::ShapeCheck(results[0].violations >= results[2].violations,
@@ -114,7 +128,7 @@ void Main() {
 }  // namespace
 }  // namespace ampere
 
-int main() {
-  ampere::Main();
+int main(int argc, char** argv) {
+  ampere::Main(ampere::harness::ParseHarnessArgs(argc, argv));
   return 0;
 }

@@ -17,8 +17,13 @@
 // Closed-loop control with a policy-matched kr protects under every
 // selection; the paper's choice wins on the drain channel and on capacity
 // cost in fragmented clusters.
+//
+// The two drain measurements and the three policy arms (each a calibration
+// plus a day-long closed loop) are all independent simulations; each group
+// runs in parallel through the scenario harness.
 
 #include <algorithm>
+#include <array>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -76,58 +81,79 @@ double CalibrateKr(FreezeSelection selection) {
   return FreezeEffectModel::Fit(samples).kr();
 }
 
-struct PolicyResult {
+struct PolicyArm {
   const char* name;
+  FreezeSelection selection;
+};
+
+struct PolicyResult {
+  const char* name = nullptr;
   double kr = 0.0;
   int violations = 0;
   double u_mean = 0.0;
   double r_thru = 0.0;
 };
 
-PolicyResult RunPolicy(const char* name, FreezeSelection selection) {
-  PolicyResult out;
-  out.name = name;
-  out.kr = CalibrateKr(selection);
-
-  ExperimentConfig config =
-      bench::PaperExperimentConfig(kSeed, /*target_power=*/1.0, 0.25);
-  config.controller.effect = FreezeEffectModel(out.kr);
-  config.controller.et = EtEstimator::Constant(0.02);
-  config.controller.selection = selection;
-  config.workload.arrivals.ar_sigma = 0.015;
-  ControlledExperiment experiment(config);
-  ExperimentResult result = experiment.Run();
-  out.violations = result.experiment.violations;
-  out.u_mean = result.experiment.u_mean;
-  out.r_thru = std::min(result.throughput_ratio, 1.0);
-  return out;
-}
-
-void Main() {
+void Main(const harness::HarnessArgs& args) {
   bench::Header("Ablation: freeze-selection policy",
                 "highest-power vs random vs lowest-power", kSeed);
 
   bench::Section("drain channel (Fig. 4-style, 80 servers, 30 min frozen)");
-  double drain_hot = MeasureDrain(/*hottest=*/true);
-  double drain_cold = MeasureDrain(/*hottest=*/false);
+  const std::array<bool, 2> drain_arms{true, false};
+  auto drain_grid = bench::RunGrid(
+      args, drain_arms,
+      [](bool hottest, size_t) {
+        return harness::GridMeta{hottest ? "drain hottest" : "drain coldest",
+                                 kSeed};
+      },
+      [](bool hottest, harness::RunContext& context) {
+        double drain = MeasureDrain(hottest);
+        context.Metric("drain", drain);
+        return drain;
+      });
+  double drain_hot = drain_grid.values[0];
+  double drain_cold = drain_grid.values[1];
   std::printf("normalized power shed by frozen set: hottest %.4f, "
               "coldest %.4f\n",
               drain_hot, drain_cold);
 
-  std::vector<PolicyResult> results;
-  results.push_back(
-      RunPolicy("highest-power", FreezeSelection::kHighestPower));
-  results.push_back(RunPolicy("random", FreezeSelection::kRandom));
-  results.push_back(
-      RunPolicy("lowest-power", FreezeSelection::kLowestPower));
+  const std::vector<PolicyArm> arms = {
+      {"highest-power", FreezeSelection::kHighestPower},
+      {"random", FreezeSelection::kRandom},
+      {"lowest-power", FreezeSelection::kLowestPower},
+  };
+  auto grid = bench::RunGrid(
+      args, arms,
+      [](const PolicyArm& arm, size_t) {
+        return harness::GridMeta{arm.name, kSeed};
+      },
+      [](const PolicyArm& arm, harness::RunContext& context) {
+        PolicyResult out;
+        out.name = arm.name;
+        out.kr = CalibrateKr(arm.selection);
+
+        ExperimentConfig config =
+            bench::PaperExperimentConfig(kSeed, /*target_power=*/1.0, 0.25);
+        config.controller.effect = FreezeEffectModel(out.kr);
+        config.controller.et = EtEstimator::Constant(0.02);
+        config.controller.selection = arm.selection;
+        config.workload.arrivals.ar_sigma = 0.015;
+        ExperimentResult result = RunExperimentToResult(config);
+        out.violations = result.experiment.violations;
+        out.u_mean = result.experiment.u_mean;
+        out.r_thru = std::min(result.throughput_ratio, 1.0);
+        context.Metric("kr", out.kr);
+        context.Metric("violations", out.violations);
+        context.Metric("u_mean", out.u_mean);
+        context.Metric("r_thru", out.r_thru);
+        return out;
+      });
 
   bench::Section("per-policy calibrated effect and 24 h heavy closed loop");
-  std::printf("%16s %10s %12s %10s %10s\n", "policy", "kr", "violations",
-              "u_mean", "r_thru");
-  for (const PolicyResult& r : results) {
-    std::printf("%16s %10.4f %12d %10.3f %10.3f\n", r.name, r.kr,
-                r.violations, r.u_mean, r.r_thru);
+  if (!bench::EmitResults(grid.table, args)) {
+    return;
   }
+  const std::vector<PolicyResult>& results = grid.values;
 
   bench::Section("shape checks");
   bench::ShapeCheck(drain_hot > 4.0 * drain_cold + 0.01,
@@ -154,7 +180,7 @@ void Main() {
 }  // namespace
 }  // namespace ampere
 
-int main() {
-  ampere::Main();
+int main(int argc, char** argv) {
+  ampere::Main(ampere::harness::ParseHarnessArgs(argc, argv));
   return 0;
 }

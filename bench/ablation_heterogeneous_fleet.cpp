@@ -11,7 +11,11 @@
 // highest-power selection concentrates freezes on the old generation far
 // beyond its population share — watt-ranked freezing is generation-aware
 // for free, draining the most power per frozen scheduling slot.
+//
+// The homogeneous and mixed arms are independent day-long simulations and
+// run in parallel through the scenario harness.
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -119,20 +123,33 @@ MixResult RunRow(bool mixed) {
   return result;
 }
 
-void Main() {
+void Main(const harness::HarnessArgs& args) {
   bench::Header("Ablation: heterogeneous fleet",
                 "Algorithm 1 on a mixed-generation row", kSeed);
 
-  MixResult homogeneous = RunRow(/*mixed=*/false);
-  MixResult mixed = RunRow(/*mixed=*/true);
+  const std::array<bool, 2> arms{false, true};  // homogeneous, mixed.
+  auto grid = bench::RunGrid(
+      args, arms,
+      [](bool is_mixed, size_t) {
+        return harness::GridMeta{is_mixed ? "mixed" : "homogeneous", kSeed};
+      },
+      [](bool is_mixed, harness::RunContext& context) {
+        MixResult result = RunRow(is_mixed);
+        context.Metric("violations", result.violations);
+        context.Metric("u_mean", result.u_mean);
+        if (is_mixed) {
+          context.Metric("old_gen_freeze_share",
+                         result.old_gen_freeze_share);
+        }
+        return result;
+      });
 
   bench::Section("24 h at ~0.97 of the rO=0.25 budget");
-  std::printf("%14s %12s %10s %20s\n", "row", "violations", "u_mean",
-              "old_gen_freeze_share");
-  std::printf("%14s %12d %10.3f %20s\n", "homogeneous",
-              homogeneous.violations, homogeneous.u_mean, "n/a");
-  std::printf("%14s %12d %10.3f %19.1f%%\n", "mixed", mixed.violations,
-              mixed.u_mean, 100.0 * mixed.old_gen_freeze_share);
+  if (!bench::EmitResults(grid.table, args)) {
+    return;
+  }
+  const MixResult& homogeneous = grid.values[0];
+  const MixResult& mixed = grid.values[1];
   std::printf("(old generation is 50%% of the population)\n");
 
   bench::Section("shape checks");
@@ -148,7 +165,7 @@ void Main() {
 }  // namespace
 }  // namespace ampere
 
-int main() {
-  ampere::Main();
+int main(int argc, char** argv) {
+  ampere::Main(ampere::harness::ParseHarnessArgs(argc, argv));
   return 0;
 }

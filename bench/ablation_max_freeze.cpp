@@ -7,7 +7,11 @@
 // shape: violations fall monotonically as the cap rises (more control
 // authority), at the price of deeper throughput suppression while control
 // is active.
+//
+// The four cap arms are independent day-long simulations and run in
+// parallel through the scenario harness.
 
+#include <algorithm>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -25,41 +29,46 @@ struct CapResult {
   double r_thru = 0.0;
 };
 
-CapResult RunWith(double max_ratio) {
-  ExperimentConfig config =
-      bench::PaperExperimentConfig(kSeed, /*target_power=*/1.02, 0.25);
-  config.controller.effect = FreezeEffectModel(0.013);
-  config.controller.et = EtEstimator::Constant(0.02);
-  config.controller.max_freeze_ratio = max_ratio;
-  config.workload.arrivals.ar_sigma = 0.015;
-  ControlledExperiment experiment(config);
-  ExperimentResult result = experiment.Run();
-  CapResult out;
-  out.max_ratio = max_ratio;
-  out.violations = result.experiment.violations;
-  out.u_mean = result.experiment.u_mean;
-  out.u_max = result.experiment.u_max;
-  out.r_thru = std::min(result.throughput_ratio, 1.0);
-  return out;
-}
-
-void Main() {
+void Main(const harness::HarnessArgs& args) {
   bench::Header("Ablation: max freezing ratio",
                 "lifting the paper's 50% operational cap under heavy load",
                 kSeed);
 
-  std::vector<CapResult> results;
-  for (double cap : {0.3, 0.5, 0.7, 0.9}) {
-    results.push_back(RunWith(cap));
-  }
+  const std::vector<double> caps{0.3, 0.5, 0.7, 0.9};
+  auto grid = bench::RunGrid(
+      args, caps,
+      [](double cap, size_t) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "cap=%.1f", cap);
+        return harness::GridMeta{name, kSeed};
+      },
+      [](double cap, harness::RunContext& context) {
+        ExperimentConfig config =
+            bench::PaperExperimentConfig(kSeed, /*target_power=*/1.02, 0.25);
+        config.controller.effect = FreezeEffectModel(0.013);
+        config.controller.et = EtEstimator::Constant(0.02);
+        config.controller.max_freeze_ratio = cap;
+        config.workload.arrivals.ar_sigma = 0.015;
+        ExperimentResult result = RunExperimentToResult(config);
+        CapResult out;
+        out.max_ratio = cap;
+        out.violations = result.experiment.violations;
+        out.u_mean = result.experiment.u_mean;
+        out.u_max = result.experiment.u_max;
+        out.r_thru = std::min(result.throughput_ratio, 1.0);
+        context.Metric("cap", out.max_ratio);
+        context.Metric("violations", out.violations);
+        context.Metric("u_mean", out.u_mean);
+        context.Metric("u_max", out.u_max);
+        context.Metric("r_thru", out.r_thru);
+        return out;
+      });
 
   bench::Section("24 h runs at rO=0.25, demand ~1.02 of budget");
-  std::printf("%10s %12s %10s %10s %10s\n", "cap", "violations", "u_mean",
-              "u_max", "r_thru");
-  for (const CapResult& r : results) {
-    std::printf("%10.1f %12d %10.3f %10.3f %10.3f\n", r.max_ratio,
-                r.violations, r.u_mean, r.u_max, r.r_thru);
+  if (!bench::EmitResults(grid.table, args)) {
+    return;
   }
+  const std::vector<CapResult>& results = grid.values;
 
   bench::Section("shape checks vs. paper");
   bench::ShapeCheck(results[0].violations > results[1].violations,
@@ -83,7 +92,7 @@ void Main() {
 }  // namespace
 }  // namespace ampere
 
-int main() {
-  ampere::Main();
+int main(int argc, char** argv) {
+  ampere::Main(ampere::harness::ParseHarnessArgs(argc, argv));
   return 0;
 }

@@ -7,7 +7,11 @@
 // Expected shape: control quality (violations, throughput) is flat across
 // r_stable, while churn (freeze+unfreeze operations) falls as the band
 // widens (smaller r_stable = wider band = stickier frozen set).
+//
+// The five r_stable arms are independent day-long simulations and run in
+// parallel through the scenario harness.
 
+#include <algorithm>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -25,43 +29,50 @@ struct RStableResult {
   uint64_t churn_ops = 0;
 };
 
-RStableResult RunWith(double r_stable) {
-  ExperimentConfig config =
-      bench::PaperExperimentConfig(kSeed, /*target_power=*/1.0, 0.25);
-  config.controller.effect = FreezeEffectModel(0.013);
-  config.controller.et = EtEstimator::Constant(0.02);
-  config.controller.r_stable = r_stable;
-  config.workload.arrivals.ar_sigma = 0.015;
-  ControlledExperiment experiment(config);
-  ExperimentResult result = experiment.Run();
-  RStableResult out;
-  out.r_stable = r_stable;
-  out.violations = result.experiment.violations;
-  out.u_mean = result.experiment.u_mean;
-  out.r_thru = std::min(result.throughput_ratio, 1.0);
-  out.churn_ops = experiment.controller()->freeze_ops() +
-                  experiment.controller()->unfreeze_ops();
-  return out;
-}
-
-void Main() {
+void Main(const harness::HarnessArgs& args) {
   bench::Header("Ablation: r_stable hysteresis",
                 "churn and control quality across the stability band",
                 kSeed);
 
-  std::vector<RStableResult> results;
-  for (double r : {0.5, 0.7, 0.8, 0.9, 1.0}) {
-    results.push_back(RunWith(r));
-  }
+  const std::vector<double> r_stables{0.5, 0.7, 0.8, 0.9, 1.0};
+  auto grid = bench::RunGrid(
+      args, r_stables,
+      [](double r_stable, size_t) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "r_stable=%.2f", r_stable);
+        return harness::GridMeta{name, kSeed};
+      },
+      [](double r_stable, harness::RunContext& context) {
+        ExperimentConfig config =
+            bench::PaperExperimentConfig(kSeed, /*target_power=*/1.0, 0.25);
+        config.controller.effect = FreezeEffectModel(0.013);
+        config.controller.et = EtEstimator::Constant(0.02);
+        config.controller.r_stable = r_stable;
+        config.workload.arrivals.ar_sigma = 0.015;
+        // The churn counters live on the controller, so run the experiment
+        // in place instead of through RunExperimentToResult.
+        ControlledExperiment experiment(config);
+        ExperimentResult result = experiment.Run();
+        RStableResult out;
+        out.r_stable = r_stable;
+        out.violations = result.experiment.violations;
+        out.u_mean = result.experiment.u_mean;
+        out.r_thru = std::min(result.throughput_ratio, 1.0);
+        out.churn_ops = experiment.controller()->freeze_ops() +
+                        experiment.controller()->unfreeze_ops();
+        context.Metric("r_stable", out.r_stable);
+        context.Metric("violations", out.violations);
+        context.Metric("u_mean", out.u_mean);
+        context.Metric("r_thru", out.r_thru);
+        context.Metric("churn_ops", static_cast<double>(out.churn_ops));
+        return out;
+      });
 
   bench::Section("24 h heavy runs at rO=0.25 (paper uses r_stable = 0.8)");
-  std::printf("%10s %12s %10s %10s %12s\n", "r_stable", "violations",
-              "u_mean", "r_thru", "churn_ops");
-  for (const RStableResult& r : results) {
-    std::printf("%10.2f %12d %10.3f %10.3f %12llu\n", r.r_stable,
-                r.violations, r.u_mean, r.r_thru,
-                static_cast<unsigned long long>(r.churn_ops));
+  if (!bench::EmitResults(grid.table, args)) {
+    return;
   }
+  const std::vector<RStableResult>& results = grid.values;
 
   bench::Section("shape checks vs. paper");
   int min_viol = results[0].violations;
@@ -86,7 +97,7 @@ void Main() {
 }  // namespace
 }  // namespace ampere
 
-int main() {
-  ampere::Main();
+int main(int argc, char** argv) {
+  ampere::Main(ampere::harness::ParseHarnessArgs(argc, argv));
   return 0;
 }

@@ -11,7 +11,11 @@
 // Ampere is orthogonal: it raises capacity-per-watt without touching jobs,
 // while consolidation cuts idle energy at an SLA price; the shapes here are
 // the reason the paper chose the freeze interface for its goal.
+//
+// The always-on and consolidation arms are independent two-day simulations
+// and run in parallel through the scenario harness.
 
+#include <array>
 #include <unordered_map>
 #include <vector>
 
@@ -155,30 +159,34 @@ ArmResult RunArm(bool consolidate) {
   return result;
 }
 
-void Main() {
+void Main(const harness::HarnessArgs& args) {
   bench::Header("Baseline: sleep-state consolidation (§5.1)",
                 "energy vs job-start latency over 2 diurnal days", kSeed);
 
-  ArmResult always_on = RunArm(/*consolidate=*/false);
-  ArmResult consolidated = RunArm(/*consolidate=*/true);
+  const std::array<bool, 2> arms{false, true};
+  auto grid = bench::RunGrid(
+      args, arms,
+      [](bool consolidate, size_t) {
+        return harness::GridMeta{consolidate ? "consolidation" : "always-on",
+                                 kSeed};
+      },
+      [](bool consolidate, harness::RunContext& context) {
+        ArmResult r = RunArm(consolidate);
+        context.Metric("energy_kWh", r.energy_kwh);
+        context.Metric("wait_p999_min", r.wait_p99_min);
+        context.Metric("night_delayed", r.night_delayed_fraction);
+        context.Metric("night_max_min", r.night_wait_max_min);
+        context.Metric("completed", static_cast<double>(r.completed));
+        context.Metric("sleeps", static_cast<double>(r.sleeps));
+        return r;
+      });
 
   bench::Section("48 h, 60 servers, deep diurnal workload");
-  std::printf("%14s %12s %14s %16s %14s %12s %8s\n", "arm", "energy_kWh",
-              "wait_p999_min", "night_delayed", "night_max_min", "completed",
-              "sleeps");
-  std::printf("%14s %12.1f %14.4f %15.3f%% %14.2f %12llu %8llu\n",
-              "always-on", always_on.energy_kwh, always_on.wait_p99_min,
-              100.0 * always_on.night_delayed_fraction,
-              always_on.night_wait_max_min,
-              static_cast<unsigned long long>(always_on.completed),
-              static_cast<unsigned long long>(always_on.sleeps));
-  std::printf("%14s %12.1f %14.4f %15.3f%% %14.2f %12llu %8llu\n",
-              "consolidation", consolidated.energy_kwh,
-              consolidated.wait_p99_min,
-              100.0 * consolidated.night_delayed_fraction,
-              consolidated.night_wait_max_min,
-              static_cast<unsigned long long>(consolidated.completed),
-              static_cast<unsigned long long>(consolidated.sleeps));
+  if (!bench::EmitResults(grid.table, args)) {
+    return;
+  }
+  const ArmResult& always_on = grid.values[0];
+  const ArmResult& consolidated = grid.values[1];
   double savings = 1.0 - consolidated.energy_kwh / always_on.energy_kwh;
   std::printf("energy savings: %.1f%%; night jobs delayed >3s: %.2f%% (max "
               "wait %.1f min)\n",
@@ -205,7 +213,7 @@ void Main() {
 }  // namespace
 }  // namespace ampere
 
-int main() {
-  ampere::Main();
+int main(int argc, char** argv) {
+  ampere::Main(ampere::harness::ParseHarnessArgs(argc, argv));
   return 0;
 }

@@ -14,6 +14,9 @@
 // Expected shape: both mechanisms eliminate most violations with similar
 // throughput — quantitative support for the paper's claim that the simple
 // freeze/unfreeze interface gives up essentially nothing.
+//
+// The three arms are independent day-long simulations and run in parallel
+// through the scenario harness.
 
 #include <memory>
 #include <vector>
@@ -135,26 +138,40 @@ ArmResult RunArm(Arm arm) {
   return result;
 }
 
-void Main() {
+void Main(const harness::HarnessArgs& args) {
   bench::Header("Baseline: power-aware scheduler vs Ampere (§5.2)",
                 "the same protection from inside vs outside the scheduler",
                 kSeed);
 
-  ArmResult none = RunArm(Arm::kNoControl);
-  ArmResult aware = RunArm(Arm::kPowerAwareScheduler);
-  ArmResult ampere = RunArm(Arm::kAmpere);
+  struct ArmSpec {
+    const char* name;
+    Arm arm;
+  };
+  const std::vector<ArmSpec> arms = {
+      {"no-control", Arm::kNoControl},
+      {"power-aware-sched", Arm::kPowerAwareScheduler},
+      {"ampere", Arm::kAmpere},
+  };
+  auto grid = bench::RunGrid(
+      args, arms,
+      [](const ArmSpec& spec, size_t) {
+        return harness::GridMeta{spec.name, kSeed};
+      },
+      [](const ArmSpec& spec, harness::RunContext& context) {
+        ArmResult r = RunArm(spec.arm);
+        context.Metric("violations", r.violations);
+        context.Metric("completed", static_cast<double>(r.completed));
+        context.Metric("P_max", r.p_max);
+        return r;
+      });
 
   bench::Section("24 h, 4 rows x 60 servers at rO=0.17, flexible stream steerable");
-  std::printf("%18s %12s %12s %10s\n", "arm", "violations", "completed",
-              "P_max");
-  std::printf("%18s %12d %12llu %10.3f\n", "no-control", none.violations,
-              static_cast<unsigned long long>(none.completed), none.p_max);
-  std::printf("%18s %12d %12llu %10.3f\n", "power-aware-sched",
-              aware.violations,
-              static_cast<unsigned long long>(aware.completed), aware.p_max);
-  std::printf("%18s %12d %12llu %10.3f\n", "ampere", ampere.violations,
-              static_cast<unsigned long long>(ampere.completed),
-              ampere.p_max);
+  if (!bench::EmitResults(grid.table, args)) {
+    return;
+  }
+  const ArmResult& none = grid.values[0];
+  const ArmResult& aware = grid.values[1];
+  const ArmResult& ampere = grid.values[2];
 
   bench::Section("shape checks (the loose-coupling claim)");
   bench::ShapeCheck(none.violations > 100,
@@ -174,7 +191,7 @@ void Main() {
 }  // namespace
 }  // namespace ampere
 
-int main() {
-  ampere::Main();
+int main(int argc, char** argv) {
+  ampere::Main(ampere::harness::ParseHarnessArgs(argc, argv));
   return 0;
 }

@@ -6,15 +6,27 @@
 // rows, and a SHAPE CHECK paragraph stating which qualitative property of
 // the paper's result should hold.
 
+// Grid-shaped benches (sweeps, ablations, A/B arms) run their independent
+// day-long simulations in PARALLEL through the scenario harness
+// (src/harness): bench::RunGrid fans the runs out over a work-stealing
+// pool (hardware_concurrency workers; --jobs=N or AMPERE_JOBS override),
+// captures per-run detail into result rows instead of interleaved stdout,
+// and returns both the typed results (for shape checks) and a ResultTable
+// (for --csv / --json emission). Results are bit-identical to a serial
+// run: every scenario owns its Simulation and RNG streams.
+
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/experiment.h"
+#include "src/harness/grid.h"
+#include "src/harness/runner.h"
 
 namespace ampere {
 namespace bench {
@@ -49,11 +61,13 @@ inline ExperimentConfig PaperExperimentConfig(uint64_t seed,
 
 // Runs the Fig. 5 calibration procedure on a fresh harness and returns the
 // fitted effect model. This is the kr every closed-loop bench deploys, so
-// the pipeline mirrors production: measure f(u), fit, control.
+// the pipeline mirrors production: measure f(u), fit, control. Silent by
+// default so it can run inside parallel grid scenarios; callers report the
+// fit through their RunContext (or printf it themselves when serial).
 inline FreezeEffectModel CalibrateEffectModel(uint64_t seed,
                                               double target_power,
                                               double ro,
-                                              bool verbose = true) {
+                                              bool verbose = false) {
   ExperimentConfig config = PaperExperimentConfig(seed, target_power, ro);
   config.enable_ampere = false;
   config.warmup = SimTime::Hours(1);
@@ -107,6 +121,65 @@ inline void PrintSeries(const std::string& x_label,
 inline void ShapeCheck(bool ok, const std::string& claim) {
   std::printf("SHAPE CHECK [%s]: %s\n", ok ? "PASS" : "FAIL", claim.c_str());
 }
+
+// --- Parallel grid execution (the harness-backed sweep loop) ---
+
+// Runs `fn(item, RunContext&) -> R` over every item in parallel and returns
+// {table, values}. `meta(item, index)` names and seeds each run. Worker
+// count comes from args.runner (--jobs / AMPERE_JOBS / hardware).
+template <typename Items, typename MetaFn, typename Fn>
+auto RunGrid(const harness::HarnessArgs& args, const Items& items,
+             MetaFn&& meta, Fn&& fn) {
+  return harness::RunGridOver(items, std::forward<MetaFn>(meta),
+                              std::forward<Fn>(fn), args.runner);
+}
+
+// Prints the assembled table (submission order), then each run's captured
+// notes, then honours --csv / --json. Returns false if any run failed.
+inline bool EmitResults(const harness::ResultTable& table,
+                        const harness::HarnessArgs& args) {
+  std::printf("[harness] %zu runs, jobs=%d, total %.0f ms\n\n", table.size(),
+              table.jobs(), table.total_wall_ms());
+  std::printf("%s", table.ToText().c_str());
+  bool all_ok = true;
+  for (const harness::ResultRow& row : table.rows()) {
+    if (!row.ok) {
+      std::printf("RUN FAILED %s: %s\n", row.scenario.c_str(),
+                  row.error.c_str());
+      all_ok = false;
+    }
+  }
+  if (args.print_notes) {
+    for (const harness::ResultRow& row : table.rows()) {
+      if (!row.notes.empty()) {
+        std::printf("\n--- %s ---\n%s", row.scenario.c_str(),
+                    row.notes.c_str());
+      }
+    }
+  }
+  if (!args.csv_path.empty()) {
+    harness::WriteFile(args.csv_path, table.ToCsv());
+    std::printf("wrote %s\n", args.csv_path.c_str());
+  }
+  if (!args.json_path.empty()) {
+    harness::WriteFile(args.json_path, table.ToJson());
+    std::printf("wrote %s\n", args.json_path.c_str());
+  }
+  return all_ok;
+}
+
+// printf-style append to a RunContext's notes. The format string is always
+// a literal at the call sites; the template indirection hides that from the
+// compiler's checker, hence the local diagnostic suppression.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wformat-nonliteral"
+template <typename... Args>
+void NoteF(harness::RunContext& context, const char* format, Args... args) {
+  char buffer[1024];
+  std::snprintf(buffer, sizeof(buffer), format, args...);
+  context.Note(buffer);
+}
+#pragma GCC diagnostic pop
 
 }  // namespace bench
 }  // namespace ampere

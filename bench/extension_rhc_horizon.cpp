@@ -8,6 +8,10 @@
 // closed-loop experiment is run with planning horizons 1, 4, and 16, and
 // with a constant E forecast the control trajectories must coincide
 // minute for minute.
+//
+// The three horizon runs are independent simulations and execute in
+// parallel through the scenario harness; determinism across job counts is
+// exactly what makes the minute-for-minute comparison meaningful.
 
 #include <cmath>
 #include <vector>
@@ -19,36 +23,39 @@ namespace {
 
 constexpr uint64_t kSeed = 20160428;
 
-ExperimentResult RunWithHorizon(int horizon) {
-  ExperimentConfig config =
-      bench::PaperExperimentConfig(kSeed, /*target_power=*/1.0, 0.25);
-  config.controller.effect = FreezeEffectModel(0.013);
-  config.controller.et = EtEstimator::Constant(0.02);
-  config.controller.horizon = horizon;
-  config.workload.arrivals.ar_sigma = 0.015;
-  ControlledExperiment experiment(config);
-  return experiment.Run();
-}
-
-void Main() {
+void Main(const harness::HarnessArgs& args) {
   bench::Header("Extension: RHC planning horizon",
                 "Lemma 3.1 verified in the live closed loop", kSeed);
 
-  std::vector<int> horizons{1, 4, 16};
-  std::vector<ExperimentResult> results;
-  for (int h : horizons) {
-    results.push_back(RunWithHorizon(h));
-  }
+  const std::vector<int> horizons{1, 4, 16};
+  auto grid = bench::RunGrid(
+      args, horizons,
+      [](int horizon, size_t) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "horizon=%d", horizon);
+        return harness::GridMeta{name, kSeed};
+      },
+      [](int horizon, harness::RunContext& context) {
+        ExperimentConfig config =
+            bench::PaperExperimentConfig(kSeed, /*target_power=*/1.0, 0.25);
+        config.controller.effect = FreezeEffectModel(0.013);
+        config.controller.et = EtEstimator::Constant(0.02);
+        config.controller.horizon = horizon;
+        config.workload.arrivals.ar_sigma = 0.015;
+        ExperimentResult result = RunExperimentToResult(config);
+        context.Metric("horizon", horizon);
+        context.Metric("violations", result.experiment.violations);
+        context.Metric("u_mean", result.experiment.u_mean);
+        context.Metric("P_max", result.experiment.p_max);
+        context.Metric("r_thru", std::min(result.throughput_ratio, 1.0));
+        return result;
+      });
 
   bench::Section("24 h heavy runs at rO=0.25 per planning horizon");
-  std::printf("%10s %12s %10s %10s %10s\n", "horizon", "violations",
-              "u_mean", "P_max", "r_thru");
-  for (size_t i = 0; i < horizons.size(); ++i) {
-    std::printf("%10d %12d %10.3f %10.3f %10.3f\n", horizons[i],
-                results[i].experiment.violations,
-                results[i].experiment.u_mean, results[i].experiment.p_max,
-                std::min(results[i].throughput_ratio, 1.0));
+  if (!bench::EmitResults(grid.table, args)) {
+    return;
   }
+  const std::vector<ExperimentResult>& results = grid.values;
 
   // Minute-for-minute trajectory comparison against horizon 1.
   size_t mismatches_h4 = 0;
@@ -82,7 +89,7 @@ void Main() {
 }  // namespace
 }  // namespace ampere
 
-int main() {
-  ampere::Main();
+int main(int argc, char** argv) {
+  ampere::Main(ampere::harness::ParseHarnessArgs(argc, argv));
   return 0;
 }

@@ -7,6 +7,10 @@
 // only occasionally (u_mean 1.5 %) and nobody violates. The experiment
 // group's max power stays at/below the budget while the control group
 // overshoots.
+//
+// The light and heavy arms are independent day-long simulations and run in
+// parallel through the scenario harness; each arm's 24-hour trace is
+// captured into its result row's notes instead of interleaved stdout.
 
 #include <vector>
 
@@ -17,32 +21,46 @@ namespace {
 
 constexpr uint64_t kSeed = 20160410;
 
-ExperimentResult RunScenario(const char* name, double target_power,
-                             double ar_sigma,
-                             const FreezeEffectModel& effect) {
-  ExperimentConfig config =
-      bench::PaperExperimentConfig(kSeed + (target_power > 0.95 ? 1 : 2),
-                                   target_power, 0.25);
+struct ArmSpec {
+  const char* name;
+  double target_power;
+  double ar_sigma;
+};
+
+ExperimentResult RunScenario(const ArmSpec& arm,
+                             const FreezeEffectModel& effect,
+                             harness::RunContext& context) {
+  ExperimentConfig config = bench::PaperExperimentConfig(
+      kSeed + (arm.target_power > 0.95 ? 1 : 2), arm.target_power, 0.25);
   config.controller.effect = effect;
   config.controller.et = EtEstimator::Constant(0.02);
   // The paper's light trace wanders widely and spikes toward the budget
   // now and then (Fig. 10a: mean .857, max .997), while the heavy trace
   // hovers tightly against the budget (Fig. 10b: .95-1.0).
-  config.workload.arrivals.ar_sigma = ar_sigma;
+  config.workload.arrivals.ar_sigma = arm.ar_sigma;
   config.workload.arrivals.burst_prob = 0.012;
   config.workload.arrivals.burst_factor = 2.2;
-  ControlledExperiment experiment(config);
-  ExperimentResult result = experiment.Run();
+  ExperimentResult result = RunExperimentToResult(config);
 
-  bench::Section(std::string(name) + ": 24-hour trace (one row per 30 min)");
-  std::printf("%8s %12s %12s %10s\n", "hour", "exp_power", "ctl_power",
-              "freeze_u");
+  bench::NoteF(context, "%s: 24-hour trace (one row per 30 min)\n",
+               arm.name);
+  bench::NoteF(context, "%8s %12s %12s %10s\n", "hour", "exp_power",
+               "ctl_power", "freeze_u");
   for (size_t i = 0; i < result.experiment.minutes.size(); i += 30) {
     const MinutePoint& e = result.experiment.minutes[i];
     const MinutePoint& c = result.control.minutes[i];
-    std::printf("%8.1f %12.3f %12.3f %10.3f\n", e.time.hours() - 2.0,
-                e.normalized_power, c.normalized_power, e.freeze_ratio);
+    bench::NoteF(context, "%8.1f %12.3f %12.3f %10.3f\n",
+                 e.time.hours() - 2.0, e.normalized_power,
+                 c.normalized_power, e.freeze_ratio);
   }
+
+  context.Metric("u_mean", result.experiment.u_mean);
+  context.Metric("u_max", result.experiment.u_max);
+  context.Metric("P_mean", result.experiment.p_mean);
+  context.Metric("P_max", result.experiment.p_max);
+  context.Metric("violations", result.experiment.violations);
+  context.Metric("ctl_P_max", result.control.p_max);
+  context.Metric("ctl_violations", result.control.violations);
   return result;
 }
 
@@ -53,17 +71,33 @@ void PrintTable2Row(const char* workload, const char* group, double u_mean,
               u_mean, u_max, p_mean, p_max, violations);
 }
 
-void Main() {
+void Main(const harness::HarnessArgs& args) {
   bench::Header("Figure 10 + Table 2",
                 "controller effectiveness, light vs heavy workload, rO=0.25",
                 kSeed);
 
   // Calibrate kr once with the Fig. 5 procedure, as production would.
-  FreezeEffectModel effect =
-      bench::CalibrateEffectModel(kSeed, /*target_power=*/0.97, /*ro=*/0.25);
+  FreezeEffectModel effect = bench::CalibrateEffectModel(
+      kSeed, /*target_power=*/0.97, /*ro=*/0.25, /*verbose=*/true);
 
-  ExperimentResult light = RunScenario("light", 0.91, 0.035, effect);
-  ExperimentResult heavy = RunScenario("heavy", 1.00, 0.015, effect);
+  const std::vector<ArmSpec> arms = {
+      {"light", 0.91, 0.035},
+      {"heavy", 1.00, 0.015},
+  };
+  auto grid = bench::RunGrid(
+      args, arms,
+      [](const ArmSpec& arm, size_t) {
+        return harness::GridMeta{
+            arm.name, kSeed + (arm.target_power > 0.95 ? 1 : 2)};
+      },
+      [&effect](const ArmSpec& arm, harness::RunContext& context) {
+        return RunScenario(arm, effect, context);
+      });
+  if (!bench::EmitResults(grid.table, args)) {
+    return;
+  }
+  const ExperimentResult& light = grid.values[0];
+  const ExperimentResult& heavy = grid.values[1];
 
   bench::Section("Table 2: controller effectiveness (per-minute samples)");
   std::printf("%8s %6s %8s %8s %8s %8s %8s\n", "workload", "group", "u_mean",
@@ -103,7 +137,7 @@ void Main() {
 }  // namespace
 }  // namespace ampere
 
-int main() {
-  ampere::Main();
+int main(int argc, char** argv) {
+  ampere::Main(ampere::harness::ParseHarnessArgs(argc, argv));
   return 0;
 }

@@ -8,11 +8,18 @@
 // (G_TPW collapses toward 0), 0.13 caps the attainable gain at 13 %, and
 // 0.17 is the sweet spot the paper deploys (~15-17 % gain under typical
 // workload).
+//
+// All 13 runs (and the 4 calibrations before them) are independent
+// simulations, so they execute in parallel through the scenario harness:
+//   table3_gtpw_sweep [--jobs=N] [--csv=PATH] [--json=PATH]
+// Metric rows are bit-identical for any --jobs value; the JSON output
+// carries per-run wall-clock timing.
 
 #include <algorithm>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/common/check.h"
 
 namespace ampere {
 namespace {
@@ -20,11 +27,23 @@ namespace {
 constexpr uint64_t kSeed = 20160413;
 
 struct RunSpec {
-  double ro;
+  size_t ro_index;      // Index into kRos — never matched by floating ==.
   double target_power;  // Demand level normalized to the scaled budget.
 };
 
-void Main() {
+// One calibration per rO (the effect slope depends on rO, §3.4).
+const std::vector<double> kRos = {0.25, 0.21, 0.17, 0.13};
+
+struct RunOutcome {
+  double ro = 0.0;
+  double p_mean = 0.0;
+  double p_max = 0.0;
+  double u_mean = 0.0;
+  double r_thru = 0.0;
+  double gain = 0.0;
+};
+
+void Main(const harness::HarnessArgs& args) {
   bench::Header("Table 3", "G_TPW across rO x workload (13 day-long runs)",
                 kSeed);
 
@@ -34,74 +53,108 @@ void Main() {
   // 65 % of rated power: normalized to the scaled budget, the idle floor
   // alone is 0.81 at rO = 0.25, so "light demand" starts above that.
   const std::vector<RunSpec> runs = {
-      {0.25, 0.88}, {0.25, 0.94}, {0.25, 0.99}, {0.25, 1.01},
-      {0.21, 0.86}, {0.21, 0.91}, {0.21, 0.96}, {0.21, 1.00},
-      {0.17, 0.82}, {0.17, 0.87}, {0.17, 0.93}, {0.17, 0.99},
-      {0.13, 0.80},
+      {0, 0.88}, {0, 0.94}, {0, 0.99}, {0, 1.01},
+      {1, 0.86}, {1, 0.91}, {1, 0.96}, {1, 1.00},
+      {2, 0.82}, {2, 0.87}, {2, 0.93}, {2, 0.99},
+      {3, 0.80},
   };
 
-  // One calibration per rO (the effect slope depends on rO, §3.4).
-  std::printf("calibrating f(u) per rO...\n");
-  std::vector<double> ros{0.25, 0.21, 0.17, 0.13};
-  std::vector<FreezeEffectModel> models;
-  for (double ro : ros) {
-    models.push_back(
-        bench::CalibrateEffectModel(kSeed, /*target_power=*/0.95, ro));
+  std::printf("calibrating f(u) per rO (parallel)...\n");
+  auto calibration = bench::RunGrid(
+      args, kRos,
+      [](double ro, size_t) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "calibrate rO=%.2f", ro);
+        return harness::GridMeta{name, kSeed};
+      },
+      [](double ro, harness::RunContext& context) {
+        FreezeEffectModel model =
+            bench::CalibrateEffectModel(kSeed, /*target_power=*/0.95, ro);
+        context.Metric("kr", model.kr());
+        context.Metric("r_squared", model.fit_r_squared());
+        return model.kr();
+      });
+  // Calibrated slopes are indexed by rO *index*, so a RunSpec can never
+  // silently pick up the wrong model (the old float-equality lookup fell
+  // back to models.front() on any mismatch).
+  const std::vector<double>& kr_by_ro = calibration.values;
+  AMPERE_CHECK(kr_by_ro.size() == kRos.size());
+  for (size_t i = 0; i < kRos.size(); ++i) {
+    std::printf("  rO=%.2f: f(u) = %.4f * u (R^2 = %.3f)\n", kRos[i],
+                calibration.table.row(i).Metric("kr"),
+                calibration.table.row(i).Metric("r_squared"));
   }
-  auto model_for = [&](double ro) {
-    for (size_t i = 0; i < ros.size(); ++i) {
-      if (ros[i] == ro) {
-        return models[i];
-      }
-    }
-    return models.front();
-  };
+
+  auto grid = bench::RunGrid(
+      args, runs,
+      [](const RunSpec& run, size_t i) {
+        char name[48];
+        std::snprintf(name, sizeof(name), "rO=%.2f target=%.2f",
+                      kRos[run.ro_index], run.target_power);
+        return harness::GridMeta{name, kSeed + i};
+      },
+      [&kr_by_ro](const RunSpec& run, harness::RunContext& context) {
+        AMPERE_CHECK(run.ro_index < kr_by_ro.size())
+            << "run spec references an uncalibrated rO";
+        const double ro = kRos[run.ro_index];
+        ExperimentConfig config = bench::PaperExperimentConfig(
+            context.seed(), run.target_power, ro);
+        config.controller.effect = FreezeEffectModel(kr_by_ro[run.ro_index]);
+        config.controller.et = EtEstimator::Constant(0.02);
+        config.workload.arrivals.ar_sigma = 0.02;
+        config.workload.arrivals.burst_prob = 0.01;
+        config.workload.arrivals.burst_factor = 1.8;
+        // §4.4: only the experiment group's budget is scaled, so its
+        // throughput loss is measured against unconstrained demand.
+        config.scale_control_budget = false;
+        ExperimentResult result = RunExperimentToResult(config);
+
+        RunOutcome out;
+        out.ro = ro;
+        // P_mean/P_max of the control group normalized to the experiment
+        // group's scaled budget (paper footnote 2): the control group's
+        // budget is unscaled here, so multiply its rated-normalized power
+        // by (1 + rO).
+        out.p_mean = result.control.p_mean * (1.0 + ro);
+        out.p_max = result.control.p_max * (1.0 + ro);
+        // Freezing cannot raise throughput: rT > 1 is estimator noise from
+        // the random placement split, so clamp like the paper's
+        // rthru = 1.0 rows.
+        out.r_thru = std::min(result.throughput_ratio, 1.0);
+        out.u_mean = result.experiment.u_mean;
+        out.gain = GainInTpw(out.r_thru, ro);
+
+        context.Metric("rO", out.ro);
+        context.Metric("P_mean", out.p_mean);
+        context.Metric("P_max", out.p_max);
+        context.Metric("u_mean", out.u_mean);
+        context.Metric("r_thru", out.r_thru);
+        context.Metric("G_TPW", out.gain);
+        return out;
+      });
 
   bench::Section("Table 3 (per-minute samples over 24 h per run)");
-  std::printf("%4s %6s %8s %8s %8s %8s %8s\n", "#", "rO", "P_mean", "P_max",
-              "u_mean", "r_thru", "G_TPW");
+  if (!bench::EmitResults(grid.table, args)) {
+    return;
+  }
+
   std::vector<double> gains;
   std::vector<double> gains_017;
   bool order_ok = true;
   double prev_gain = 2.0;
   for (size_t i = 0; i < runs.size(); ++i) {
-    const RunSpec& run = runs[i];
-    ExperimentConfig config = bench::PaperExperimentConfig(
-        kSeed + i, run.target_power, run.ro);
-    config.controller.effect = model_for(run.ro);
-    config.controller.et = EtEstimator::Constant(0.02);
-    config.workload.arrivals.ar_sigma = 0.02;
-    config.workload.arrivals.burst_prob = 0.01;
-    config.workload.arrivals.burst_factor = 1.8;
-    // §4.4: only the experiment group's budget is scaled, so its throughput
-    // loss is measured against unconstrained demand.
-    config.scale_control_budget = false;
-    ControlledExperiment experiment(config);
-    ExperimentResult result = experiment.Run();
-
-    // P_mean/P_max of the control group normalized to the experiment
-    // group's scaled budget (paper footnote 2): the control group's budget
-    // is unscaled here, so multiply its rated-normalized power by (1 + rO).
-    double p_mean = result.control.p_mean * (1.0 + run.ro);
-    double p_max = result.control.p_max * (1.0 + run.ro);
-    // Freezing cannot raise throughput: rT > 1 is estimator noise from the
-    // random placement split, so clamp like the paper's rthru = 1.0 rows.
-    double r_thru = std::min(result.throughput_ratio, 1.0);
-    double gain = GainInTpw(r_thru, run.ro);
-    gains.push_back(gain);
-    if (run.ro == 0.17) {
-      gains_017.push_back(gain);
+    const RunOutcome& out = grid.values[i];
+    gains.push_back(out.gain);
+    if (runs[i].ro_index == 2) {  // rO = 0.17.
+      gains_017.push_back(out.gain);
     }
-    std::printf("%4zu %6.2f %8.3f %8.3f %8.3f %8.3f %7.1f%%\n", i + 1,
-                run.ro, p_mean, p_max, result.experiment.u_mean,
-                r_thru, 100.0 * gain);
     // Within an rO block, higher demand should not raise the gain.
-    if (i > 0 && runs[i - 1].ro == run.ro) {
-      if (gain > prev_gain + 0.03) {
+    if (i > 0 && runs[i - 1].ro_index == runs[i].ro_index) {
+      if (out.gain > prev_gain + 0.03) {
         order_ok = false;
       }
     }
-    prev_gain = gain;
+    prev_gain = out.gain;
   }
   std::printf("(paper: e.g. rO=0.25 gains 19.7%%..4.3%% as demand rises; "
               "rO=0.17 gains 17%%..5.5%%; rO=0.13 caps at 13%%)\n");
@@ -122,7 +175,7 @@ void Main() {
 }  // namespace
 }  // namespace ampere
 
-int main() {
-  ampere::Main();
+int main(int argc, char** argv) {
+  ampere::Main(ampere::harness::ParseHarnessArgs(argc, argv));
   return 0;
 }

@@ -32,7 +32,21 @@ const char* Basename(const char* path) {
   return slash != nullptr ? slash + 1 : path;
 }
 
+thread_local log_internal::CaptureSink* t_capture_sink = nullptr;
+
 }  // namespace
+
+namespace log_internal {
+
+CaptureSink* GetThreadCaptureSink() { return t_capture_sink; }
+
+CaptureSink* SetThreadCaptureSink(CaptureSink* sink) {
+  CaptureSink* previous = t_capture_sink;
+  t_capture_sink = sink;
+  return previous;
+}
+
+}  // namespace log_internal
 
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
@@ -42,9 +56,17 @@ void SetLogLevel(LogLevel level) {
 
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& message) {
+  char prefix[256];
+  std::snprintf(prefix, sizeof(prefix), "[%s %s:%d] ", LevelTag(level),
+                Basename(file), line);
+  if (log_internal::CaptureSink* sink = t_capture_sink; sink != nullptr) {
+    // Captured: the line goes to the per-run buffer, no global lock, no
+    // interleaving with other workers' runs.
+    sink->Write(std::string(prefix) + message + "\n");
+    return;
+  }
   std::lock_guard<std::mutex> lock(g_write_mutex);
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), Basename(file),
-               line, message.c_str());
+  std::fprintf(stderr, "%s%s\n", prefix, message.c_str());
 }
 
 }  // namespace ampere

@@ -25,9 +25,27 @@ enum class LogLevel : int {
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
-// Writes one formatted line to stderr. Prefer the AMPERE_LOG macro.
+// Writes one formatted line to stderr — or, when the calling thread has a
+// ScopedLogCapture installed (src/common/log_capture.h), appends it to that
+// capture buffer instead. Prefer the AMPERE_LOG macro.
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& message);
+
+namespace log_internal {
+
+// Thread-local capture sink. Installed/removed by ScopedLogCapture; nullptr
+// means "write to stderr". Exposed here so LogMessage stays a single
+// translation unit away from both users.
+struct CaptureSink {
+  virtual ~CaptureSink() = default;
+  virtual void Write(const std::string& formatted_line) = 0;
+};
+
+CaptureSink* GetThreadCaptureSink();
+// Returns the previously installed sink (for nesting).
+CaptureSink* SetThreadCaptureSink(CaptureSink* sink);
+
+}  // namespace log_internal
 
 namespace log_internal {
 

@@ -1,0 +1,23 @@
+#include "src/common/log_capture.h"
+
+#include <utility>
+
+namespace ampere {
+
+ScopedLogCapture::ScopedLogCapture() {
+  previous_ = log_internal::SetThreadCaptureSink(this);
+}
+
+ScopedLogCapture::~ScopedLogCapture() {
+  log_internal::SetThreadCaptureSink(previous_);
+}
+
+std::string ScopedLogCapture::TakeOutput() {
+  return std::exchange(buffer_, std::string());
+}
+
+void ScopedLogCapture::Write(const std::string& formatted_line) {
+  buffer_ += formatted_line;
+}
+
+}  // namespace ampere

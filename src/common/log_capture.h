@@ -1,0 +1,46 @@
+// Per-thread log capture.
+//
+// The logger serializes writes to stderr with a global mutex, which is
+// correct but interleaves lines from concurrent scenario runs into an
+// unreadable braid. ScopedLogCapture redirects the *calling thread's*
+// AMPERE_LOG output into a private buffer for its lifetime; the harness
+// installs one per scenario run and stores the captured text in the run's
+// result row, so each run's log reads as if it had run alone.
+//
+// Scopes nest: the inner capture wins while alive, then the outer resumes.
+// The capture is strictly thread-local — other threads' logs still go to
+// stderr (or to their own captures).
+
+#ifndef SRC_COMMON_LOG_CAPTURE_H_
+#define SRC_COMMON_LOG_CAPTURE_H_
+
+#include <string>
+
+#include "src/common/log.h"
+
+namespace ampere {
+
+class ScopedLogCapture : private log_internal::CaptureSink {
+ public:
+  ScopedLogCapture();
+  ~ScopedLogCapture() override;
+
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+
+  // Captured text so far (formatted lines, newline-terminated).
+  const std::string& output() const { return buffer_; }
+
+  // Moves the captured text out, leaving the buffer empty.
+  std::string TakeOutput();
+
+ private:
+  void Write(const std::string& formatted_line) override;
+
+  std::string buffer_;
+  log_internal::CaptureSink* previous_ = nullptr;
+};
+
+}  // namespace ampere
+
+#endif  // SRC_COMMON_LOG_CAPTURE_H_

@@ -51,6 +51,11 @@ double ArrivalRateForNormalizedPower(const TopologyConfig& topology,
   return util * total_cores / (mean_minutes * mean_cores);
 }
 
+ExperimentResult RunExperimentToResult(const ExperimentConfig& config) {
+  ControlledExperiment experiment(config);
+  return experiment.Run();
+}
+
 ControlledExperiment::ControlledExperiment(const ExperimentConfig& config)
     : config_(config), rng_(config.seed), sim_(),
       dc_(config.topology, &sim_), db_(),

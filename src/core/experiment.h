@@ -12,6 +12,13 @@
 // The harness also implements the Fig. 5 calibration procedure: holding the
 // freezing ratio at exogenous levels in timed blocks and recording the
 // power-change difference between the groups, which fits f(u).
+//
+// Thread-compatibility audit (for the parallel scenario harness): a
+// ControlledExperiment owns every piece of mutable state it touches — the
+// Simulation clock and event queue, the DataCenter, the TimeSeriesDb, the
+// scheduler, the monitor, and all RNG streams (forked from config.seed; no
+// static locals, no globals). Two instances on two threads share nothing;
+// run instances concurrently via RunExperimentToResult.
 
 #ifndef SRC_CORE_EXPERIMENT_H_
 #define SRC_CORE_EXPERIMENT_H_
@@ -70,6 +77,17 @@ double ArrivalRateForNormalizedPower(const TopologyConfig& topology,
                                      const BatchWorkloadParams& workload,
                                      double target_normalized_power,
                                      double over_provision_ratio);
+
+// Pure entry point for the parallel scenario harness: constructs a fresh
+// ControlledExperiment from `config`, runs the closed loop, and returns the
+// result. The function touches no global mutable state — every stochastic
+// component forks off the instance-owned RNG seeded from `config.seed`, the
+// simulation clock/event queue/telemetry store are all instance members —
+// so concurrent calls with distinct instances are safe and each call is a
+// deterministic function of its config (bit-identical across thread
+// counts). Logging goes through the global logger, which is mutexed and
+// per-thread capturable (src/common/log_capture.h).
+ExperimentResult RunExperimentToResult(const ExperimentConfig& config);
 
 class ControlledExperiment {
  public:

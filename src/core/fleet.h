@@ -50,6 +50,27 @@ struct FleetConfig {
   DurationModelParams durations;
 };
 
+// Summary of one fleet run, in harness-friendly form.
+struct FleetRowSummary {
+  double p_mean = 0.0;  // Row power / rated row budget, mean over samples.
+  double p_max = 0.0;
+};
+
+struct FleetResult {
+  std::vector<FleetRowSummary> rows;
+  double dc_mean_watts = 0.0;
+  double dc_max_watts = 0.0;
+  uint64_t jobs_submitted = 0;
+  uint64_t jobs_completed = 0;
+};
+
+// Pure entry point for the parallel scenario harness: builds a fresh Fleet,
+// runs it until `until`, and summarizes the telemetry. Like
+// RunExperimentToResult, this touches no global mutable state (the Fleet
+// instance owns its RNG streams, clock, and stores), so concurrent calls
+// are safe and results are a deterministic function of (config, until).
+FleetResult RunFleetToResult(const FleetConfig& config, SimTime until);
+
 class Fleet {
  public:
   explicit Fleet(const FleetConfig& config);

@@ -1,0 +1,136 @@
+#include "src/harness/runner.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/log_capture.h"
+#include "src/common/thread_pool.h"
+
+namespace ampere {
+namespace harness {
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Runs the body, converting exceptions into a failed row instead of
+// propagating across the pool.
+void RunBody(const Scenario& scenario, RunContext& context, ResultRow* row) {
+  try {
+    AMPERE_CHECK(scenario.body != nullptr)
+        << "scenario '" << scenario.name << "' has no body";
+    scenario.body(context);
+  } catch (const std::exception& e) {
+    row->ok = false;
+    row->error = e.what();
+  } catch (...) {
+    row->ok = false;
+    row->error = "unknown exception";
+  }
+}
+
+}  // namespace
+
+int ResolveJobs(int requested_jobs) {
+  if (requested_jobs > 0) {
+    return requested_jobs;
+  }
+  if (const char* env = std::getenv("AMPERE_JOBS"); env != nullptr) {
+    int parsed = std::atoi(env);
+    if (parsed > 0) {
+      return parsed;
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ScenarioRunner::ScenarioRunner(const RunnerOptions& options)
+    : options_(options) {}
+
+ResultTable ScenarioRunner::Run(std::span<const Scenario> scenarios) const {
+  const int jobs = ResolveJobs(options_.jobs);
+  const bool capture_logs = options_.capture_logs;
+
+  ResultTable table;
+  table.Resize(scenarios.size());
+  table.set_jobs(jobs);
+
+  auto total_start = std::chrono::steady_clock::now();
+  {
+    ThreadPool pool(jobs);
+    for (size_t i = 0; i < scenarios.size(); ++i) {
+      const Scenario* scenario = &scenarios[i];
+      ResultRow* row = &table.row(i);  // Each task owns exactly its slot.
+      pool.Submit([scenario, row, i, capture_logs] {
+        row->index = i;
+        row->scenario = scenario->name;
+        row->seed = scenario->seed;
+        RunContext context(i, scenario->seed);
+        auto run_start = std::chrono::steady_clock::now();
+        if (capture_logs) {
+          ScopedLogCapture capture;
+          RunBody(*scenario, context, row);
+          row->log = capture.TakeOutput();
+        } else {
+          RunBody(*scenario, context, row);
+        }
+        row->wall_ms = ElapsedMs(run_start);
+        row->metrics = std::move(context.metrics());
+        row->notes = std::move(context.notes());
+      });
+    }
+    pool.Wait();
+  }
+  table.set_total_wall_ms(ElapsedMs(total_start));
+  return table;
+}
+
+ResultTable RunScenarios(std::span<const Scenario> scenarios,
+                         const RunnerOptions& options) {
+  return ScenarioRunner(options).Run(scenarios);
+}
+
+HarnessArgs ParseHarnessArgs(int argc, char** argv) {
+  HarnessArgs args;
+  auto value_of = [&](std::string_view arg, std::string_view flag,
+                      int& i) -> const char* {
+    // --flag=value
+    if (arg.size() > flag.size() + 1 && arg.substr(0, flag.size()) == flag &&
+        arg[flag.size()] == '=') {
+      return argv[i] + flag.size() + 1;
+    }
+    // --flag value
+    if (arg == flag && i + 1 < argc) {
+      return argv[++i];
+    }
+    return nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (const char* v = value_of(arg, "--jobs", i)) {
+      args.runner.jobs = std::atoi(v);
+      AMPERE_CHECK(args.runner.jobs > 0) << "--jobs needs a positive integer";
+    } else if (const char* csv = value_of(arg, "--csv", i)) {
+      args.csv_path = csv;
+    } else if (const char* json = value_of(arg, "--json", i)) {
+      args.json_path = json;
+    } else if (arg == "--no-notes") {
+      args.print_notes = false;
+    } else {
+      args.positional.emplace_back(arg);
+    }
+  }
+  return args;
+}
+
+}  // namespace harness
+}  // namespace ampere

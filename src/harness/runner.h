@@ -1,0 +1,78 @@
+// Parallel scenario runner.
+//
+// Executes a set of independent scenarios on a work-stealing thread pool —
+// one Simulation per worker at a time, N workers (hardware_concurrency by
+// default, `--jobs` flag or AMPERE_JOBS env override) — and assembles the
+// per-run structured results into a ResultTable in deterministic
+// submission order. Each run gets a ScopedLogCapture so the global logger
+// never interleaves lines from concurrent runs; the captured text lands in
+// the run's result row.
+//
+// Determinism contract: scenario bodies are pure functions of their config
+// and seed (the core layer owns all RNG streams per instance), so the
+// metric content of the ResultTable is bit-identical for any job count.
+// Only wall-clock fields differ; ResultTable::SameData ignores them.
+
+#ifndef SRC_HARNESS_RUNNER_H_
+#define SRC_HARNESS_RUNNER_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/harness/result_table.h"
+#include "src/harness/scenario.h"
+
+namespace ampere {
+namespace harness {
+
+struct RunnerOptions {
+  // <= 0 selects the default: AMPERE_JOBS from the environment if set,
+  // else std::thread::hardware_concurrency().
+  int jobs = 0;
+  // Install a per-run ScopedLogCapture (store logs in the row instead of
+  // interleaving stderr).
+  bool capture_logs = true;
+};
+
+// Resolves a requested job count to the effective worker count (>= 1).
+int ResolveJobs(int requested_jobs);
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(const RunnerOptions& options = {});
+
+  // Runs all scenarios; blocks until done. A scenario body that throws
+  // marks its row !ok with the exception text — it never tears down the
+  // whole grid.
+  ResultTable Run(std::span<const Scenario> scenarios) const;
+
+ private:
+  RunnerOptions options_;
+};
+
+// One-shot convenience wrapper.
+ResultTable RunScenarios(std::span<const Scenario> scenarios,
+                         const RunnerOptions& options = {});
+
+// --- Command-line plumbing shared by benches and tools ---
+//
+// Recognized flags (everything else lands in `positional`):
+//   --jobs=N | --jobs N     worker count (default: see RunnerOptions)
+//   --csv=PATH | --csv PATH write the deterministic CSV table to PATH
+//   --json=PATH             write the full JSON record (incl. timing)
+//   --no-notes              suppress per-run notes on stdout
+struct HarnessArgs {
+  RunnerOptions runner;
+  std::string csv_path;
+  std::string json_path;
+  bool print_notes = true;
+  std::vector<std::string> positional;
+};
+
+HarnessArgs ParseHarnessArgs(int argc, char** argv);
+
+}  // namespace harness
+}  // namespace ampere
+
+#endif  // SRC_HARNESS_RUNNER_H_

@@ -1,0 +1,42 @@
+#include "src/harness/scenario.h"
+
+#include "src/common/check.h"
+
+namespace ampere {
+namespace harness {
+
+ScenarioRegistry& ScenarioRegistry::Global() {
+  static ScenarioRegistry* registry = new ScenarioRegistry();
+  return *registry;
+}
+
+void ScenarioRegistry::Register(std::string name, std::string description,
+                                Factory factory) {
+  AMPERE_CHECK(factory != nullptr);
+  entries_[std::move(name)] =
+      Entry{std::move(description), std::move(factory)};
+}
+
+bool ScenarioRegistry::Contains(std::string_view name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+std::vector<Scenario> ScenarioRegistry::Make(std::string_view name) const {
+  auto it = entries_.find(name);
+  AMPERE_CHECK(it != entries_.end())
+      << "unknown scenario set '" << name << "'";
+  return it->second.factory();
+}
+
+std::vector<std::pair<std::string, std::string>> ScenarioRegistry::List()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.emplace_back(name, entry.description);
+  }
+  return out;
+}
+
+}  // namespace harness
+}  // namespace ampere

@@ -1,0 +1,102 @@
+// Scenario abstraction and registry for the parallel runner.
+//
+// A Scenario is one independent unit of evaluation work: a name, a seed,
+// and a body that builds its own Simulation (and everything hanging off
+// it), runs it, and reports named metrics through the RunContext. Bodies
+// must be self-contained — no shared mutable state with other scenarios —
+// which the core layer guarantees (ControlledExperiment / Fleet own their
+// RNG streams, clocks, and stores; see src/core).
+//
+// The registry maps names to scenario-set factories so tools and tests can
+// run curated grids ("experiment-smoke", "fleet-smoke", paper sweeps) by
+// name; `examples/scenario_sweep` is the CLI front end.
+
+#ifndef SRC_HARNESS_SCENARIO_H_
+#define SRC_HARNESS_SCENARIO_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/harness/result_table.h"
+
+namespace ampere {
+namespace harness {
+
+// Handed to the scenario body; collects the run's structured output.
+// A RunContext instance is used by exactly one worker thread at a time, so
+// its methods need no locking.
+class RunContext {
+ public:
+  RunContext(size_t index, uint64_t seed) : index_(index), seed_(seed) {}
+
+  size_t index() const { return index_; }
+  uint64_t seed() const { return seed_; }
+
+  // Appends a named metric row value (order preserved in the ResultRow).
+  void Metric(std::string_view name, double value) {
+    metrics_.push_back(MetricValue{std::string(name), value});
+  }
+
+  // Appends per-run detail text (printed after the table, never
+  // interleaved with other runs).
+  void Note(std::string_view text) { notes_ += text; }
+  void NoteLine(std::string_view text) {
+    notes_ += text;
+    notes_ += '\n';
+  }
+
+  std::vector<MetricValue>& metrics() { return metrics_; }
+  std::string& notes() { return notes_; }
+
+ private:
+  size_t index_;
+  uint64_t seed_;
+  std::vector<MetricValue> metrics_;
+  std::string notes_;
+};
+
+struct Scenario {
+  std::string name;
+  uint64_t seed = 0;
+  std::function<void(RunContext&)> body;
+};
+
+// Named factories of scenario sets.
+class ScenarioRegistry {
+ public:
+  using Factory = std::function<std::vector<Scenario>()>;
+
+  // Process-wide registry (mutation is not thread-safe; register at startup).
+  static ScenarioRegistry& Global();
+
+  void Register(std::string name, std::string description, Factory factory);
+
+  bool Contains(std::string_view name) const;
+
+  // Materializes the scenario set; CHECK-fails on unknown names.
+  std::vector<Scenario> Make(std::string_view name) const;
+
+  // (name, description) pairs, sorted by name.
+  std::vector<std::pair<std::string, std::string>> List() const;
+
+ private:
+  struct Entry {
+    std::string description;
+    Factory factory;
+  };
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+// Registers the built-in scenario sets (smoke-sized experiment and fleet
+// grids). Called once by tools that want them; idempotent.
+void RegisterBuiltinScenarios();
+
+}  // namespace harness
+}  // namespace ampere
+
+#endif  // SRC_HARNESS_SCENARIO_H_

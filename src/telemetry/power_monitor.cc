@@ -26,6 +26,19 @@ void PowerMonitor::RegisterGroup(const std::string& name,
 void PowerMonitor::Start(SimTime first_sample) {
   AMPERE_CHECK(!started_);
   started_ = true;
+  // Pre-size the store for every series this monitor will ever create, so
+  // the per-minute Append path never rehashes mid-run.
+  size_t expected = groups_.size() + 1;  // Groups + dc total.
+  if (config_.record_servers) {
+    expected += static_cast<size_t>(dc_->num_servers());
+  }
+  if (config_.record_racks) {
+    expected += static_cast<size_t>(dc_->num_racks());
+  }
+  if (config_.record_rows) {
+    expected += static_cast<size_t>(dc_->num_rows());
+  }
+  db_->Reserve(expected);
   dc_->sim()->SchedulePeriodic(first_sample, config_.interval,
                                [this](SimTime t) { SampleOnce(t); });
 }

@@ -9,6 +9,8 @@
 #ifndef SRC_TELEMETRY_TIMESERIES_DB_H_
 #define SRC_TELEMETRY_TIMESERIES_DB_H_
 
+#include <cstddef>
+#include <functional>
 #include <optional>
 #include <span>
 #include <string>
@@ -28,8 +30,15 @@ struct TimePoint {
 class TimeSeriesDb {
  public:
   // Appends a point; timestamps within one series must be non-decreasing
-  // (the monitor samples monotonically).
+  // (the monitor samples monotonically). The hot path of every run: one
+  // call per server per minute. Heterogeneous lookup keeps it
+  // allocation-free — no temporary std::string per sample.
   void Append(std::string_view series, SimTime t, double value);
+
+  // Capacity hint: pre-sizes the series map for `expected_series` entries
+  // (the monitor calls this once with its series count so the steady state
+  // never rehashes).
+  void Reserve(size_t expected_series);
 
   // Whole series (empty span if the series does not exist).
   std::span<const TimePoint> Series(std::string_view series) const;
@@ -48,7 +57,18 @@ class TimeSeriesDb {
   size_t TotalPoints() const;
 
  private:
-  std::unordered_map<std::string, std::vector<TimePoint>> series_;
+  // Transparent (heterogeneous) hash/equal: find() and the insert-or-lookup
+  // in Append accept std::string_view without materializing a std::string.
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  using SeriesMap = std::unordered_map<std::string, std::vector<TimePoint>,
+                                       TransparentHash, std::equal_to<>>;
+
+  SeriesMap series_;
 };
 
 }  // namespace ampere
