@@ -14,6 +14,13 @@
 // and returns both the typed results (for shape checks) and a ResultTable
 // (for --csv / --json emission). Results are bit-identical to a serial
 // run: every scenario owns its Simulation and RNG streams.
+//
+// Observability: every bench also accepts `--log-level=debug|info|warning|
+// error|off` (or the AMPERE_LOG_LEVEL environment variable; the flag wins)
+// to reach the controller's kDebug decision lines without recompiling, and
+// `--obs` to capture a per-run obs section — metrics snapshot, span
+// profile, journal summary gauges — into the --json output. Both are
+// handled by harness::ParseHarnessArgs; see docs/observability.md.
 
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_

@@ -64,6 +64,22 @@ ExperimentResult RunScenario(const ArmSpec& arm,
   return result;
 }
 
+// The controller's DecisionJournal is an independent audit path: it sees the
+// same per-minute watts the metrics recorder sees (monitor sample at :00,
+// controller tick at +1 s, recorder at +2 s), so its "experiment"-domain
+// summary must reproduce the GroupReport's Table-2 counts bit-for-bit.
+bool JournalReproducesTable2(const ExperimentResult& result) {
+  const obs::JournalDomainSummary* d = result.journal.FindDomain("experiment");
+  if (d == nullptr) {
+    return false;
+  }
+  const GroupReport& report = result.experiment;
+  return d->ticks == report.minutes.size() &&
+         d->violations == static_cast<uint64_t>(report.violations) &&
+         d->u_mean == report.u_mean && d->u_max == report.u_max &&
+         d->p_mean == report.p_mean && d->p_max == report.p_max;
+}
+
 void PrintTable2Row(const char* workload, const char* group, double u_mean,
                     double u_max, double p_mean, double p_max,
                     int violations) {
@@ -132,6 +148,25 @@ void Main(const harness::HarnessArgs& args) {
                     "the 50% freeze cap saturates under heavy load");
   bench::ShapeCheck(heavy.experiment.p_max < heavy.control.p_max,
                     "control reduces the peak power draw");
+
+  bench::Section("DecisionJournal audit cross-check");
+  for (const ExperimentResult* result : {&light, &heavy}) {
+    const char* arm = result == &light ? "light" : "heavy";
+    const obs::JournalDomainSummary* d =
+        result->journal.FindDomain("experiment");
+    if (d != nullptr) {
+      std::printf("%8s journal: ticks=%llu violate=%llu capped=%llu "
+                  "u_mean=%.3f u_max=%.3f P_mean=%.3f P_max=%.3f\n",
+                  arm, static_cast<unsigned long long>(d->ticks),
+                  static_cast<unsigned long long>(d->violations),
+                  static_cast<unsigned long long>(d->capped_ticks), d->u_mean,
+                  d->u_max, d->p_mean, d->p_max);
+    }
+    char claim[128];
+    std::snprintf(claim, sizeof(claim),
+                  "%s journal summary reproduces Table 2 bit-for-bit", arm);
+    bench::ShapeCheck(JournalReproducesTable2(*result), claim);
+  }
 }
 
 }  // namespace

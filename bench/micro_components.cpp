@@ -2,15 +2,27 @@
 // decision latency, telemetry sampling, scheduler placement, SPCP/PCP
 // solvers, and the event core. These quantify that the control plane is
 // cheap enough for the paper's one-minute cadence with enormous headroom.
+//
+// The instrumented paths (controller tick, monitor sample, scheduler
+// placement) run under a private obs::MetricsRegistry so their counters and
+// spans land in a bench-local registry, exactly as harness runs do. The
+// BM_ObsOverheadControllerTick pair quantifies what that instrumentation
+// costs: Arg(1) ticks with obs enabled, Arg(0) with the runtime kill switch
+// off — the closest runtime stand-in for an -DAMPERE_OBS_DISABLED=ON build,
+// which compiles the macros away entirely. Acceptance wants the enabled arm
+// within 5 % of the disabled arm.
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/core/controller.h"
 #include "src/control/pcp.h"
 #include "src/control/spcp.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/sched/scheduler.h"
 #include "src/telemetry/power_monitor.h"
 #include "src/workload/batch_workload.h"
@@ -60,6 +72,8 @@ void BM_PcpGreedyHorizon(benchmark::State& state) {
 BENCHMARK(BM_PcpGreedyHorizon)->Arg(1)->Arg(10)->Arg(60);
 
 void BM_MonitorSampleRow(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRegistry scope(&registry);
   Rig rig(static_cast<int>(state.range(0)));
   int64_t minute = 1;
   for (auto _ : state) {
@@ -71,6 +85,8 @@ void BM_MonitorSampleRow(benchmark::State& state) {
 BENCHMARK(BM_MonitorSampleRow)->Arg(1)->Arg(4);
 
 void BM_SchedulerPlacement(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRegistry scope(&registry);
   Rig rig(1);
   int32_t id = 0;
   for (auto _ : state) {
@@ -90,32 +106,120 @@ void BM_SchedulerPlacement(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerPlacement);
 
-void BM_ControllerTick420Servers(benchmark::State& state) {
-  Rig rig(1);
-  std::vector<ServerId> all;
-  for (int32_t s = 0; s < rig.dc.num_servers(); ++s) {
-    all.push_back(ServerId(s));
-    rig.dc.PlaceTask(ServerId(s), TaskSpec{JobId(s), Resources{8.0, 8.0},
-                                           SimTime::Hours(1000)});
-  }
-  // A monitor group is required before Start; construct a second monitor
-  // with the group registered.
+// One 420-server row under a loaded fleet, with a monitor group registered
+// and a controller ready to tick — shared by the tick-latency and the
+// obs-overhead benches so both measure the identical decision path.
+struct ControllerTickRig {
+  Rig rig{1};
   TimeSeriesDb db2;
-  PowerMonitor monitor(&rig.dc, &db2, PowerMonitorConfig{}, Rng(3));
-  monitor.RegisterGroup("row", all);
-  monitor.SampleOnce(SimTime::Minutes(1));
-  AmpereControllerConfig config;
-  config.effect = FreezeEffectModel(0.05);
-  config.et = EtEstimator::Constant(0.02);
-  AmpereController controller(&rig.scheduler, &monitor, config);
-  controller.AddDomain({"row", all, 420 * 250.0 / 1.25});
+  PowerMonitor monitor;
+  std::unique_ptr<AmpereController> controller;
   int64_t minute = 2;
+
+  ControllerTickRig()
+      : monitor(&rig.dc, &db2, PowerMonitorConfig{}, Rng(3)) {
+    std::vector<ServerId> all;
+    for (int32_t s = 0; s < rig.dc.num_servers(); ++s) {
+      all.push_back(ServerId(s));
+      rig.dc.PlaceTask(ServerId(s), TaskSpec{JobId(s), Resources{8.0, 8.0},
+                                             SimTime::Hours(1000)});
+    }
+    monitor.RegisterGroup("row", all);
+    monitor.SampleOnce(SimTime::Minutes(1));
+    AmpereControllerConfig config;
+    config.effect = FreezeEffectModel(0.05);
+    config.et = EtEstimator::Constant(0.02);
+    controller = std::make_unique<AmpereController>(&rig.scheduler, &monitor,
+                                                    config);
+    controller->AddDomain({"row", all, 420 * 250.0 / 1.25});
+  }
+
+  void Tick() {
+    controller->Tick(SimTime::Minutes(static_cast<double>(minute++)));
+  }
+};
+
+void BM_ControllerTick420Servers(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRegistry scope(&registry);
+  ControllerTickRig rig;
   for (auto _ : state) {
-    controller.Tick(SimTime::Minutes(static_cast<double>(minute++)));
+    rig.Tick();
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ControllerTick420Servers);
+
+// obs_overhead: the same tick loop with instrumentation on (Arg 1) and with
+// the obs runtime kill switch off (Arg 0). Disabled, every AMPERE_SPAN /
+// AMPERE_COUNTER_ADD site reduces to one relaxed atomic load and a branch —
+// the runtime approximation of the -DAMPERE_OBS_DISABLED=ON build, where
+// they compile to nothing. The DecisionJournal (config-gated, not
+// obs-gated) stays on in both arms so the delta isolates the macro cost.
+void BM_ObsOverheadControllerTick(benchmark::State& state) {
+  const bool instrumented = state.range(0) == 1;
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRegistry scope(&registry);
+  obs::SetEnabled(instrumented);
+  ControllerTickRig rig;
+  for (auto _ : state) {
+    rig.Tick();
+  }
+  obs::SetEnabled(true);
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(instrumented ? "instrumented" : "obs_disabled");
+}
+BENCHMARK(BM_ObsOverheadControllerTick)->Arg(1)->Arg(0);
+
+// The raw cost of the obs primitives themselves, for when the per-path
+// numbers above need explaining.
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRegistry scope(&registry);
+  for (auto _ : state) {
+    AMPERE_COUNTER_ADD("bench.counter", 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRegistry scope(&registry);
+  double value = 0.0;
+  for (auto _ : state) {
+    AMPERE_HISTOGRAM_OBSERVE("bench.hist", value);
+    value += 0.1;
+    if (value > 1000.0) value = 0.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsSpan(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRegistry scope(&registry);
+  for (auto _ : state) {
+    AMPERE_SPAN("bench.span");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSpan);
+
+void BM_ObsSnapshot(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRegistry scope(&registry);
+  for (int i = 0; i < 16; ++i) {
+    obs::CounterAdd("bench.counter." + std::to_string(i), 1);
+    obs::GaugeSet("bench.gauge." + std::to_string(i),
+                  static_cast<double>(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.Snapshot());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSnapshot);
 
 void BM_EventCoreScheduleFire(benchmark::State& state) {
   Simulation sim;

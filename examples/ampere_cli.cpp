@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/log.h"
 #include "src/core/experiment.h"
 #include "src/core/fleet.h"
 #include "src/stats/descriptive.h"
@@ -53,6 +54,8 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
 
 Flags Parse(int argc, char** argv) {
   Flags flags;
+  // AMPERE_LOG_LEVEL first, --log-level on top — the harness precedence.
+  ApplyLogLevelFromEnv();
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (ParseFlag(argv[i], "mode", &value)) {
@@ -77,6 +80,14 @@ Flags Parse(int argc, char** argv) {
       flags.days = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "csv", &value)) {
       flags.csv = value;
+    } else if (ParseFlag(argv[i], "log-level", &value)) {
+      LogLevel level;
+      if (!ParseLogLevel(value, &level)) {
+        std::fprintf(stderr,
+                     "--log-level wants debug|info|warning|error|off\n");
+        std::exit(2);
+      }
+      SetLogLevel(level);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       std::exit(2);

@@ -1,25 +1,124 @@
-// Fleet observatory: survey a multi-row data center's power telemetry.
+// Fleet observatory: a live text dashboard over a controlled multi-row fleet.
 //
-//   build/examples/fleet_observatory [days]
+//   build/examples/fleet_observatory [days] [--frame-hours=H]
+//                                    [--log-level=debug|info|warning|error|off]
 //
-// Runs a 4-row fleet with distinct per-row products for N simulated days,
-// then queries the time-series database the way the paper's operators did:
-// per-level utilization summaries, unused power (Eq. 1), and the E_t
-// profile that would parameterize a controller — the §2.2 measurement study
-// that motivates Ampere.
+// Runs a 4-row fleet with distinct per-row products for N simulated days
+// with an Ampere controller deployed on every row, advancing the simulation
+// one frame (default 6 h) at a time. After each frame it renders what a
+// fleet operator's terminal would show:
+//
+//   - per-row power against the control budget and the frozen-server count,
+//   - the obs metrics registry snapshot (counters, gauges, span profile),
+//   - the tail of the controller's DecisionJournal (the audit log),
+//   - the journal-fed model-drift gauges (rolling RMSE, E_t utilization).
+//
+// The final frame also prints the closing §2.2-style measurement study
+// (per-row utilization, unused power, E_t profile) and a Prometheus text
+// exposition sample, so the example doubles as living documentation for
+// docs/observability.md.
+//
+// Log verbosity follows the harness convention: AMPERE_LOG_LEVEL in the
+// environment, overridden by --log-level (both parsed by ParseHarnessArgs,
+// mirroring --jobs / AMPERE_JOBS).
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
+#include "src/common/log.h"
 #include "src/control/et_estimator.h"
+#include "src/core/controller.h"
 #include "src/core/fleet.h"
+#include "src/harness/runner.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/stats/descriptive.h"
 
 using namespace ampere;  // NOLINT: example brevity.
 
+namespace {
+
+void RenderPowerPanel(Fleet& fleet, const AmpereController& controller,
+                      const std::vector<double>& domain_budgets) {
+  std::printf("  %-6s %10s %10s %8s %8s %8s\n", "row", "watts", "budget",
+              "P_norm", "frozen", "u");
+  for (int32_t r = 0; r < fleet.dc().num_rows(); ++r) {
+    size_t d = static_cast<size_t>(r);
+    double watts = fleet.monitor().LatestRowWatts(RowId(r));
+    double budget = domain_budgets[d];
+    std::printf("  row%-3d %10.0f %10.0f %8.3f %8zu %8.3f\n", r, watts,
+                budget, watts / budget, controller.frozen_count(d),
+                controller.freeze_ratio(d));
+  }
+}
+
+void RenderRegistryPanel(const obs::MetricsSnapshot& snapshot) {
+  std::printf("  counters:");
+  for (const obs::CounterValue& c : snapshot.counters) {
+    std::printf("  %s=%llu", c.name.c_str(),
+                static_cast<unsigned long long>(c.value));
+  }
+  std::printf("\n  gauges:  ");
+  for (const obs::GaugeValue& g : snapshot.gauges) {
+    std::printf("  %s=%.4g", g.name.c_str(), g.value);
+  }
+  std::printf("\n  spans:\n");
+  std::printf("  %-22s %10s %12s %12s %12s\n", "span", "count", "mean_us",
+              "p50_us", "p99_us");
+  for (const obs::SpanStats& s : snapshot.spans) {
+    std::printf("  %-22s %10llu %12.2f %12.2f %12.2f\n", s.name.c_str(),
+                static_cast<unsigned long long>(s.count), s.mean_ns() / 1e3,
+                s.p50_ns() / 1e3, s.p99_ns() / 1e3);
+  }
+}
+
+void RenderJournalTail(const obs::DecisionJournal& journal, size_t n) {
+  std::printf("  %-6s %8s %6s %8s %8s %6s %6s %6s %6s\n", "seq", "hour",
+              "row", "P_norm", "u", "nf", "frz", "thaw", "cap");
+  for (const obs::DecisionRecord& r : journal.Tail(n)) {
+    std::printf("  %-6llu %8.2f %6s %8.3f %8.3f %6u %6u %6u %6s\n",
+                static_cast<unsigned long long>(r.seq), r.time.hours(),
+                r.domain.c_str(), r.normalized_power, r.u, r.n_freeze,
+                r.freeze_ops, r.unfreeze_ops, r.cap_engaged ? "yes" : "no");
+  }
+}
+
+void RenderDriftPanel(const obs::DecisionJournal& journal, int num_rows,
+                      size_t window) {
+  std::printf("  %-6s %14s %16s\n", "row", "model_rmse", "et_margin_util");
+  for (int32_t r = 0; r < num_rows; ++r) {
+    std::string domain = "row" + std::to_string(r);
+    auto rmse = journal.RollingModelRmse(window, domain);
+    auto util = journal.RollingEtMarginUtilization(window, domain);
+    std::printf("  row%-3d %14s %16s\n", r,
+                rmse ? std::to_string(*rmse).c_str() : "-",
+                util ? std::to_string(*util).c_str() : "-");
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  int days = argc > 1 ? std::atoi(argv[1]) : 2;
+  // ParseHarnessArgs applies AMPERE_LOG_LEVEL, then --log-level on top —
+  // the same precedence every bench uses. Positionals stay ours.
+  harness::HarnessArgs args = harness::ParseHarnessArgs(argc, argv);
+  int days = 2;
+  double frame_hours = 6.0;
+  for (const std::string& arg : args.positional) {
+    if (arg.rfind("--frame-hours=", 0) == 0) {
+      frame_hours = std::atof(arg.c_str() + 14);
+    } else {
+      days = std::atoi(arg.c_str());
+    }
+  }
+  if (days <= 0) days = 2;
+  if (frame_hours <= 0.0) frame_hours = 6.0;
+
+  // The dashboard's own registry: every instrumented path below lands here.
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRegistry scope(&registry);
 
   FleetConfig config;
   config.seed = 31;
@@ -31,20 +130,74 @@ int main(int argc, char** argv) {
                      {0.76, 15.0, 0.25, 0.02},
                      {0.68, 21.0, 0.18, 0.025}};
   Fleet fleet(config);
-  std::printf("running %d rows for %d day(s)...\n",
-              config.topology.num_rows, days);
-  fleet.Run(SimTime::Hours(24.0 * days + 2));
 
+  // Deploy an Ampere controller on every row, as production would (§3.2):
+  // one control domain per row, budget set below the rated row budget so
+  // the diurnal peaks actually engage the controller now and then.
+  AmpereControllerConfig controller_config;
+  controller_config.effect = FreezeEffectModel(0.05);
+  controller_config.et = EtEstimator::Constant(0.02);
+  std::vector<double> domain_budgets;
+  std::vector<std::vector<ServerId>> row_servers(
+      static_cast<size_t>(fleet.dc().num_rows()));
+  for (int32_t s = 0; s < fleet.dc().num_servers(); ++s) {
+    RowId row = fleet.dc().row_of(ServerId(s));
+    row_servers[static_cast<size_t>(row.index())].push_back(ServerId(s));
+  }
+  AmpereController controller(&fleet.scheduler(), &fleet.monitor(),
+                              controller_config);
+  for (int32_t r = 0; r < fleet.dc().num_rows(); ++r) {
+    std::string group = "row" + std::to_string(r);
+    fleet.monitor().RegisterGroup(group,
+                                  row_servers[static_cast<size_t>(r)]);
+    double budget = 0.85 * fleet.dc().row_budget_watts(RowId(r));
+    domain_budgets.push_back(budget);
+    controller.AddDomain({group, row_servers[static_cast<size_t>(r)],
+                          budget});
+  }
+  // Tick 1 s after the monitor's minute samples, the production offset.
+  controller.Start(&fleet.sim(),
+                   SimTime::Minutes(1) + SimTime::Seconds(1));
+
+  const SimTime end = SimTime::Hours(24.0 * days + 2);
+  std::printf("fleet observatory: %d rows, %d day(s), one frame every %.1f h "
+              "(log level: %s)\n",
+              fleet.dc().num_rows(), days, frame_hours,
+              LogLevelName(GetLogLevel()));
+
+  int frame = 0;
+  for (SimTime now; now < end;) {
+    now = std::min(now + SimTime::Hours(frame_hours), end);
+    fleet.Run(now);
+    ++frame;
+
+    std::printf("\n========================= frame %d — t = %.1f h "
+                "=========================\n", frame, now.hours());
+    std::printf("\n[power]\n");
+    RenderPowerPanel(fleet, controller, domain_budgets);
+    std::printf("\n[registry]\n");
+    RenderRegistryPanel(registry.Snapshot());
+    std::printf("\n[journal tail] (%llu decisions total)\n",
+                static_cast<unsigned long long>(
+                    controller.journal().total_appended()));
+    RenderJournalTail(controller.journal(), 6);
+    std::printf("\n[model drift] (window=%zu ticks/row)\n",
+                controller_config.drift_window);
+    RenderDriftPanel(controller.journal(), fleet.dc().num_rows(),
+                     controller_config.drift_window);
+  }
+
+  // Closing measurement study (§2.2), as before the dashboard upgrade.
   SimTime from = SimTime::Hours(2);
-  SimTime to = SimTime::Hours(24.0 * days + 2);
-
+  std::printf("\n=================== closing survey (%d day(s)) "
+              "===================\n", days);
   std::printf("\nper-row utilization and unused power (Eq. 1):\n");
   std::printf("%6s %12s %12s %12s %14s\n", "row", "mean_util", "max_util",
               "budget_W", "unused_mean_W");
   for (int32_t r = 0; r < fleet.dc().num_rows(); ++r) {
     std::vector<double> watts;
     for (const auto& p :
-         fleet.db().Query(PowerMonitor::RowSeries(RowId(r)), from, to)) {
+         fleet.db().Query(PowerMonitor::RowSeries(RowId(r)), from, end)) {
       watts.push_back(p.value);
     }
     Summary s = Summarize(watts);
@@ -55,7 +208,7 @@ int main(int argc, char** argv) {
 
   std::vector<double> dc_watts;
   for (const auto& p :
-       fleet.db().Query(PowerMonitor::kTotalSeries, from, to)) {
+       fleet.db().Query(PowerMonitor::kTotalSeries, from, end)) {
     dc_watts.push_back(p.value);
   }
   Summary dc_s = Summarize(dc_watts);
@@ -64,17 +217,29 @@ int main(int argc, char** argv) {
               "(unused %.0f W on average)\n",
               dc_s.mean / dc_budget, dc_budget, dc_budget - dc_s.mean);
 
-  // Build the E_t profile an Ampere deployment on row 0 would use.
+  // The E_t profile an Ampere deployment on row 0 would use next.
   std::vector<double> row0_norm;
   double row0_budget = fleet.dc().row_budget_watts(RowId(0));
   for (const auto& p :
-       fleet.db().Query(PowerMonitor::RowSeries(RowId(0)), from, to)) {
+       fleet.db().Query(PowerMonitor::RowSeries(RowId(0)), from, end)) {
     row0_norm.push_back(p.value / row0_budget);
   }
   EtEstimator et = EtEstimator::FromHistory(row0_norm, /*start=*/120);
   std::printf("\nrow-0 hourly E_t profile (99.5th pct 1-min increase):\n");
   for (int h = 0; h < 24; ++h) {
     std::printf("  %02d:00  %.4f\n", h, et.per_hour()[static_cast<size_t>(h)]);
+  }
+
+  // Exposition sample: the same snapshot a scrape endpoint would serve.
+  std::printf("\nprometheus exposition sample (first lines):\n");
+  std::string prom = registry.Snapshot().ToPrometheusText();
+  size_t lines = 0, pos = 0;
+  while (pos < prom.size() && lines < 12) {
+    size_t nl = prom.find('\n', pos);
+    if (nl == std::string::npos) nl = prom.size();
+    std::printf("  %.*s\n", static_cast<int>(nl - pos), prom.c_str() + pos);
+    pos = nl + 1;
+    ++lines;
   }
   return 0;
 }

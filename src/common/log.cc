@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 
@@ -52,6 +53,52 @@ LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void SetLogLevel(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warning";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "off";
+}
+
+bool ParseLogLevel(std::string_view text, LogLevel* out) {
+  std::string lower(text);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  if (lower == "debug" || lower == "d") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "i") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn" || lower == "w") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error" || lower == "e") {
+    *out = LogLevel::kError;
+  } else if (lower == "off") {
+    *out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ApplyLogLevelFromEnv() {
+  const char* env = std::getenv("AMPERE_LOG_LEVEL");
+  if (env == nullptr) return false;
+  LogLevel level;
+  if (!ParseLogLevel(env, &level)) return false;
+  SetLogLevel(level);
+  return true;
 }
 
 void LogMessage(LogLevel level, const char* file, int line,

@@ -10,6 +10,7 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace ampere {
 
@@ -24,6 +25,19 @@ enum class LogLevel : int {
 // Global log threshold; messages below it are skipped.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+// Canonical lowercase name ("debug", "info", "warning", "error", "off").
+const char* LogLevelName(LogLevel level);
+
+// Parses a level name (case-insensitive; accepts the canonical names plus
+// "warn" and the single-letter tags d/i/w/e). Returns false — leaving *out
+// untouched — on anything else.
+bool ParseLogLevel(std::string_view text, LogLevel* out);
+
+// Applies the AMPERE_LOG_LEVEL environment variable, if set and valid, to
+// the global threshold. Returns true if a level was applied. Benches and
+// examples call this before parsing --log-level (flag beats environment).
+bool ApplyLogLevelFromEnv();
 
 // Writes one formatted line to stderr — or, when the calling thread has a
 // ScopedLogCapture installed (src/common/log_capture.h), appends it to that

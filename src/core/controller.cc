@@ -7,6 +7,8 @@
 #include "src/common/log.h"
 #include "src/control/pcp.h"
 #include "src/control/spcp.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 
 namespace ampere {
 
@@ -14,7 +16,8 @@ AmpereController::AmpereController(Scheduler* scheduler,
                                    const PowerMonitor* monitor,
                                    const AmpereControllerConfig& config)
     : scheduler_(scheduler), monitor_(monitor), config_(config),
-      selection_rng_(config.selection_seed) {
+      selection_rng_(config.selection_seed),
+      journal_(config.journal_capacity == 0 ? 1 : config.journal_capacity) {
   AMPERE_CHECK(scheduler != nullptr && monitor != nullptr);
   AMPERE_CHECK(config.r_stable > 0.0 && config.r_stable <= 1.0);
   AMPERE_CHECK(config.max_freeze_ratio > 0.0 &&
@@ -62,6 +65,7 @@ void AmpereController::AddDomain(ControlDomain domain) {
   domains_.push_back(std::move(domain));
   frozen_.emplace_back();
   predictors_.emplace_back(config_.predictor);
+  pending_realized_.emplace_back();
 }
 
 void AmpereController::Start(Simulation* sim, SimTime first_tick,
@@ -78,7 +82,9 @@ void AmpereController::Start(Simulation* sim, SimTime first_tick,
 }
 
 void AmpereController::Tick(SimTime now) {
+  AMPERE_SPAN("controller.tick");
   ++ticks_;
+  AMPERE_COUNTER_ADD("controller.ticks", 1);
   for (size_t d = 0; d < domains_.size(); ++d) {
     TickDomain(d, now);
   }
@@ -87,9 +93,20 @@ void AmpereController::Tick(SimTime now) {
 void AmpereController::TickDomain(size_t domain_index, SimTime now) {
   const ControlDomain& domain = domains_[domain_index];
   std::unordered_set<ServerId>& frozen_set = frozen_[domain_index];
+  const uint64_t freeze_ops_before = freeze_ops_;
+  const uint64_t unfreeze_ops_before = unfreeze_ops_;
+  const bool journal_on = config_.journal_capacity > 0;
 
   double power = monitor_->LatestGroupWatts(domain.group);
   double p = power / domain.budget_watts;
+
+  // Resolve the previous tick's prediction: this minute's observed power is
+  // the "realized next-minute power" of the record written one tick ago.
+  if (journal_on && pending_realized_[domain_index].has_value()) {
+    journal_.SetRealized(*pending_realized_[domain_index], p);
+    pending_realized_[domain_index].reset();
+  }
+
   double et;
   if (config_.use_online_predictor) {
     predictors_[domain_index].Observe(p);
@@ -123,74 +140,137 @@ void AmpereController::TickDomain(size_t domain_index, SimTime now) {
   auto n_freeze = static_cast<size_t>(
       std::floor(u * static_cast<double>(n)));
 
+  // r_stable hysteresis state for the decision journal; only the
+  // highest-power policy defines a power threshold.
+  uint32_t pool_size = 0;
+  double p_threshold = 0.0;
+
   if (n_freeze == 0) {
     // Below threshold (or rounding swallowed the ratio): release everything.
     UnfreezeAll(domain_index);
-    return;
-  }
+  } else {
+    // Rank the domain's servers most-preferred-to-freeze first. The paper's
+    // policy (highest power first) costs the least spare capacity (§3.5) and
+    // maximizes the drain effect; alternatives serve the ablation bench.
+    std::vector<ServerId> ranked = RankServers(domain);
+    n_freeze = std::min(n_freeze, ranked.size());
 
-  // Rank the domain's servers most-preferred-to-freeze first. The paper's
-  // policy (highest power first) costs the least spare capacity (§3.5) and
-  // maximizes the drain effect; alternatives serve the ablation bench.
-  std::vector<ServerId> ranked = RankServers(domain);
-  n_freeze = std::min(n_freeze, ranked.size());
-
-  // Candidate pool S: the n_freeze top servers, expanded by a hysteresis
-  // band so small power decays do not churn the frozen set (Algorithm 1,
-  // lines 7-10). For the power-ranked paper policy the band is r_stable
-  // times the weakest top-set member's power; for the ablation policies the
-  // pool simply retains currently frozen servers.
-  std::unordered_set<ServerId> pool;
-  if (config_.selection == FreezeSelection::kHighestPower) {
-    double p_min_top = monitor_->LatestServerWatts(ranked[n_freeze - 1]);
-    double p_threshold = config_.r_stable * p_min_top;
-    for (size_t i = 0; i < ranked.size(); ++i) {
-      if (i < n_freeze ||
-          monitor_->LatestServerWatts(ranked[i]) > p_threshold) {
+    // Candidate pool S: the n_freeze top servers, expanded by a hysteresis
+    // band so small power decays do not churn the frozen set (Algorithm 1,
+    // lines 7-10). For the power-ranked paper policy the band is r_stable
+    // times the weakest top-set member's power; for the ablation policies the
+    // pool simply retains currently frozen servers.
+    std::unordered_set<ServerId> pool;
+    if (config_.selection == FreezeSelection::kHighestPower) {
+      double p_min_top = monitor_->LatestServerWatts(ranked[n_freeze - 1]);
+      p_threshold = config_.r_stable * p_min_top;
+      for (size_t i = 0; i < ranked.size(); ++i) {
+        if (i < n_freeze ||
+            monitor_->LatestServerWatts(ranked[i]) > p_threshold) {
+          pool.insert(ranked[i]);
+        }
+      }
+    } else {
+      for (size_t i = 0; i < n_freeze; ++i) {
         pool.insert(ranked[i]);
       }
+      pool.insert(frozen_set.begin(), frozen_set.end());
     }
-  } else {
-    for (size_t i = 0; i < n_freeze; ++i) {
-      pool.insert(ranked[i]);
-    }
-    pool.insert(frozen_set.begin(), frozen_set.end());
-  }
+    pool_size = static_cast<uint32_t>(pool.size());
 
-  // Unfreeze servers that dropped out of the pool (lines 11-12).
-  for (auto it = frozen_set.begin(); it != frozen_set.end();) {
-    if (!pool.contains(*it)) {
-      scheduler_->Unfreeze(*it);
-      ++unfreeze_ops_;
-      it = frozen_set.erase(it);
-    } else {
-      ++it;
-    }
-  }
-
-  if (frozen_set.size() > n_freeze) {
-    // Too many frozen: release arbitrary extras (lines 13-14).
-    size_t excess = frozen_set.size() - n_freeze;
-    for (auto it = frozen_set.begin(); excess > 0;) {
-      scheduler_->Unfreeze(*it);
-      ++unfreeze_ops_;
-      it = frozen_set.erase(it);
-      --excess;
-    }
-  } else if (frozen_set.size() < n_freeze) {
-    // Too few: freeze the highest-power pool members not yet frozen
-    // (lines 15-16). `ranked` is already in descending power order.
-    for (ServerId id : ranked) {
-      if (frozen_set.size() >= n_freeze) {
-        break;
+    // Unfreeze servers that dropped out of the pool (lines 11-12).
+    for (auto it = frozen_set.begin(); it != frozen_set.end();) {
+      if (!pool.contains(*it)) {
+        scheduler_->Unfreeze(*it);
+        ++unfreeze_ops_;
+        it = frozen_set.erase(it);
+      } else {
+        ++it;
       }
-      if (pool.contains(id) && !frozen_set.contains(id)) {
-        scheduler_->Freeze(id);
-        ++freeze_ops_;
-        frozen_set.insert(id);
+    }
+
+    if (frozen_set.size() > n_freeze) {
+      // Too many frozen: release arbitrary extras (lines 13-14).
+      size_t excess = frozen_set.size() - n_freeze;
+      for (auto it = frozen_set.begin(); excess > 0;) {
+        scheduler_->Unfreeze(*it);
+        ++unfreeze_ops_;
+        it = frozen_set.erase(it);
+        --excess;
+      }
+    } else if (frozen_set.size() < n_freeze) {
+      // Too few: freeze the highest-power pool members not yet frozen
+      // (lines 15-16). `ranked` is already in descending power order.
+      for (ServerId id : ranked) {
+        if (frozen_set.size() >= n_freeze) {
+          break;
+        }
+        if (pool.contains(id) && !frozen_set.contains(id)) {
+          scheduler_->Freeze(id);
+          ++freeze_ops_;
+          frozen_set.insert(id);
+        }
       }
     }
   }
+
+  const auto freeze_delta =
+      static_cast<uint32_t>(freeze_ops_ - freeze_ops_before);
+  const auto unfreeze_delta =
+      static_cast<uint32_t>(unfreeze_ops_ - unfreeze_ops_before);
+  const bool violation = p > 1.0;
+  const bool cap_engaged = u >= config_.max_freeze_ratio;
+
+  // Journal the decision for audit. The journal only *observes* (it never
+  // feeds back into control or RNG state), so simulation results are
+  // unchanged whether it is on or off.
+  if (journal_on) {
+    obs::DecisionRecord record;
+    record.time = now;
+    record.domain = domain.group;
+    record.observed_watts = power;
+    record.budget_watts = domain.budget_watts;
+    record.normalized_power = p;
+    record.et = et;
+    record.violation = violation;
+    // One-step model bound: next-minute power may rise by at most E_t and
+    // the freeze drains f(u) (Eq. 13's balance). The next tick backfills
+    // what actually happened.
+    record.predicted_next = p + et - config_.effect.Effect(u);
+    record.u = u;
+    record.cap_engaged = cap_engaged;
+    record.n_freeze = static_cast<uint32_t>(n_freeze);
+    record.n_servers = static_cast<uint32_t>(n);
+    record.freeze_ops = freeze_delta;
+    record.unfreeze_ops = unfreeze_delta;
+    record.pool_size = pool_size;
+    record.p_threshold = p_threshold;
+    pending_realized_[domain_index] = journal_.Append(std::move(record));
+  }
+
+  // Registry telemetry (compiled out under AMPERE_OBS_DISABLED).
+  AMPERE_COUNTER_ADD("controller.domain_ticks", 1);
+  if (violation) AMPERE_COUNTER_ADD("controller.violations", 1);
+  if (cap_engaged) AMPERE_COUNTER_ADD("controller.cap_engaged", 1);
+  if (freeze_delta > 0) {
+    AMPERE_COUNTER_ADD("controller.freeze_ops", freeze_delta);
+  }
+  if (unfreeze_delta > 0) {
+    AMPERE_COUNTER_ADD("controller.unfreeze_ops", unfreeze_delta);
+  }
+  if (journal_on && obs::Enabled()) {
+    // Journal-fed model-drift gauges over the last drift_window (one hour
+    // at minute cadence) resolved records of this domain.
+    if (auto rmse =
+            journal_.RollingModelRmse(config_.drift_window, domain.group)) {
+      obs::GaugeSet("controller.model_rmse." + domain.group, *rmse);
+    }
+    if (auto util = journal_.RollingEtMarginUtilization(config_.drift_window,
+                                                        domain.group)) {
+      obs::GaugeSet("controller.et_margin_util." + domain.group, *util);
+    }
+  }
+
   AMPERE_LOG(kDebug) << "domain " << domain.group << " p=" << p
                      << " et=" << et << " u=" << u
                      << " frozen=" << frozen_set.size() << "/" << n;

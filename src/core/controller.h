@@ -20,6 +20,7 @@
 #define SRC_CORE_CONTROLLER_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -28,6 +29,7 @@
 #include "src/control/et_estimator.h"
 #include "src/control/freeze_effect.h"
 #include "src/control/online_predictor.h"
+#include "src/obs/journal.h"
 #include "src/sched/scheduler.h"
 #include "src/telemetry/power_monitor.h"
 
@@ -75,6 +77,15 @@ struct AmpereControllerConfig {
   // extension_rhc_horizon bench verifies live. Requires >= 1; 1 uses the
   // Eq. (13) closed form directly.
   int horizon = 1;
+  // Ring capacity of the per-controller DecisionJournal (the production
+  // daemon's decision audit log, §3.2): one record per tick per domain,
+  // 4096 covers a 24 h fig10 day (1440 minute-ticks x 2 arms) without
+  // eviction. 0 disables journaling entirely.
+  size_t journal_capacity = 4096;
+  // Window, in records per domain, of the journal-fed model-drift gauges
+  // (controller.model_rmse.* / controller.et_margin_util.*). 60 one-minute
+  // ticks = the paper's hourly E_t cadence.
+  size_t drift_window = 60;
 };
 
 class AmpereController {
@@ -109,6 +120,12 @@ class AmpereController {
   uint64_t unfreeze_ops() const { return unfreeze_ops_; }
   uint64_t ticks() const { return ticks_; }
 
+  // The decision audit log: one record per tick per domain (empty when
+  // config.journal_capacity == 0). Each tick also backfills the previous
+  // record's realized next-minute power, so resolved records carry a
+  // (predicted, realized) pair for the f(u) = kr·u model.
+  const obs::DecisionJournal& journal() const { return journal_; }
+
  private:
   void TickDomain(size_t domain_index, SimTime now);
   void UnfreezeAll(size_t domain_index);
@@ -123,6 +140,9 @@ class AmpereController {
   std::vector<ControlDomain> domains_;
   std::vector<std::unordered_set<ServerId>> frozen_;
   std::vector<OnlineEtPredictor> predictors_;  // One per domain if enabled.
+  obs::DecisionJournal journal_;
+  // Last journal seq per domain, awaiting realized-power backfill.
+  std::vector<std::optional<uint64_t>> pending_realized_;
   uint64_t freeze_ops_ = 0;
   uint64_t unfreeze_ops_ = 0;
   uint64_t ticks_ = 0;

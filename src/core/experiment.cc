@@ -6,6 +6,8 @@
 
 #include "src/common/check.h"
 #include "src/common/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 
 namespace ampere {
 
@@ -172,6 +174,7 @@ void ControlledExperiment::InstallMetricsRecorder(SimTime from, SimTime to) {
 }
 
 ExperimentResult ControlledExperiment::Run() {
+  AMPERE_SPAN("experiment.run");
   StartBaseline();
   SimTime measure_start = config_.warmup;
   SimTime end = config_.warmup + config_.duration;
@@ -204,6 +207,24 @@ ExperimentResult ControlledExperiment::Run() {
   result.jobs_completed = scheduler_.jobs_completed();
   result.final_queue_length = scheduler_.queue_length();
   result.breaker_tripped = dc_.AnyBreakerTripped();
+
+  if (controller_ != nullptr) {
+    result.journal = controller_->journal().Summarize();
+    // Re-export the audit-path aggregates as gauges so a harness run's obs
+    // snapshot carries the journal summary alongside the span profile.
+    if (obs::Enabled()) {
+      for (const auto& d : result.journal.domains) {
+        const std::string prefix = "journal." + d.domain + ".";
+        obs::GaugeSet(prefix + "ticks", static_cast<double>(d.ticks));
+        obs::GaugeSet(prefix + "violations",
+                      static_cast<double>(d.violations));
+        obs::GaugeSet(prefix + "u_mean", d.u_mean);
+        obs::GaugeSet(prefix + "u_max", d.u_max);
+        obs::GaugeSet(prefix + "p_mean", d.p_mean);
+        obs::GaugeSet(prefix + "p_max", d.p_max);
+      }
+    }
+  }
   return result;
 }
 

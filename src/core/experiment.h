@@ -66,6 +66,13 @@ struct ExperimentResult {
   uint64_t jobs_completed = 0;
   size_t final_queue_length = 0;
   bool breaker_tripped = false;
+  // Aggregate of the controller's DecisionJournal over the run (empty when
+  // the controller is disabled or journaling is off). Since the journal
+  // sees the same per-minute power the metrics recorder sees, its
+  // "experiment"-domain row reproduces the GroupReport's Table-2 counts
+  // (violations, u_mean, u_max) independently — the audit path and the
+  // reporting path cross-check each other.
+  obs::JournalSummary journal;
 };
 
 // Calibration helper: the arrival rate (jobs/minute) that drives the

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/workload/duration_model.h"
 
 namespace ampere {
@@ -121,6 +123,7 @@ FleetResult RunFleetToResult(const FleetConfig& config, SimTime until) {
 }
 
 void Fleet::Run(SimTime until) {
+  AMPERE_SPAN("fleet.run");
   if (!started_) {
     started_ = true;
     for (auto& workload : workloads_) {
@@ -129,6 +132,14 @@ void Fleet::Run(SimTime until) {
     monitor_.Start(SimTime::Minutes(1));
   }
   sim_.RunUntil(until);
+  // Fleet-level dispatch telemetry after the drain: how much work the rows
+  // absorbed and where the fleet's power landed.
+  AMPERE_GAUGE_SET("fleet.jobs_submitted",
+                   static_cast<double>(scheduler_.jobs_submitted()));
+  AMPERE_GAUGE_SET("fleet.jobs_completed",
+                   static_cast<double>(scheduler_.jobs_completed()));
+  AMPERE_GAUGE_SET("fleet.queue_length",
+                   static_cast<double>(scheduler_.queue_length()));
 }
 
 }  // namespace ampere

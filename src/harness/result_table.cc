@@ -198,6 +198,11 @@ std::string ResultTable::ToJson() const {
     }
     out += "},\n";
     out += "      \"notes\": \"" + JsonEscape(r.notes) + "\",\n";
+    if (!r.obs_json.empty()) {
+      out += "      \"obs\": ";
+      out += r.obs_json;
+      out += ",\n";
+    }
     out += "      \"log\": \"" + JsonEscape(r.log) + "\"\n";
     out += (i + 1 < rows_.size()) ? "    },\n" : "    }\n";
   }

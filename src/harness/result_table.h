@@ -42,6 +42,13 @@ struct ResultRow {
   std::vector<MetricValue> metrics;
   std::string notes;       // Per-run detail text (kept out of stdout).
   std::string log;         // Captured AMPERE_LOG output of the run.
+  // Pre-rendered JSON object with the run's observability data (metrics
+  // snapshot, span profile, journal summary) captured by the runner's
+  // per-run ScopedMetricsRegistry. Emitted verbatim as the "obs" field of
+  // ToJson when non-empty. Spans carry wall-clock values, so this field —
+  // like `log` and `wall_ms` — is excluded from CSV and SameData: the
+  // determinism contract covers metrics/notes only.
+  std::string obs_json;
 
   // Value of a named metric; CHECK-fails when absent.
   double Metric(std::string_view name) const;

@@ -3,13 +3,16 @@
 #include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <optional>
 #include <string_view>
 #include <thread>
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/log.h"
 #include "src/common/log_capture.h"
 #include "src/common/thread_pool.h"
+#include "src/obs/metrics.h"
 
 namespace ampere {
 namespace harness {
@@ -60,6 +63,8 @@ ResultTable ScenarioRunner::Run(std::span<const Scenario> scenarios) const {
   const int jobs = ResolveJobs(options_.jobs);
   const bool capture_logs = options_.capture_logs;
 
+  const bool capture_obs = options_.capture_obs;
+
   ResultTable table;
   table.Resize(scenarios.size());
   table.set_jobs(jobs);
@@ -70,11 +75,17 @@ ResultTable ScenarioRunner::Run(std::span<const Scenario> scenarios) const {
     for (size_t i = 0; i < scenarios.size(); ++i) {
       const Scenario* scenario = &scenarios[i];
       ResultRow* row = &table.row(i);  // Each task owns exactly its slot.
-      pool.Submit([scenario, row, i, capture_logs] {
+      pool.Submit([scenario, row, i, capture_logs, capture_obs] {
         row->index = i;
         row->scenario = scenario->name;
         row->seed = scenario->seed;
         RunContext context(i, scenario->seed);
+        // One private registry per run (scenario bodies are single-threaded,
+        // so every instrumented write the body triggers stays on this
+        // worker thread and lands here — isolated from concurrent runs).
+        obs::MetricsRegistry run_registry;
+        std::optional<obs::ScopedMetricsRegistry> obs_scope;
+        if (capture_obs) obs_scope.emplace(&run_registry);
         auto run_start = std::chrono::steady_clock::now();
         if (capture_logs) {
           ScopedLogCapture capture;
@@ -84,6 +95,11 @@ ResultTable ScenarioRunner::Run(std::span<const Scenario> scenarios) const {
           RunBody(*scenario, context, row);
         }
         row->wall_ms = ElapsedMs(run_start);
+        if (capture_obs) {
+          obs::MetricsSnapshot snapshot = run_registry.Snapshot();
+          if (!snapshot.empty()) row->obs_json = snapshot.ToJson();
+          obs_scope.reset();
+        }
         row->metrics = std::move(context.metrics());
         row->notes = std::move(context.notes());
       });
@@ -101,6 +117,9 @@ ResultTable RunScenarios(std::span<const Scenario> scenarios,
 
 HarnessArgs ParseHarnessArgs(int argc, char** argv) {
   HarnessArgs args;
+  // Environment first, flags second: --log-level below overrides this,
+  // matching the --jobs / AMPERE_JOBS precedence in ResolveJobs.
+  ApplyLogLevelFromEnv();
   auto value_of = [&](std::string_view arg, std::string_view flag,
                       int& i) -> const char* {
     // --flag=value
@@ -123,6 +142,14 @@ HarnessArgs ParseHarnessArgs(int argc, char** argv) {
       args.csv_path = csv;
     } else if (const char* json = value_of(arg, "--json", i)) {
       args.json_path = json;
+    } else if (const char* level = value_of(arg, "--log-level", i)) {
+      LogLevel parsed;
+      AMPERE_CHECK(ParseLogLevel(level, &parsed))
+          << "--log-level wants debug|info|warning|error|off, got '" << level
+          << "'";
+      SetLogLevel(parsed);
+    } else if (arg == "--obs") {
+      args.runner.capture_obs = true;
     } else if (arg == "--no-notes") {
       args.print_notes = false;
     } else {

@@ -33,6 +33,12 @@ struct RunnerOptions {
   // Install a per-run ScopedLogCapture (store logs in the row instead of
   // interleaving stderr).
   bool capture_logs = true;
+  // Install a per-run obs::ScopedMetricsRegistry so every counter, gauge,
+  // histogram, and span the run touches lands in an isolated snapshot,
+  // rendered into ResultRow::obs_json (the "obs" section of ToJson). Off
+  // by default: runs that don't ask for it pay nothing, and existing JSON
+  // output stays byte-identical.
+  bool capture_obs = false;
 };
 
 // Resolves a requested job count to the effective worker count (>= 1).
@@ -62,6 +68,10 @@ ResultTable RunScenarios(std::span<const Scenario> scenarios,
 //   --csv=PATH | --csv PATH write the deterministic CSV table to PATH
 //   --json=PATH             write the full JSON record (incl. timing)
 //   --no-notes              suppress per-run notes on stdout
+//   --obs                   capture per-run obs snapshots into the JSON
+//   --log-level=LEVEL       global log threshold (debug|info|warning|
+//                           error|off); overrides AMPERE_LOG_LEVEL, which
+//                           ParseHarnessArgs applies first
 struct HarnessArgs {
   RunnerOptions runner;
   std::string csv_path;
@@ -70,6 +80,9 @@ struct HarnessArgs {
   std::vector<std::string> positional;
 };
 
+// Also applies the log level: AMPERE_LOG_LEVEL from the environment if set,
+// then --log-level on top (flag beats environment) — mirroring how
+// ResolveJobs treats --jobs/AMPERE_JOBS.
 HarnessArgs ParseHarnessArgs(int argc, char** argv);
 
 }  // namespace harness

@@ -1,0 +1,266 @@
+// Low-overhead metrics registry for the observability layer.
+//
+// The production Ampere daemon exports continuous telemetry about the
+// controller itself — tick latency, prediction error, actuation counts —
+// alongside the power telemetry it consumes. This registry is the in-process
+// half of that: named counters, gauges, and fixed-bucket histograms, plus
+// wall-clock trace spans (src/obs/span.h) aggregated per name.
+//
+// Concurrency model: the registry is sharded per thread. Each writing
+// thread owns a private shard (created lazily on first touch), so hot-path
+// writes never contend with other threads; Snapshot() merges every shard
+// under the shard mutexes (uncontended except during the snapshot itself).
+// Merge rules: counters and histogram buckets sum; a gauge resolves to the
+// most recent Set (a global sequence stamp breaks ties deterministically);
+// span statistics combine count/total/min/max and log2 latency buckets.
+//
+// Scoping: instrumented code writes to the *current* registry —
+// a thread-local override installed by ScopedMetricsRegistry, falling back
+// to the process-wide Default() registry. The parallel scenario runner
+// installs one private registry per run (like ScopedLogCapture), so every
+// harness run gets an isolated snapshot regardless of the job count.
+//
+// Cost control: call sites use the AMPERE_COUNTER_ADD / AMPERE_GAUGE_SET /
+// AMPERE_HISTOGRAM_OBSERVE macros below (and AMPERE_SPAN from span.h).
+// With AMPERE_OBS_DISABLED defined they compile to nothing; otherwise each
+// site costs one relaxed atomic load when obs::SetEnabled(false) is in
+// effect — the runtime kill switch the obs_overhead micro bench uses to
+// approximate the compiled-out build inside one binary.
+//
+// Determinism contract: the registry only *observes*. It never touches RNG
+// streams or simulation state, so instrumented runs produce bit-identical
+// simulation results to uninstrumented ones.
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ampere {
+namespace obs {
+
+// --- Runtime kill switch -------------------------------------------------
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+// True unless SetEnabled(false) was called. Checked by the instrumentation
+// macros before doing any work, so a disabled process pays one predictable
+// branch per site.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+void SetEnabled(bool enabled);
+
+// --- Snapshot types ------------------------------------------------------
+
+struct CounterValue {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct GaugeValue {
+  std::string name;
+  double value = 0.0;
+  uint64_t sequence = 0;  // Global Set() order; latest wins on merge.
+};
+
+struct HistogramValue {
+  std::string name;
+  std::vector<double> bounds;    // Ascending upper bounds; +inf is implicit.
+  std::vector<uint64_t> counts;  // bounds.size() + 1 buckets.
+  uint64_t count = 0;
+  double sum = 0.0;
+
+  double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+  // Linear interpolation inside the containing bucket; the open overflow
+  // bucket reports its lower bound.
+  double Quantile(double q) const;
+};
+
+// Number of log2 duration buckets a span keeps: bucket i holds samples in
+// [2^i, 2^{i+1}) nanoseconds, so 40 buckets span 1 ns .. ~18 minutes.
+inline constexpr size_t kSpanBuckets = 40;
+
+struct SpanStats {
+  std::string name;
+  uint64_t count = 0;
+  double total_ns = 0.0;
+  double min_ns = 0.0;
+  double max_ns = 0.0;
+  std::vector<uint64_t> buckets;  // kSpanBuckets log2 buckets.
+
+  double mean_ns() const {
+    return count > 0 ? total_ns / static_cast<double>(count) : 0.0;
+  }
+  // Interpolated from the log2 buckets, clamped to [min_ns, max_ns].
+  double Quantile(double q) const;
+  double p50_ns() const { return Quantile(0.50); }
+  double p99_ns() const { return Quantile(0.99); }
+};
+
+// A merged, name-sorted view of a registry (or of several snapshots).
+struct MetricsSnapshot {
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+  std::vector<SpanStats> spans;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           spans.empty();
+  }
+
+  const uint64_t* FindCounter(std::string_view name) const;
+  const double* FindGauge(std::string_view name) const;
+  const HistogramValue* FindHistogram(std::string_view name) const;
+  const SpanStats* FindSpan(std::string_view name) const;
+
+  // Folds `other` into this snapshot using the registry merge rules
+  // (counters/buckets sum, gauges latest-sequence-wins).
+  void MergeFrom(const MetricsSnapshot& other);
+
+  // Prometheus text exposition. Metric names have '.' rewritten to '_' and
+  // get an "ampere_" prefix; histograms emit _bucket{le=...}/_sum/_count,
+  // spans emit summary-style quantiles in seconds.
+  std::string ToPrometheusText() const;
+  // Compact JSON object: {"counters":{...},"gauges":{...},
+  // "histograms":{...},"spans":{...}}. Deterministic field order.
+  std::string ToJson() const;
+};
+
+// --- Registry ------------------------------------------------------------
+
+// Default histogram bucket upper bounds for ad-hoc observations (roughly
+// 1-2.5-5 per decade over 1e-3 .. 1e3).
+std::span<const double> DefaultHistogramBounds();
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void CounterAdd(std::string_view name, uint64_t delta = 1);
+  void GaugeSet(std::string_view name, double value);
+  // The first observation of a name fixes its bucket layout; later calls
+  // must pass a bounds span of the same size (contents are trusted).
+  void HistogramObserve(std::string_view name, double value,
+                        std::span<const double> bounds);
+  void HistogramObserve(std::string_view name, double value) {
+    HistogramObserve(name, value, DefaultHistogramBounds());
+  }
+  void SpanRecord(std::string_view name, double duration_ns);
+
+  // Merges every thread shard into one name-sorted snapshot.
+  MetricsSnapshot Snapshot() const;
+
+  // Clears all shards (names and values).
+  void Reset();
+
+  // The process-wide registry instrumentation writes to when no scoped
+  // registry is installed on the calling thread.
+  static MetricsRegistry& Default();
+
+  // Opaque per-thread shard; defined in metrics.cc. Public only so the
+  // thread-local shard cache there can name it.
+  struct Shard;
+
+ private:
+  Shard& LocalShard();
+
+  const uint64_t id_;  // Process-unique; never reused.
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// --- Current-registry scoping -------------------------------------------
+
+// The registry instrumentation on this thread currently writes to:
+// the innermost live ScopedMetricsRegistry, else Default().
+MetricsRegistry* CurrentMetrics();
+
+// Redirects the calling thread's instrumentation into `registry` for the
+// scope's lifetime. Scopes nest; the previous target is restored on exit.
+// Strictly thread-local, exactly like ScopedLogCapture.
+class ScopedMetricsRegistry {
+ public:
+  explicit ScopedMetricsRegistry(MetricsRegistry* registry);
+  ~ScopedMetricsRegistry();
+
+  ScopedMetricsRegistry(const ScopedMetricsRegistry&) = delete;
+  ScopedMetricsRegistry& operator=(const ScopedMetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+// Convenience free functions routing to CurrentMetrics(). Prefer the macros
+// below at instrumentation sites (they honour AMPERE_OBS_DISABLED and the
+// runtime switch).
+inline void CounterAdd(std::string_view name, uint64_t delta = 1) {
+  CurrentMetrics()->CounterAdd(name, delta);
+}
+inline void GaugeSet(std::string_view name, double value) {
+  CurrentMetrics()->GaugeSet(name, value);
+}
+inline void HistogramObserve(std::string_view name, double value) {
+  CurrentMetrics()->HistogramObserve(name, value);
+}
+inline void HistogramObserve(std::string_view name, double value,
+                             std::span<const double> bounds) {
+  CurrentMetrics()->HistogramObserve(name, value, bounds);
+}
+inline void SpanRecord(std::string_view name, double duration_ns) {
+  CurrentMetrics()->SpanRecord(name, duration_ns);
+}
+
+}  // namespace obs
+}  // namespace ampere
+
+// --- Instrumentation macros ----------------------------------------------
+
+#ifndef AMPERE_OBS_DISABLED
+
+#define AMPERE_COUNTER_ADD(name, delta)          \
+  do {                                           \
+    if (::ampere::obs::Enabled()) {              \
+      ::ampere::obs::CounterAdd((name), (delta)); \
+    }                                            \
+  } while (0)
+
+#define AMPERE_GAUGE_SET(name, value)            \
+  do {                                           \
+    if (::ampere::obs::Enabled()) {              \
+      ::ampere::obs::GaugeSet((name), (value));  \
+    }                                            \
+  } while (0)
+
+#define AMPERE_HISTOGRAM_OBSERVE(name, value)              \
+  do {                                                     \
+    if (::ampere::obs::Enabled()) {                        \
+      ::ampere::obs::HistogramObserve((name), (value));    \
+    }                                                      \
+  } while (0)
+
+#else  // AMPERE_OBS_DISABLED
+
+#define AMPERE_COUNTER_ADD(name, delta) ((void)0)
+#define AMPERE_GAUGE_SET(name, value) ((void)0)
+#define AMPERE_HISTOGRAM_OBSERVE(name, value) ((void)0)
+
+#endif  // AMPERE_OBS_DISABLED
+
+#endif  // SRC_OBS_METRICS_H_

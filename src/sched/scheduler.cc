@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 
 namespace ampere {
 
@@ -18,8 +20,10 @@ Scheduler::Scheduler(DataCenter* dc, const SchedulerConfig& config, Rng rng)
 
 void Scheduler::Submit(const JobSpec& job) {
   ++jobs_submitted_;
+  AMPERE_COUNTER_ADD("sched.jobs_submitted", 1);
   if (!TryPlace(job)) {
     pending_.push_back(job);
+    AMPERE_COUNTER_ADD("sched.jobs_queued", 1);
   }
 }
 
@@ -153,10 +157,12 @@ ServerId Scheduler::PickServer(const JobSpec& job) {
 }
 
 bool Scheduler::TryPlace(const JobSpec& job) {
+  AMPERE_SPAN("sched.place");
   ServerId id = PickServer(job);
   if (!id.valid()) {
     return false;
   }
+  AMPERE_COUNTER_ADD("sched.placements", 1);
   TaskSpec spec{job.id, job.demand, job.duration};
   bool placed = rm_.ClaimContainer(id, spec);
   AMPERE_CHECK(placed) << "picked server could not host the container";

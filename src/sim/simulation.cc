@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 
 namespace ampere {
 
@@ -80,6 +82,11 @@ bool Simulation::Step() {
 
 void Simulation::RunUntil(SimTime until) {
   AMPERE_CHECK(until >= now_);
+  // One span per drain, not per event: the event loop is far too hot for
+  // per-event instrumentation, so RunUntil reports the wall time of the
+  // whole drain plus a delta counter of events processed inside it.
+  AMPERE_SPAN("sim.run_until");
+  const uint64_t processed_before = processed_events_;
   while (!queue_.empty()) {
     // Discard cancelled entries first: Step() would skip past them to the
     // next live event, which may lie beyond the boundary.
@@ -94,6 +101,7 @@ void Simulation::RunUntil(SimTime until) {
     Step();
   }
   now_ = until;
+  AMPERE_COUNTER_ADD("sim.events", processed_events_ - processed_before);
 }
 
 void Simulation::RunToCompletion() {

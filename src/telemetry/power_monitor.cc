@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 
 namespace ampere {
 
@@ -44,7 +46,11 @@ void PowerMonitor::Start(SimTime first_sample) {
 }
 
 void PowerMonitor::SampleOnce(SimTime stamp) {
+  // Covers the whole ingest + aggregate pass: per-server "IPMI" reads,
+  // rack/row/group rollups, and the TimeSeriesDb appends.
+  AMPERE_SPAN("telemetry.sample");
   ++samples_taken_;
+  AMPERE_COUNTER_ADD("telemetry.samples", 1);
   latest_sample_time_ = stamp;
 
   // Read every server once through "IPMI": true draw + sensor noise, then

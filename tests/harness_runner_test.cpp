@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -316,6 +317,56 @@ TEST(HarnessArgsTest, ParsesFlagsAndPositionals) {
   ASSERT_EQ(args.positional.size(), 2u);
   EXPECT_EQ(args.positional[0], "pos1");
   EXPECT_EQ(args.positional[1], "pos2");
+}
+
+TEST(HarnessArgsTest, ParsesLogLevelAndObsFlags) {
+  LogLevel previous = GetLogLevel();
+  const char* argv_c[] = {"prog", "--log-level=debug", "--obs"};
+  std::vector<char*> argv;
+  for (const char* a : argv_c) {
+    argv.push_back(const_cast<char*>(a));
+  }
+  HarnessArgs args =
+      ParseHarnessArgs(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  EXPECT_TRUE(args.runner.capture_obs);
+  EXPECT_TRUE(args.positional.empty());
+  SetLogLevel(previous);
+}
+
+TEST(LogLevelTest, ParseAcceptsNamesAndAliases) {
+  LogLevel level;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("WARN", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("e", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("off", &level));
+  EXPECT_FALSE(ParseLogLevel("loud", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+}
+
+TEST(LogLevelTest, EnvironmentVariableAppliesAndFlagWins) {
+  LogLevel previous = GetLogLevel();
+  ASSERT_EQ(setenv("AMPERE_LOG_LEVEL", "info", 1), 0);
+  const char* argv_env[] = {"prog"};
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(argv_env[0]));
+  ParseHarnessArgs(1, argv.data());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+
+  // A --log-level flag overrides the environment, like --jobs/AMPERE_JOBS.
+  const char* argv_both[] = {"prog", "--log-level=error"};
+  std::vector<char*> argv2;
+  for (const char* a : argv_both) {
+    argv2.push_back(const_cast<char*>(a));
+  }
+  ParseHarnessArgs(2, argv2.data());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+
+  unsetenv("AMPERE_LOG_LEVEL");
+  SetLogLevel(previous);
 }
 
 TEST(ResolveJobsTest, PositiveWinsOverEnvironment) {

@@ -3,9 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 
 #include "src/core/controller.h"
+#include "src/obs/metrics.h"
 #include "src/core/experiment.h"
 #include "src/sched/scheduler.h"
 #include "src/telemetry/power_monitor.h"
@@ -179,6 +181,49 @@ TEST(ClosedLoopTest, FreezeDrainsAndUnfreezeRefills) {
   loop.scheduler.Unfreeze(victim);
   loop.sim.RunUntil(SimTime::Hours(5.6));
   EXPECT_GT(loop.dc.server_power_watts(victim), frozen_power + 10.0);
+}
+
+TEST(ClosedLoopTest, ModelDriftGaugesAreSaneOnClosedLoop) {
+  // The controller re-exports journal-fed drift statistics as gauges each
+  // tick: rolling RMSE of predicted vs realized row power, and mean E_t
+  // margin utilization. Over a steady closed loop both must exist and be
+  // sane — the model is imperfect (RMSE > 0) but not wildly wrong.
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRegistry scope(&registry);
+
+  ExperimentConfig config;
+  config.seed = 17;
+  config.topology.num_rows = 1;
+  config.topology.racks_per_row = 2;
+  config.topology.servers_per_rack = 30;  // 60 servers.
+  config.over_provision_ratio = 0.25;
+  config.workload.arrivals.base_rate_per_min = ArrivalRateForNormalizedPower(
+      config.topology, config.workload, 0.99, 0.25);
+  config.controller.et = EtEstimator::Constant(0.02);
+  config.warmup = SimTime::Hours(1);
+  config.duration = SimTime::Hours(3);
+
+  ExperimentResult result = RunExperimentToResult(config);
+  ASSERT_GT(result.experiment.minutes.size(), 100u);
+
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  const double* rmse = snapshot.FindGauge("controller.model_rmse.experiment");
+  ASSERT_NE(rmse, nullptr);
+  EXPECT_TRUE(std::isfinite(*rmse));
+  EXPECT_GT(*rmse, 0.0);   // Noise and wander guarantee nonzero error.
+  EXPECT_LT(*rmse, 0.25);  // ...but the one-step model is not wildly off.
+
+  const double* util =
+      snapshot.FindGauge("controller.et_margin_util.experiment");
+  ASSERT_NE(util, nullptr);
+  EXPECT_TRUE(std::isfinite(*util));
+  // Mean margin use stays within a few multiples of E_t in steady state.
+  EXPECT_GT(*util, -5.0);
+  EXPECT_LT(*util, 5.0);
+
+  // The same statistics are recomputable from the result's journal summary
+  // inputs; the gauges exist exactly because journaling was on.
+  EXPECT_GT(result.journal.total_appended, 0u);
 }
 
 TEST(ClosedLoopTest, InteractiveServiceCoexistsWithBatch) {
