@@ -21,6 +21,8 @@
 #include "src/core/controller.h"
 #include "src/control/pcp.h"
 #include "src/control/spcp.h"
+#include "src/faults/fault_injector.h"
+#include "src/faults/fault_plan.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/sched/scheduler.h"
@@ -220,6 +222,58 @@ void BM_ObsSnapshot(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ObsSnapshot);
+
+// fault_path_overhead: the telemetry sample pass — the hottest injector-
+// guarded path (one dropout/noise decision per server per minute) — with
+// (Arg 1) a quiescent injector attached (all probabilities zero, empty
+// window schedule: every hook short-circuits without advancing an RNG) vs
+// (Arg 0) no injector at all (every hook is one nullptr test). Acceptance
+// wants the quiescent-attached arm within 5 % of the detached arm: runs
+// that don't opt into chaos must not pay for the capability.
+void BM_FaultPathOverheadMonitorSample(benchmark::State& state) {
+  const bool attached = state.range(0) == 1;
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRegistry scope(&registry);
+  Rig rig(1);
+  faults::FaultPlanConfig quiescent;  // any() == false.
+  quiescent.rpc_latency_mean = SimTime();
+  faults::FaultPlan plan =
+      faults::FaultPlan::Generate(quiescent, SimTime::Hours(26));
+  faults::FaultInjector injector(plan);
+  if (attached) {
+    rig.monitor.AttachFaultInjector(&injector);
+  }
+  int64_t minute = 1;
+  for (auto _ : state) {
+    rig.monitor.SampleOnce(SimTime::Minutes(static_cast<double>(minute++)));
+  }
+  state.SetItemsProcessed(state.iterations() * rig.dc.num_servers());
+  state.SetLabel(attached ? "quiescent_injector" : "no_injector");
+}
+BENCHMARK(BM_FaultPathOverheadMonitorSample)->Arg(0)->Arg(1);
+
+// The same question for an injector whose faults DO fire at the moderate
+// preset's rates — the price of actually being under chaos, for context.
+void BM_FaultPathActiveMonitorSample(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRegistry scope(&registry);
+  Rig rig(1);
+  faults::FaultPlanConfig active;
+  active.sample_dropout_prob = 0.05;
+  active.noise_spike_prob = 0.01;
+  active.noise_spike_sigma_watts = 15.0;
+  active.sensor_bias_watts = 1.0;
+  faults::FaultPlan plan =
+      faults::FaultPlan::Generate(active, SimTime::Hours(26));
+  faults::FaultInjector injector(plan);
+  rig.monitor.AttachFaultInjector(&injector);
+  int64_t minute = 1;
+  for (auto _ : state) {
+    rig.monitor.SampleOnce(SimTime::Minutes(static_cast<double>(minute++)));
+  }
+  state.SetItemsProcessed(state.iterations() * rig.dc.num_servers());
+}
+BENCHMARK(BM_FaultPathActiveMonitorSample);
 
 void BM_EventCoreScheduleFire(benchmark::State& state) {
   Simulation sim;

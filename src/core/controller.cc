@@ -96,56 +96,99 @@ void AmpereController::TickDomain(size_t domain_index, SimTime now) {
   const uint64_t freeze_ops_before = freeze_ops_;
   const uint64_t unfreeze_ops_before = unfreeze_ops_;
   const bool journal_on = config_.journal_capacity > 0;
+  tick_rpc_failures_ = 0;
+  tick_rpc_giveups_ = 0;
 
-  double power = monitor_->LatestGroupWatts(domain.group);
+  // Read the domain feed with its freshness tags. On a fault-free run the
+  // reading is always fresh and non-blacked, making this path equivalent to
+  // the plain LatestGroupWatts() read it replaces.
+  const PowerReading reading = monitor_->LatestGroupReading(domain.group, now);
+  const SimTime age = reading.Age(now);
+  obs::DegradedMode mode = obs::DegradedMode::kNone;
+  if (reading.blacked_out || !reading.valid() ||
+      age > config_.blackout_after) {
+    mode = obs::DegradedMode::kBlackoutSkip;
+  } else if (age > config_.stale_after) {
+    mode = obs::DegradedMode::kStaleFallback;
+  }
+
+  double power = reading.watts;
   double p = power / domain.budget_watts;
 
   // Resolve the previous tick's prediction: this minute's observed power is
   // the "realized next-minute power" of the record written one tick ago.
+  // Only a *fresh* reading qualifies — backfilling a prediction with stale
+  // telemetry would poison the model-drift statistics.
   if (journal_on && pending_realized_[domain_index].has_value()) {
-    journal_.SetRealized(*pending_realized_[domain_index], p);
+    if (mode == obs::DegradedMode::kNone) {
+      journal_.SetRealized(*pending_realized_[domain_index], p);
+    }
     pending_realized_[domain_index].reset();
   }
 
   double et;
   if (config_.use_online_predictor) {
-    predictors_[domain_index].Observe(p);
+    // Never feed stale observations into the live predictor.
+    if (mode == obs::DegradedMode::kNone) {
+      predictors_[domain_index].Observe(p);
+    }
     et = predictors_[domain_index].Margin();
   } else {
     et = config_.et.Estimate(now);
   }
-  double u;
-  if (config_.horizon <= 1) {
-    u = FreezeRatioFor(p, et, 1.0, config_.effect.kr(),
-                       config_.max_freeze_ratio);
-  } else {
-    // Receding-horizon plan over the next N intervals; only u[0] is carried
-    // out (§3.6). The E forecast reads the estimator at each future minute
-    // (the online predictor extrapolates its current margin).
-    PcpProblem problem;
-    problem.p0 = p;
-    problem.pm = 1.0;
-    double kr = config_.effect.kr();
-    problem.f = [kr](double v) { return kr * v; };
-    for (int k = 0; k < config_.horizon; ++k) {
-      double e_k = config_.use_online_predictor
-                       ? et
-                       : config_.et.Estimate(now + SimTime::Minutes(k));
-      problem.e.push_back(e_k);
-    }
-    PcpSolution plan = SolvePcpGreedy(problem);
-    u = std::min(plan.u.front(), config_.max_freeze_ratio);
+  // Stale fallback: the tick still runs on last-known-good power, but the
+  // margin widens with the reading's age — E_t is the per-minute 99.5p
+  // increase, so an m-minute-old value may have drifted by m·E_t.
+  double et_eff = et;
+  if (mode == obs::DegradedMode::kStaleFallback) {
+    et_eff = et * std::max(1.0, age.minutes());
   }
+
   size_t n = domain.servers.size();
-  auto n_freeze = static_cast<size_t>(
-      std::floor(u * static_cast<double>(n)));
+  double u = 0.0;
+  size_t n_freeze = 0;
 
   // r_stable hysteresis state for the decision journal; only the
   // highest-power policy defines a power threshold.
   uint32_t pool_size = 0;
   double p_threshold = 0.0;
 
-  if (n_freeze == 0) {
+  if (mode == obs::DegradedMode::kBlackoutSkip) {
+    // Skip, don't guess: the feed is dark (or was never sampled), so any
+    // control action would be driven by garbage. Hold the frozen set.
+    n_freeze = frozen_set.size();
+    u = n > 0 ? static_cast<double>(n_freeze) / static_cast<double>(n) : 0.0;
+  } else {
+    if (config_.horizon <= 1) {
+      u = FreezeRatioFor(p, et_eff, 1.0, config_.effect.kr(),
+                         config_.max_freeze_ratio);
+    } else {
+      // Receding-horizon plan over the next N intervals; only u[0] is
+      // carried out (§3.6). The E forecast reads the estimator at each
+      // future minute (the online predictor extrapolates its current
+      // margin). Under stale fallback the widened margin seeds the first
+      // interval; later intervals read the profile as usual.
+      PcpProblem problem;
+      problem.p0 = p;
+      problem.pm = 1.0;
+      double kr = config_.effect.kr();
+      problem.f = [kr](double v) { return kr * v; };
+      for (int k = 0; k < config_.horizon; ++k) {
+        double e_k = config_.use_online_predictor
+                         ? et
+                         : config_.et.Estimate(now + SimTime::Minutes(k));
+        if (k == 0) e_k = et_eff;
+        problem.e.push_back(e_k);
+      }
+      PcpSolution plan = SolvePcpGreedy(problem);
+      u = std::min(plan.u.front(), config_.max_freeze_ratio);
+    }
+    n_freeze = static_cast<size_t>(std::floor(u * static_cast<double>(n)));
+  }
+
+  if (mode == obs::DegradedMode::kBlackoutSkip) {
+    // No reconciliation: scheduler state and cached set stay untouched.
+  } else if (n_freeze == 0) {
     // Below threshold (or rounding swallowed the ratio): release everything.
     UnfreezeAll(domain_index);
   } else {
@@ -178,12 +221,18 @@ void AmpereController::TickDomain(size_t domain_index, SimTime now) {
     }
     pool_size = static_cast<uint32_t>(pool.size());
 
-    // Unfreeze servers that dropped out of the pool (lines 11-12).
+    // Unfreeze servers that dropped out of the pool (lines 11-12). A lost
+    // unfreeze RPC (after the scheduler's bounded retries) leaves the server
+    // frozen — it stays in the cached set so bookkeeping matches the
+    // scheduler's flags, and the next tick retries naturally.
     for (auto it = frozen_set.begin(); it != frozen_set.end();) {
       if (!pool.contains(*it)) {
-        scheduler_->Unfreeze(*it);
-        ++unfreeze_ops_;
-        it = frozen_set.erase(it);
+        if (RpcUnfreeze(*it)) {
+          ++unfreeze_ops_;
+          it = frozen_set.erase(it);
+        } else {
+          ++it;
+        }
       } else {
         ++it;
       }
@@ -192,23 +241,32 @@ void AmpereController::TickDomain(size_t domain_index, SimTime now) {
     if (frozen_set.size() > n_freeze) {
       // Too many frozen: release arbitrary extras (lines 13-14).
       size_t excess = frozen_set.size() - n_freeze;
-      for (auto it = frozen_set.begin(); excess > 0;) {
-        scheduler_->Unfreeze(*it);
-        ++unfreeze_ops_;
-        it = frozen_set.erase(it);
-        --excess;
+      for (auto it = frozen_set.begin();
+           it != frozen_set.end() && excess > 0;) {
+        if (RpcUnfreeze(*it)) {
+          ++unfreeze_ops_;
+          it = frozen_set.erase(it);
+          --excess;
+        } else {
+          ++it;
+        }
       }
     } else if (frozen_set.size() < n_freeze) {
       // Too few: freeze the highest-power pool members not yet frozen
-      // (lines 15-16). `ranked` is already in descending power order.
+      // (lines 15-16). `ranked` is already in descending power order. A
+      // lost freeze RPC skips to the next-ranked candidate, so the target
+      // count is usually still met from the hysteresis pool; if the pool
+      // runs out the tick ends under target and the journal records the
+      // give-ups — the next tick re-solves from fresh power and retries.
       for (ServerId id : ranked) {
         if (frozen_set.size() >= n_freeze) {
           break;
         }
         if (pool.contains(id) && !frozen_set.contains(id)) {
-          scheduler_->Freeze(id);
-          ++freeze_ops_;
-          frozen_set.insert(id);
+          if (RpcFreeze(id)) {
+            ++freeze_ops_;
+            frozen_set.insert(id);
+          }
         }
       }
     }
@@ -235,8 +293,11 @@ void AmpereController::TickDomain(size_t domain_index, SimTime now) {
     record.violation = violation;
     // One-step model bound: next-minute power may rise by at most E_t and
     // the freeze drains f(u) (Eq. 13's balance). The next tick backfills
-    // what actually happened.
-    record.predicted_next = p + et - config_.effect.Effect(u);
+    // what actually happened. A blackout skip predicts "hold": no model
+    // claim is made from a dark feed.
+    record.predicted_next = mode == obs::DegradedMode::kBlackoutSkip
+                                ? p
+                                : p + et_eff - config_.effect.Effect(u);
     record.u = u;
     record.cap_engaged = cap_engaged;
     record.n_freeze = static_cast<uint32_t>(n_freeze);
@@ -245,7 +306,30 @@ void AmpereController::TickDomain(size_t domain_index, SimTime now) {
     record.unfreeze_ops = unfreeze_delta;
     record.pool_size = pool_size;
     record.p_threshold = p_threshold;
-    pending_realized_[domain_index] = journal_.Append(std::move(record));
+    record.degraded = mode;
+    record.reading_age_us = reading.valid() ? age.micros() : -1;
+    record.et_effective = et_eff;
+    record.rpc_failures = tick_rpc_failures_;
+    record.rpc_giveups = tick_rpc_giveups_;
+    const uint64_t seq = journal_.Append(std::move(record));
+    // Degraded ticks never arm a prediction: their base value is stale (or
+    // a hold), so resolving them would corrupt the drift gauges.
+    if (mode == obs::DegradedMode::kNone) {
+      pending_realized_[domain_index] = seq;
+    }
+  }
+
+  // Degradation bookkeeping (run totals + faults.* registry counters).
+  if (mode != obs::DegradedMode::kNone) {
+    ++degraded_ticks_;
+    AMPERE_COUNTER_ADD("faults.degraded_ticks", 1);
+    if (mode == obs::DegradedMode::kBlackoutSkip) {
+      ++blackout_skips_;
+      AMPERE_COUNTER_ADD("faults.blackout_skips", 1);
+    } else {
+      ++stale_fallbacks_;
+      AMPERE_COUNTER_ADD("faults.stale_fallbacks", 1);
+    }
   }
 
   // Registry telemetry (compiled out under AMPERE_OBS_DISABLED).
@@ -277,11 +361,45 @@ void AmpereController::TickDomain(size_t domain_index, SimTime now) {
 }
 
 void AmpereController::UnfreezeAll(size_t domain_index) {
-  for (ServerId id : frozen_[domain_index]) {
-    scheduler_->Unfreeze(id);
-    ++unfreeze_ops_;
+  std::unordered_set<ServerId>& set = frozen_[domain_index];
+  for (auto it = set.begin(); it != set.end();) {
+    if (RpcUnfreeze(*it)) {
+      ++unfreeze_ops_;
+      it = set.erase(it);
+    } else {
+      // Lost after retries: the server stays frozen in the scheduler, so it
+      // stays in the cached set too; the next tick retries.
+      ++it;
+    }
   }
-  frozen_[domain_index].clear();
+}
+
+bool AmpereController::RpcFreeze(ServerId id) {
+  const RpcResult result = scheduler_->TryFreeze(id);
+  AccountRpc(result);
+  return result.ok;
+}
+
+bool AmpereController::RpcUnfreeze(ServerId id) {
+  const RpcResult result = scheduler_->TryUnfreeze(id);
+  AccountRpc(result);
+  return result.ok;
+}
+
+void AmpereController::AccountRpc(const RpcResult& result) {
+  rpc_latency_total_ += result.latency;
+  const auto failed_attempts =
+      static_cast<uint32_t>(result.attempts - (result.ok ? 1 : 0));
+  if (failed_attempts > 0) {
+    tick_rpc_failures_ += failed_attempts;
+    rpc_failures_ += failed_attempts;
+    AMPERE_COUNTER_ADD("faults.controller_rpc_failures", failed_attempts);
+  }
+  if (!result.ok) {
+    ++tick_rpc_giveups_;
+    ++rpc_giveups_;
+    AMPERE_COUNTER_ADD("faults.controller_rpc_giveups", 1);
+  }
 }
 
 void AmpereController::RebuildStateFromScheduler() {

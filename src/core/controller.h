@@ -86,6 +86,19 @@ struct AmpereControllerConfig {
   // (controller.model_rmse.* / controller.et_margin_util.*). 60 one-minute
   // ticks = the paper's hourly E_t cadence.
   size_t drift_window = 60;
+
+  // --- Graceful degradation under faulty telemetry ---
+  // A domain reading older than this is *stale*: the tick still runs, but on
+  // last-known-good power with the E_t margin widened in proportion to the
+  // reading's age (E_t is the per-minute 99.5p increase, so an m-minute-old
+  // reading may have drifted by m·E_t). 1.5 control intervals by default so
+  // ordinary sampling jitter never triggers it.
+  SimTime stale_after = SimTime::Seconds(90);
+  // A reading older than this — or a feed flagged blacked-out, or a domain
+  // never sampled at all — is not trusted: the tick holds the current frozen
+  // set rather than act on garbage (skip, don't guess), and journals the
+  // skip as DegradedMode::kBlackoutSkip.
+  SimTime blackout_after = SimTime::Minutes(5);
 };
 
 class AmpereController {
@@ -120,6 +133,15 @@ class AmpereController {
   uint64_t unfreeze_ops() const { return unfreeze_ops_; }
   uint64_t ticks() const { return ticks_; }
 
+  // Degradation bookkeeping (all zero on fault-free runs).
+  uint64_t degraded_ticks() const { return degraded_ticks_; }
+  uint64_t blackout_skips() const { return blackout_skips_; }
+  uint64_t stale_fallbacks() const { return stale_fallbacks_; }
+  uint64_t rpc_failures() const { return rpc_failures_; }
+  uint64_t rpc_giveups() const { return rpc_giveups_; }
+  // Accounted (not event-injected) freeze/unfreeze RPC latency, summed.
+  SimTime rpc_latency_total() const { return rpc_latency_total_; }
+
   // The decision audit log: one record per tick per domain (empty when
   // config.journal_capacity == 0). Each tick also backfills the previous
   // record's realized next-minute power, so resolved records carry a
@@ -129,6 +151,13 @@ class AmpereController {
  private:
   void TickDomain(size_t domain_index, SimTime now);
   void UnfreezeAll(size_t domain_index);
+  // Fallible scheduler RPCs (infallible without an injector attached to the
+  // scheduler). Return overall success after the scheduler's bounded
+  // retries; on failure the op did not happen and per-tick counters record
+  // the adversity.
+  bool RpcFreeze(ServerId id);
+  bool RpcUnfreeze(ServerId id);
+  void AccountRpc(const RpcResult& result);
   // Domain servers ordered most-preferred-to-freeze first per the
   // configured selection policy.
   std::vector<ServerId> RankServers(const ControlDomain& domain);
@@ -146,6 +175,15 @@ class AmpereController {
   uint64_t freeze_ops_ = 0;
   uint64_t unfreeze_ops_ = 0;
   uint64_t ticks_ = 0;
+  // Degradation bookkeeping (run totals + per-tick deltas for the journal).
+  uint64_t degraded_ticks_ = 0;
+  uint64_t blackout_skips_ = 0;
+  uint64_t stale_fallbacks_ = 0;
+  uint64_t rpc_failures_ = 0;
+  uint64_t rpc_giveups_ = 0;
+  SimTime rpc_latency_total_;
+  uint32_t tick_rpc_failures_ = 0;
+  uint32_t tick_rpc_giveups_ = 0;
   // Lifetime token for scheduled ticks; expires with the controller.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

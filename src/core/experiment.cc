@@ -70,6 +70,18 @@ ControlledExperiment::ControlledExperiment(const ExperimentConfig& config)
   monitor_.RegisterGroup(kExperimentGroup, experiment_servers_);
   monitor_.RegisterGroup(kControlGroup, control_servers_);
 
+  if (config_.faults.any()) {
+    // Pre-generate the whole run's fault schedule (seeded independently of
+    // the workload) and attach one injector to both fault surfaces. One
+    // extra interval of slack covers tasks scheduled right at the horizon.
+    const SimTime horizon =
+        config_.warmup + config_.duration + config_.monitor.interval;
+    injector_ = std::make_unique<faults::FaultInjector>(
+        faults::FaultPlan::Generate(config_.faults, horizon));
+    monitor_.AttachFaultInjector(injector_.get());
+    scheduler_.AttachFaultInjector(injector_.get());
+  }
+
   if (config_.enable_ampere) {
     controller_ = std::make_unique<AmpereController>(&scheduler_, &monitor_,
                                                      config_.controller);
@@ -208,6 +220,16 @@ ExperimentResult ControlledExperiment::Run() {
   result.final_queue_length = scheduler_.queue_length();
   result.breaker_tripped = dc_.AnyBreakerTripped();
 
+  if (injector_ != nullptr) {
+    result.fault_counts = injector_->counts();
+  }
+  if (controller_ != nullptr) {
+    result.degraded_ticks = controller_->degraded_ticks();
+    result.blackout_skips = controller_->blackout_skips();
+    result.stale_fallbacks = controller_->stale_fallbacks();
+    result.rpc_giveups = controller_->rpc_giveups();
+  }
+
   if (controller_ != nullptr) {
     result.journal = controller_->journal().Summarize();
     // Re-export the audit-path aggregates as gauges so a harness run's obs
@@ -222,6 +244,10 @@ ExperimentResult ControlledExperiment::Run() {
         obs::GaugeSet(prefix + "u_max", d.u_max);
         obs::GaugeSet(prefix + "p_mean", d.p_mean);
         obs::GaugeSet(prefix + "p_max", d.p_max);
+        obs::GaugeSet(prefix + "degraded_ticks",
+                      static_cast<double>(d.degraded_ticks));
+        obs::GaugeSet(prefix + "rpc_giveups",
+                      static_cast<double>(d.rpc_giveups));
       }
     }
   }

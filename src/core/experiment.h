@@ -31,6 +31,8 @@
 #include "src/common/rng.h"
 #include "src/core/controller.h"
 #include "src/core/metrics.h"
+#include "src/faults/fault_injector.h"
+#include "src/faults/fault_plan.h"
 #include "src/sched/scheduler.h"
 #include "src/sim/simulation.h"
 #include "src/telemetry/power_monitor.h"
@@ -55,6 +57,12 @@ struct ExperimentConfig {
   AmpereControllerConfig controller;
   SimTime warmup = SimTime::Hours(2);
   SimTime duration = SimTime::Hours(24);
+  // Chaos profile: when any fault dimension is active, the experiment
+  // pre-generates a FaultPlan over the whole run horizon (seeded by
+  // faults.seed, independent of the workload seed) and attaches one
+  // FaultInjector to the monitor and the scheduler. Default: no faults —
+  // bit-identical to the fault-free experiment.
+  faults::FaultPlanConfig faults;
 };
 
 struct ExperimentResult {
@@ -73,6 +81,15 @@ struct ExperimentResult {
   // (violations, u_mean, u_max) independently — the audit path and the
   // reporting path cross-check each other.
   obs::JournalSummary journal;
+  // Fault adversity the run actually experienced (all zero without an
+  // injector): raw injector event counts plus the controller's degraded-tick
+  // totals. These report what *happened*, where ExperimentConfig::faults
+  // describes what was possible.
+  faults::FaultCounts fault_counts;
+  uint64_t degraded_ticks = 0;
+  uint64_t blackout_skips = 0;
+  uint64_t stale_fallbacks = 0;
+  uint64_t rpc_giveups = 0;
 };
 
 // Calibration helper: the arrival rate (jobs/minute) that drives the
@@ -131,6 +148,8 @@ class ControlledExperiment {
   TimeSeriesDb& db() { return db_; }
   AmpereController* controller() { return controller_.get(); }
   BatchWorkload& workload() { return *workload_; }
+  // Null unless config.faults has an active dimension.
+  faults::FaultInjector* fault_injector() { return injector_.get(); }
   const std::vector<ServerId>& experiment_servers() const {
     return experiment_servers_;
   }
@@ -157,6 +176,7 @@ class ControlledExperiment {
   JobIdAllocator ids_;
   std::unique_ptr<BatchWorkload> workload_;
   std::unique_ptr<AmpereController> controller_;
+  std::unique_ptr<faults::FaultInjector> injector_;
 
   std::vector<ServerId> experiment_servers_;
   std::vector<ServerId> control_servers_;

@@ -1,0 +1,71 @@
+#include "src/faults/fault_injector.h"
+
+namespace ampere {
+namespace faults {
+
+namespace {
+// Stream ids for the injector's forked draw streams. Distinct from the
+// window-generation streams used by FaultPlan::Generate so a plan and its
+// injector never share a sequence.
+constexpr uint64_t kDropoutStream = 0xd201u;
+constexpr uint64_t kNoiseStream = 0x01f3u;
+constexpr uint64_t kRpcStream = 0x49cu;
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)),
+      dropout_rng_(Rng(plan_.config().seed).Fork(kDropoutStream)),
+      noise_rng_(Rng(plan_.config().seed).Fork(kNoiseStream)),
+      rpc_rng_(Rng(plan_.config().seed).Fork(kRpcStream)) {}
+
+bool FaultInjector::TelemetryStalled(SimTime now) {
+  if (!plan_.InStaleWindow(now)) return false;
+  ++counts_.telemetry_stalls;
+  return true;
+}
+
+bool FaultInjector::DropServerSample() {
+  const double p = plan_.config().sample_dropout_prob;
+  if (p <= 0.0) return false;
+  if (!dropout_rng_.Bernoulli(p)) return false;
+  ++counts_.dropped_samples;
+  return true;
+}
+
+double FaultInjector::SensorAdjustWatts() {
+  const FaultPlanConfig& c = plan_.config();
+  double adjust = c.sensor_bias_watts;
+  if (c.noise_spike_prob > 0.0 && noise_rng_.Bernoulli(c.noise_spike_prob)) {
+    adjust += noise_rng_.Normal(0.0, c.noise_spike_sigma_watts);
+    ++counts_.noise_spikes;
+  }
+  return adjust;
+}
+
+bool FaultInjector::ChannelBlackedOut(std::string_view channel, SimTime now) {
+  if (!plan_.ChannelBlackedOut(channel, now)) return false;
+  ++counts_.blackout_reads;
+  return true;
+}
+
+RpcAttempt FaultInjector::DrawRpcAttempt() {
+  const FaultPlanConfig& c = plan_.config();
+  RpcAttempt attempt;
+  if (c.rpc_failure_prob <= 0.0 && c.rpc_latency_mean <= SimTime()) {
+    // Quiescent fast path: no RNG advance, no accounting churn.
+    return attempt;
+  }
+  ++counts_.rpc_attempts;
+  if (c.rpc_latency_mean > SimTime()) {
+    attempt.latency = SimTime::Micros(static_cast<int64_t>(
+        rpc_rng_.Exponential(static_cast<double>(c.rpc_latency_mean.micros()))));
+  }
+  if (c.rpc_failure_prob > 0.0 && rpc_rng_.Bernoulli(c.rpc_failure_prob)) {
+    attempt.ok = false;
+    ++counts_.rpc_failures;
+  }
+  return attempt;
+}
+
+}  // namespace faults
+}  // namespace ampere

@@ -1,0 +1,99 @@
+// Runtime fault injection driven by a FaultPlan.
+//
+// A FaultInjector owns the per-event randomness of a fault profile: sample
+// dropout draws, noise spikes, and RPC failure/latency draws. Window-shaped
+// faults (telemetry stalls, channel blackouts) are pure lookups against the
+// plan's pre-generated schedule, so they cost nothing when the schedule is
+// empty. All draw streams are forked from the plan seed independently per
+// fault category, so enabling one fault dimension never perturbs another's
+// stream, and a run that asks the same questions in the same order is
+// bit-reproducible.
+//
+// The injector also keeps event counters so experiments can report exactly
+// how much adversity a run actually experienced (as opposed to what the plan
+// made merely possible).
+
+#ifndef SRC_FAULTS_FAULT_INJECTOR_H_
+#define SRC_FAULTS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/faults/fault_plan.h"
+
+namespace ampere {
+namespace faults {
+
+// Result of one simulated freeze/unfreeze RPC attempt.
+struct RpcAttempt {
+  bool ok = true;
+  SimTime latency;  // Accounted latency for this attempt (not event-injected).
+};
+
+// Aggregate fault-event counters for one run.
+struct FaultCounts {
+  uint64_t telemetry_stalls = 0;  // Sample passes skipped by stale windows.
+  uint64_t dropped_samples = 0;   // Per-server readings dropped.
+  uint64_t noise_spikes = 0;      // Readings that carried an injected spike.
+  uint64_t blackout_reads = 0;    // Reads that hit a blacked-out channel.
+  uint64_t rpc_attempts = 0;      // Freeze/unfreeze RPC attempts drawn.
+  uint64_t rpc_failures = 0;      // Attempts that failed.
+
+  friend bool operator==(const FaultCounts&, const FaultCounts&) = default;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // --- Telemetry faults ---
+
+  // True if the whole aggregation pipeline is stalled at `now` (no sample
+  // pass should land). Counts one stall event per positive answer.
+  bool TelemetryStalled(SimTime now);
+
+  // Draws whether one per-server reading is dropped this pass. Cheap no-op
+  // (no RNG advance) when the dropout probability is zero.
+  bool DropServerSample();
+
+  // Additive watts adjustment for a reading that did arrive: constant sensor
+  // bias plus an occasional zero-mean noise spike. Advances the noise stream
+  // only when the spike probability is positive.
+  double SensorAdjustWatts();
+
+  // True if the named channel's monitor feed is blacked out at `now`.
+  // Pure schedule lookup; counts one blackout read per positive answer.
+  bool ChannelBlackedOut(std::string_view channel, SimTime now);
+
+  // --- Scheduler RPC faults ---
+
+  // Draws one freeze/unfreeze RPC attempt: success/failure plus an
+  // exponential latency with the plan's mean. When rpc_failure_prob is zero
+  // and latency mean is zero the draw short-circuits (no RNG advance).
+  RpcAttempt DrawRpcAttempt();
+
+  // Retry/backoff policy knobs from the plan.
+  int rpc_max_attempts() const { return plan_.config().rpc_max_attempts; }
+  SimTime rpc_backoff_base() const { return plan_.config().rpc_backoff_base; }
+
+  const FaultCounts& counts() const { return counts_; }
+
+ private:
+  FaultPlan plan_;
+  // Independent draw streams per fault category (forked from the plan seed)
+  // so activating one fault dimension doesn't shift another's sequence.
+  Rng dropout_rng_;
+  Rng noise_rng_;
+  Rng rpc_rng_;
+  FaultCounts counts_;
+};
+
+}  // namespace faults
+}  // namespace ampere
+
+#endif  // SRC_FAULTS_FAULT_INJECTOR_H_

@@ -1,0 +1,67 @@
+#include "src/faults/presets.h"
+
+namespace ampere {
+namespace faults {
+
+std::optional<FaultPlanConfig> PresetByName(std::string_view name) {
+  FaultPlanConfig c;
+  if (name == "none") {
+    return c;  // All-zero: FaultPlanConfig{}.any() == false.
+  }
+  if (name == "light") {
+    // Routine telemetry jitter: occasional dropped readings and small
+    // sensor spikes, no structural outages.
+    c.sample_dropout_prob = 0.01;
+    c.noise_spike_prob = 0.005;
+    c.noise_spike_sigma_watts = 8.0;
+    c.stale_windows_per_hour = 0.1;
+    c.stale_window_mean = SimTime::Minutes(2);
+    c.rpc_failure_prob = 0.002;
+    return c;
+  }
+  if (name == "moderate") {
+    // Acceptance-criteria regime: >=5% per-reading dropout and >=1%
+    // freeze/unfreeze RPC failure, plus hourly-scale pipeline stalls and
+    // occasional row-monitor blackouts.
+    c.sample_dropout_prob = 0.05;
+    c.noise_spike_prob = 0.01;
+    c.noise_spike_sigma_watts = 15.0;
+    c.sensor_bias_watts = 1.0;
+    c.stale_windows_per_hour = 0.5;
+    c.stale_window_mean = SimTime::Minutes(3);
+    c.blackouts_per_hour = 0.25;
+    c.blackout_mean = SimTime::Minutes(8);
+    c.blackout_channels = 4;
+    c.rpc_failure_prob = 0.02;
+    c.rpc_latency_mean = SimTime::Millis(10);
+    return c;
+  }
+  if (name == "heavy") {
+    // Adversarial stress: frequent stalls and blackouts, lossy RPCs.
+    // Probes graceful degradation; safety margins widen but capacity
+    // throughput is expected to suffer.
+    c.sample_dropout_prob = 0.20;
+    c.noise_spike_prob = 0.05;
+    c.noise_spike_sigma_watts = 40.0;
+    c.sensor_bias_watts = 5.0;
+    c.stale_windows_per_hour = 2.0;
+    c.stale_window_mean = SimTime::Minutes(4);
+    c.blackouts_per_hour = 1.0;
+    c.blackout_mean = SimTime::Minutes(12);
+    c.blackout_channels = 4;
+    c.rpc_failure_prob = 0.10;
+    c.rpc_latency_mean = SimTime::Millis(25);
+    c.rpc_max_attempts = 4;
+    return c;
+  }
+  return std::nullopt;
+}
+
+const std::vector<std::string>& PresetNames() {
+  static const std::vector<std::string> names = {"none", "light", "moderate",
+                                                 "heavy"};
+  return names;
+}
+
+}  // namespace faults
+}  // namespace ampere

@@ -1,0 +1,34 @@
+// Named fault presets for benches, tests, and the harness --faults flag.
+//
+// The presets bracket the fault regimes discussed in the Ampere paper's
+// production deployment and the chaos grid in bench/: `light` is routine
+// telemetry jitter, `moderate` is the acceptance-criteria regime (>=5%
+// sample dropout, >=1% freeze-RPC failure) the controller must ride out
+// with zero breaker trips, and `heavy` is an adversarial stress profile
+// used to probe graceful degradation, not a safety guarantee.
+
+#ifndef SRC_FAULTS_PRESETS_H_
+#define SRC_FAULTS_PRESETS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/faults/fault_plan.h"
+
+namespace ampere {
+namespace faults {
+
+// Returns the config for a named preset ("none", "light", "moderate",
+// "heavy"), or nullopt for an unknown name. The returned config carries the
+// preset's default seed; callers typically override `seed` per run.
+std::optional<FaultPlanConfig> PresetByName(std::string_view name);
+
+// All preset names, in severity order. For help text and grid sweeps.
+const std::vector<std::string>& PresetNames();
+
+}  // namespace faults
+}  // namespace ampere
+
+#endif  // SRC_FAULTS_PRESETS_H_

@@ -12,6 +12,7 @@
 #include "src/common/log.h"
 #include "src/common/log_capture.h"
 #include "src/common/thread_pool.h"
+#include "src/faults/presets.h"
 #include "src/obs/metrics.h"
 
 namespace ampere {
@@ -148,6 +149,19 @@ HarnessArgs ParseHarnessArgs(int argc, char** argv) {
           << "--log-level wants debug|info|warning|error|off, got '" << level
           << "'";
       SetLogLevel(parsed);
+    } else if (const char* preset = value_of(arg, "--faults", i)) {
+      auto config = faults::PresetByName(preset);
+      if (!config.has_value()) {
+        std::string known;
+        for (const std::string& name : faults::PresetNames()) {
+          if (!known.empty()) known += "|";
+          known += name;
+        }
+        AMPERE_CHECK(false) << "--faults wants " << known << ", got '"
+                            << preset << "'";
+      }
+      args.faults_preset = preset;
+      args.faults = *config;
     } else if (arg == "--obs") {
       args.runner.capture_obs = true;
     } else if (arg == "--no-notes") {

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/faults/fault_plan.h"
 #include "src/harness/result_table.h"
 #include "src/harness/scenario.h"
 
@@ -72,11 +73,20 @@ ResultTable RunScenarios(std::span<const Scenario> scenarios,
 //   --log-level=LEVEL       global log threshold (debug|info|warning|
 //                           error|off); overrides AMPERE_LOG_LEVEL, which
 //                           ParseHarnessArgs applies first
+//   --faults=PRESET         named chaos preset (none|light|moderate|heavy,
+//                           src/faults/presets.h) applied by fault-aware
+//                           benches to every run's ExperimentConfig::faults
 struct HarnessArgs {
   RunnerOptions runner;
   std::string csv_path;
   std::string json_path;
   bool print_notes = true;
+  // --faults: the requested preset name and its resolved config. Benches
+  // that support chaos runs copy `faults` into each scenario's experiment
+  // config (typically overriding the seed per run); benches that don't are
+  // unaffected. Defaults to "none" (all-zero config, any() == false).
+  std::string faults_preset = "none";
+  faults::FaultPlanConfig faults;
   std::vector<std::string> positional;
 };
 

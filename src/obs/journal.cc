@@ -118,8 +118,9 @@ bool ParseBool(std::string_view s, bool* out) {
 constexpr char kCsvHeader[] =
     "seq,time_us,domain,observed_watts,budget_watts,normalized_power,et,"
     "violation,predicted_next,realized_next,realized_valid,u,cap_engaged,"
-    "n_freeze,n_servers,freeze_ops,unfreeze_ops,pool_size,p_threshold";
-constexpr size_t kCsvFields = 19;
+    "n_freeze,n_servers,freeze_ops,unfreeze_ops,pool_size,p_threshold,"
+    "degraded,reading_age_us,et_effective,rpc_failures,rpc_giveups";
+constexpr size_t kCsvFields = 24;
 
 }  // namespace
 
@@ -159,6 +160,14 @@ std::string JournalSummary::ToJson() const {
     out += FormatDouble(d.p_mean);
     out += ",\"p_max\":";
     out += FormatDouble(d.p_max);
+    out += ",\"degraded_ticks\":";
+    out += std::to_string(d.degraded_ticks);
+    out += ",\"blackout_skips\":";
+    out += std::to_string(d.blackout_skips);
+    out += ",\"rpc_failures\":";
+    out += std::to_string(d.rpc_failures);
+    out += ",\"rpc_giveups\":";
+    out += std::to_string(d.rpc_giveups);
     out += "}";
   }
   out += "}}";
@@ -246,6 +255,10 @@ JournalSummary DecisionJournal::Summarize() const {
     double u_max = 0.0;
     double p_sum = 0.0;
     double p_max = 0.0;
+    uint64_t degraded = 0;
+    uint64_t blackout_skips = 0;
+    uint64_t rpc_failures = 0;
+    uint64_t rpc_giveups = 0;
   };
   std::map<std::string, Accum> accums;  // Name-sorted for free.
   const size_t n = records_.size();
@@ -267,6 +280,10 @@ JournalSummary DecisionJournal::Summarize() const {
     a.u_max = std::max(a.u_max, realized_u);
     a.p_sum += r.normalized_power;
     a.p_max = std::max(a.p_max, r.normalized_power);
+    if (r.degraded != DegradedMode::kNone) a.degraded += 1;
+    if (r.degraded == DegradedMode::kBlackoutSkip) a.blackout_skips += 1;
+    a.rpc_failures += r.rpc_failures;
+    a.rpc_giveups += r.rpc_giveups;
   }
   summary.domains.reserve(accums.size());
   for (const auto& [name, a] : accums) {
@@ -279,6 +296,10 @@ JournalSummary DecisionJournal::Summarize() const {
     d.u_max = a.u_max;
     d.p_mean = a.ticks > 0 ? a.p_sum / static_cast<double>(a.ticks) : 0.0;
     d.p_max = a.p_max;
+    d.degraded_ticks = a.degraded;
+    d.blackout_skips = a.blackout_skips;
+    d.rpc_failures = a.rpc_failures;
+    d.rpc_giveups = a.rpc_giveups;
     summary.domains.push_back(std::move(d));
   }
   return summary;
@@ -344,6 +365,11 @@ std::string DecisionJournal::ToCsv() const {
     out += ',' + std::to_string(r.unfreeze_ops);
     out += ',' + std::to_string(r.pool_size);
     out += ',' + FormatDouble(r.p_threshold);
+    out += ',' + std::to_string(static_cast<uint32_t>(r.degraded));
+    out += ',' + std::to_string(r.reading_age_us);
+    out += ',' + FormatDouble(r.et_effective);
+    out += ',' + std::to_string(r.rpc_failures);
+    out += ',' + std::to_string(r.rpc_giveups);
     out += '\n';
   }
   return out;
@@ -393,6 +419,16 @@ std::string DecisionJournal::ToJson() const {
     out += std::to_string(r.pool_size);
     out += ",\"p_threshold\":";
     out += FormatDouble(r.p_threshold);
+    out += ",\"degraded\":";
+    out += std::to_string(static_cast<uint32_t>(r.degraded));
+    out += ",\"reading_age_us\":";
+    out += std::to_string(r.reading_age_us);
+    out += ",\"et_effective\":";
+    out += FormatDouble(r.et_effective);
+    out += ",\"rpc_failures\":";
+    out += std::to_string(r.rpc_failures);
+    out += ",\"rpc_giveups\":";
+    out += std::to_string(r.rpc_giveups);
     out += "}";
   }
   out += "]";
@@ -419,7 +455,9 @@ std::optional<std::vector<DecisionRecord>> DecisionJournal::ParseCsv(
     if (fields.size() != kCsvFields) return std::nullopt;
     DecisionRecord r;
     int64_t time_us = 0;
+    int64_t reading_age_us = 0;
     uint64_t n_freeze, n_servers, freeze_ops, unfreeze_ops, pool_size;
+    uint64_t degraded, rpc_failures, rpc_giveups;
     const bool ok =
         ParseU64(fields[0], &r.seq) && ParseI64(fields[1], &time_us) &&
         ParseF64(fields[3], &r.observed_watts) &&
@@ -434,7 +472,12 @@ std::optional<std::vector<DecisionRecord>> DecisionJournal::ParseCsv(
         ParseU64(fields[15], &freeze_ops) &&
         ParseU64(fields[16], &unfreeze_ops) &&
         ParseU64(fields[17], &pool_size) &&
-        ParseF64(fields[18], &r.p_threshold);
+        ParseF64(fields[18], &r.p_threshold) &&
+        ParseU64(fields[19], &degraded) && degraded <= 2 &&
+        ParseI64(fields[20], &reading_age_us) &&
+        ParseF64(fields[21], &r.et_effective) &&
+        ParseU64(fields[22], &rpc_failures) &&
+        ParseU64(fields[23], &rpc_giveups);
     if (!ok) return std::nullopt;
     r.time = SimTime::Micros(time_us);
     r.domain = std::string(fields[2]);
@@ -443,6 +486,10 @@ std::optional<std::vector<DecisionRecord>> DecisionJournal::ParseCsv(
     r.freeze_ops = static_cast<uint32_t>(freeze_ops);
     r.unfreeze_ops = static_cast<uint32_t>(unfreeze_ops);
     r.pool_size = static_cast<uint32_t>(pool_size);
+    r.degraded = static_cast<DegradedMode>(degraded);
+    r.reading_age_us = reading_age_us;
+    r.rpc_failures = static_cast<uint32_t>(rpc_failures);
+    r.rpc_giveups = static_cast<uint32_t>(rpc_giveups);
     out.push_back(std::move(r));
   }
   if (!saw_header) return std::nullopt;

@@ -40,7 +40,14 @@
 namespace ampere {
 namespace obs {
 
-// One controller decision for one power domain at one minute-tick.
+// How much a controller tick had to degrade because of faulty telemetry.
+enum class DegradedMode : uint32_t {
+  kNone = 0,        // Fresh reading; normal Algorithm-1 tick.
+  kStaleFallback = 1,  // Reading older than the control interval: the tick
+                       // used last-known-good power with a widened E_t.
+  kBlackoutSkip = 2,   // Domain feed blacked out (or never sampled): the
+                       // tick held the frozen set rather than guess.
+};
 struct DecisionRecord {
   uint64_t seq = 0;       // Assigned by DecisionJournal::Append.
   SimTime time;           // Tick time.
@@ -71,6 +78,14 @@ struct DecisionRecord {
   // r_stable hysteresis state at selection time.
   uint32_t pool_size = 0;     // Candidate pool after the r_stable filter.
   double p_threshold = 0.0;   // Power threshold defining the pool (watts).
+
+  // Fault/degradation state (all zero on a healthy tick, so fault-free
+  // journals are unchanged apart from the wider schema).
+  DegradedMode degraded = DegradedMode::kNone;
+  int64_t reading_age_us = 0;  // Age of the power reading the tick used.
+  double et_effective = 0.0;   // E_t after stale widening (== et when fresh).
+  uint32_t rpc_failures = 0;   // Failed freeze/unfreeze RPC attempts.
+  uint32_t rpc_giveups = 0;    // Ops abandoned after retry exhaustion.
 };
 
 // Per-domain aggregate over journal records, summed in append order with the
@@ -86,6 +101,12 @@ struct JournalDomainSummary {
   double u_max = 0.0;
   double p_mean = 0.0;  // Mean normalized power.
   double p_max = 0.0;   // Max normalized power.
+  // Fault bookkeeping: ticks that ran degraded, split by mode, plus the
+  // RPC adversity the domain absorbed.
+  uint64_t degraded_ticks = 0;   // Any mode != kNone.
+  uint64_t blackout_skips = 0;   // Mode == kBlackoutSkip.
+  uint64_t rpc_failures = 0;     // Summed failed RPC attempts.
+  uint64_t rpc_giveups = 0;      // Summed retry-exhausted operations.
 };
 
 // Whole-journal summary: per-domain rows (name-sorted) plus the totals the

@@ -1,6 +1,7 @@
 #include "src/sched/scheduler.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/common/check.h"
 #include "src/obs/metrics.h"
@@ -33,6 +34,48 @@ void Scheduler::Unfreeze(ServerId id) {
   rm_.Unfreeze(id);
   // A server just returned to the candidate list; queued jobs may now fit.
   DrainQueue();
+}
+
+RpcResult Scheduler::RunRpc() {
+  RpcResult result;
+  if (injector_ == nullptr) {
+    return result;  // Infallible, instantaneous.
+  }
+  const int max_attempts = std::max(1, injector_->rpc_max_attempts());
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    faults::RpcAttempt draw = injector_->DrawRpcAttempt();
+    result.attempts = attempt + 1;
+    result.latency += draw.latency;
+    if (draw.ok) {
+      result.ok = true;
+      return result;
+    }
+    AMPERE_COUNTER_ADD("faults.rpc_failed_attempts", 1);
+    // Exponential backoff before the next attempt (accounted latency only).
+    if (attempt + 1 < max_attempts) {
+      result.latency += injector_->rpc_backoff_base() * std::pow(2.0, attempt);
+      AMPERE_COUNTER_ADD("faults.rpc_retries", 1);
+    }
+  }
+  result.ok = false;
+  AMPERE_COUNTER_ADD("faults.rpc_exhausted", 1);
+  return result;
+}
+
+RpcResult Scheduler::TryFreeze(ServerId id) {
+  RpcResult result = RunRpc();
+  if (result.ok) {
+    Freeze(id);
+  }
+  return result;
+}
+
+RpcResult Scheduler::TryUnfreeze(ServerId id) {
+  RpcResult result = RunRpc();
+  if (result.ok) {
+    Unfreeze(id);
+  }
+  return result;
 }
 
 bool Scheduler::Eligible(const Server& server, const JobSpec& job) const {

@@ -24,10 +24,22 @@
 
 #include "src/cluster/datacenter.h"
 #include "src/common/rng.h"
+#include "src/faults/fault_injector.h"
 #include "src/sched/resource_manager.h"
 #include "src/workload/job.h"
 
 namespace ampere {
+
+// Outcome of one fallible freeze/unfreeze RPC (TryFreeze / TryUnfreeze),
+// after the scheduler's bounded retry/backoff policy ran its course.
+struct RpcResult {
+  bool ok = true;
+  int attempts = 1;  // RPC attempts consumed (1 = first try succeeded).
+  // Total accounted latency: per-attempt latencies plus backoff between
+  // retries. Accounted (journal/metrics), not injected into the event queue:
+  // at 1/min control cadence sub-second RPC lag never reorders decisions.
+  SimTime latency;
+};
 
 enum class PlacementPolicy : int {
   // Random eligible server (power-of-d probing with scan fallback).
@@ -82,6 +94,21 @@ class Scheduler : public JobSink {
   void Unfreeze(ServerId id);
   bool IsFrozen(ServerId id) const { return rm_.IsFrozen(id); }
 
+  // Fallible variants for fault-aware callers: each RPC attempt may fail per
+  // the attached injector's plan; the scheduler retries up to the plan's
+  // rpc_max_attempts with exponential backoff (rpc_backoff_base * 2^k after
+  // the k-th failure). On overall failure the freeze/unfreeze does NOT take
+  // effect and the caller decides how to degrade. Without an injector these
+  // are exactly Freeze/Unfreeze: first attempt, zero latency.
+  RpcResult TryFreeze(ServerId id);
+  RpcResult TryUnfreeze(ServerId id);
+
+  // Attaches a fault injector driving TryFreeze/TryUnfreeze failures (null
+  // detaches). `injector` must outlive the scheduler.
+  void AttachFaultInjector(faults::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
   // The low level, for callers that want the §2.1 split explicitly.
   ResourceManager& resource_manager() { return rm_; }
 
@@ -104,6 +131,9 @@ class Scheduler : public JobSink {
   }
 
  private:
+  // Runs one RPC through the injector's failure/latency model with the
+  // bounded retry/backoff policy. Always succeeds without an injector.
+  RpcResult RunRpc();
   bool Eligible(const Server& server, const JobSpec& job) const;
   // Returns the chosen server or an invalid id.
   ServerId PickServer(const JobSpec& job);
@@ -120,6 +150,7 @@ class Scheduler : public JobSink {
   ResourceManager rm_;
   SchedulerConfig config_;
   Rng rng_;
+  faults::FaultInjector* injector_ = nullptr;
   std::deque<JobSpec> pending_;
   size_t rotate_cursor_ = 0;
   uint64_t jobs_submitted_ = 0;

@@ -12,7 +12,9 @@ PowerMonitor::PowerMonitor(DataCenter* dc, TimeSeriesDb* db,
                            const PowerMonitorConfig& config, Rng rng)
     : dc_(dc), db_(db), config_(config), rng_(rng),
       latest_server_watts_(static_cast<size_t>(dc->num_servers()), 0.0),
-      latest_row_watts_(static_cast<size_t>(dc->num_rows()), 0.0) {
+      latest_row_watts_(static_cast<size_t>(dc->num_rows()), 0.0),
+      latest_row_stamp_(static_cast<size_t>(dc->num_rows()),
+                        SimTime::Micros(-1)) {
   AMPERE_CHECK(dc != nullptr && db != nullptr);
   AMPERE_CHECK(config.interval > SimTime());
 }
@@ -21,8 +23,24 @@ void PowerMonitor::RegisterGroup(const std::string& name,
                                  std::vector<ServerId> servers) {
   AMPERE_CHECK(!started_) << "groups must be registered before Start";
   AMPERE_CHECK(!servers.empty());
+  // Precompute the rows this group spans: a group reading is only as fresh
+  // as its members' row feeds, so blackout checks consult both.
+  std::vector<RowId> rows;
+  for (ServerId sid : servers) {
+    RowId row = dc_->row_of(sid);
+    bool seen = false;
+    for (RowId r : rows) {
+      if (r == row) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) rows.push_back(row);
+  }
   groups_.emplace_back(name, std::move(servers));
+  group_rows_.push_back(std::move(rows));
   latest_group_watts_[name] = 0.0;
+  latest_group_stamp_[name] = SimTime::Micros(-1);
 }
 
 void PowerMonitor::Start(SimTime first_sample) {
@@ -49,17 +67,58 @@ void PowerMonitor::SampleOnce(SimTime stamp) {
   // Covers the whole ingest + aggregate pass: per-server "IPMI" reads,
   // rack/row/group rollups, and the TimeSeriesDb appends.
   AMPERE_SPAN("telemetry.sample");
+  if (injector_ != nullptr && injector_->TelemetryStalled(stamp)) {
+    // The aggregation pipeline is stalled: no sample lands anywhere, every
+    // consumer keeps aging data. latest_sample_time_ deliberately stays old.
+    ++samples_stalled_;
+    AMPERE_COUNTER_ADD("faults.telemetry_stalls", 1);
+    return;
+  }
   ++samples_taken_;
   AMPERE_COUNTER_ADD("telemetry.samples", 1);
   latest_sample_time_ = stamp;
 
+  // Which row feeds are dark this pass. A blacked-out row monitor returns
+  // nothing: its servers' readings are not refreshed and no row point is
+  // appended until the window ends.
+  std::vector<char> row_dark;
+  bool any_dark = false;
+  if (injector_ != nullptr) {
+    row_dark.assign(static_cast<size_t>(dc_->num_rows()), 0);
+    for (int32_t r = 0; r < dc_->num_rows(); ++r) {
+      if (injector_->ChannelBlackedOut(RowSeries(RowId(r)), stamp)) {
+        row_dark[static_cast<size_t>(r)] = 1;
+        any_dark = true;
+        AMPERE_COUNTER_ADD("faults.blackout_rows", 1);
+      }
+    }
+  }
+  auto dark_row = [&](RowId id) {
+    return any_dark && row_dark[static_cast<size_t>(id.index())] != 0;
+  };
+
   // Read every server once through "IPMI": true draw + sensor noise, then
   // watt quantization. All aggregates sum these readings (not the true
-  // values), as the streaming aggregation pipeline would.
+  // values), as the streaming aggregation pipeline would. Fault order per
+  // reading: the regular noise draw always happens first (keeps the sensor
+  // noise stream aligned with a fault-free run), then the injector decides
+  // whether the reading arrived and what garbage rode along with it.
   for (int32_t s = 0; s < dc_->num_servers(); ++s) {
     ServerId id(s);
     double reading = dc_->server_power_watts(id) +
                      rng_.Normal(0.0, config_.noise_sigma_watts);
+    if (injector_ != nullptr) {
+      if (dark_row(dc_->row_of(id))) {
+        // The row's monitor feed is dark: no reading at all.
+        continue;
+      }
+      if (injector_->DropServerSample()) {
+        // Reading never arrived; the pipeline keeps the last-known value.
+        AMPERE_COUNTER_ADD("faults.dropped_samples", 1);
+        continue;
+      }
+      reading += injector_->SensorAdjustWatts();
+    }
     if (config_.quantize_to_watts) {
       reading = std::round(reading);
     }
@@ -86,11 +145,19 @@ void PowerMonitor::SampleOnce(SimTime stamp) {
   double total = 0.0;
   for (int32_t r = 0; r < dc_->num_rows(); ++r) {
     RowId id(r);
+    if (dark_row(id)) {
+      // Feed returned nothing: keep the last-known aggregate (stale stamp)
+      // and fold it into the dc total, as a last-value-carried-forward
+      // streaming rollup would.
+      total += latest_row_watts_[id.index()];
+      continue;
+    }
     double sum = 0.0;
     for (ServerId sid : dc_->servers_in_row(id)) {
       sum += latest_server_watts_[sid.index()];
     }
     latest_row_watts_[id.index()] = sum;
+    latest_row_stamp_[id.index()] = stamp;
     total += sum;
     if (config_.record_rows) {
       db_->Append(RowSeries(id), stamp, sum);
@@ -100,14 +167,61 @@ void PowerMonitor::SampleOnce(SimTime stamp) {
     db_->Append(kTotalSeries, stamp, total);
   }
 
-  for (const auto& [name, servers] : groups_) {
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    const auto& [name, servers] = groups_[g];
+    if (injector_ != nullptr &&
+        injector_->ChannelBlackedOut(GroupSeries(name), stamp)) {
+      // The group's own virtual feed is dark; value and stamp stay put.
+      continue;
+    }
     double sum = 0.0;
     for (ServerId sid : servers) {
       sum += latest_server_watts_[sid.index()];
     }
     latest_group_watts_[name] = sum;
+    latest_group_stamp_[name] = stamp;
     db_->Append(GroupSeries(name), stamp, sum);
   }
+}
+
+bool PowerMonitor::FeedBlackedOut(const std::string& series,
+                                  SimTime now) const {
+  return injector_ != nullptr && injector_->ChannelBlackedOut(series, now);
+}
+
+PowerReading PowerMonitor::LatestRowReading(RowId id, SimTime now) const {
+  PowerReading reading;
+  reading.watts = latest_row_watts_[id.index()];
+  reading.stamp = latest_row_stamp_[id.index()];
+  reading.blacked_out = FeedBlackedOut(RowSeries(id), now);
+  return reading;
+}
+
+PowerReading PowerMonitor::LatestGroupReading(const std::string& name,
+                                              SimTime now) const {
+  auto watts_it = latest_group_watts_.find(name);
+  AMPERE_CHECK(watts_it != latest_group_watts_.end()) << "unknown group "
+                                                      << name;
+  PowerReading reading;
+  reading.watts = watts_it->second;
+  reading.stamp = latest_group_stamp_.at(name);
+  reading.blacked_out = FeedBlackedOut(GroupSeries(name), now);
+  if (!reading.blacked_out && injector_ != nullptr) {
+    // A group aggregate is only as fresh as its members' row feeds: if any
+    // member row is dark the sum silently mixes stale per-server values, so
+    // surface it as a blackout and let the consumer skip rather than guess.
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      if (groups_[g].first != name) continue;
+      for (RowId row : group_rows_[g]) {
+        if (FeedBlackedOut(RowSeries(row), now)) {
+          reading.blacked_out = true;
+          break;
+        }
+      }
+      break;
+    }
+  }
+  return reading;
 }
 
 double PowerMonitor::LatestGroupWatts(const std::string& name) const {

@@ -22,9 +22,28 @@
 
 #include "src/cluster/datacenter.h"
 #include "src/common/rng.h"
+#include "src/faults/fault_injector.h"
 #include "src/telemetry/timeseries_db.h"
 
 namespace ampere {
+
+// A stale-tagged power reading. Production telemetry is not guaranteed
+// fresh: the pipeline stalls, feeds black out, readings drop. Consumers that
+// care about safety (the controller) read these instead of the bare watt
+// accessors and decide how much to trust an aging value.
+struct PowerReading {
+  double watts = 0.0;
+  // When the value was last actually refreshed; negative = never sampled.
+  SimTime stamp = SimTime::Micros(-1);
+  // True if the feed is inside a blackout window *now* (the value cannot be
+  // refreshed until the window ends) or a member row's feed is dark.
+  bool blacked_out = false;
+
+  bool valid() const { return stamp >= SimTime(); }
+  SimTime Age(SimTime now) const {
+    return valid() ? now - stamp : SimTime::Max();
+  }
+};
 
 struct PowerMonitorConfig {
   SimTime interval = SimTime::Minutes(1);
@@ -48,6 +67,16 @@ class PowerMonitor {
   // Adds a virtual aggregation group; must be called before Start.
   void RegisterGroup(const std::string& name, std::vector<ServerId> servers);
 
+  // Attaches a fault injector (may be null to detach). Sampling then honors
+  // the injector's telemetry faults: whole-pipeline stalls skip the sample
+  // pass, dropped per-server readings keep their last-known value, readings
+  // that arrive may carry bias/spikes, and blacked-out row/group feeds are
+  // not refreshed. With no injector attached behavior is bit-identical to
+  // the fault-free monitor. `injector` must outlive the monitor.
+  void AttachFaultInjector(faults::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
   // Begins sampling at `first_sample`, then every interval.
   void Start(SimTime first_sample);
 
@@ -62,6 +91,14 @@ class PowerMonitor {
   double LatestGroupWatts(const std::string& name) const;
   SimTime LatestSampleTime() const { return latest_sample_time_; }
   uint64_t samples_taken() const { return samples_taken_; }
+  uint64_t samples_stalled() const { return samples_stalled_; }
+
+  // Stale-tagged reads for fault-aware consumers. `now` is the caller's
+  // current time, used to evaluate blackout windows; the returned stamp is
+  // when the value last refreshed. Fault-free runs always return fresh,
+  // non-blacked readings, so callers can adopt this API unconditionally.
+  PowerReading LatestRowReading(RowId id, SimTime now) const;
+  PowerReading LatestGroupReading(const std::string& name, SimTime now) const;
 
   // Canonical series names.
   static std::string ServerSeries(ServerId id);
@@ -71,16 +108,27 @@ class PowerMonitor {
   static constexpr const char* kTotalSeries = "dc/power";
 
  private:
+  // True if the named feed's channel is dark at `now` (no injector => never).
+  bool FeedBlackedOut(const std::string& series, SimTime now) const;
+
   DataCenter* dc_;
   TimeSeriesDb* db_;
   PowerMonitorConfig config_;
   Rng rng_;
+  faults::FaultInjector* injector_ = nullptr;
   std::vector<std::pair<std::string, std::vector<ServerId>>> groups_;
+  // Rows each group's servers span, aligned with groups_. A group reading is
+  // flagged blacked_out when its own feed or any member row's feed is dark.
+  std::vector<std::vector<RowId>> group_rows_;
   std::vector<double> latest_server_watts_;
   std::vector<double> latest_row_watts_;
   std::unordered_map<std::string, double> latest_group_watts_;
+  // Per-feed refresh stamps; negative = never refreshed.
+  std::vector<SimTime> latest_row_stamp_;
+  std::unordered_map<std::string, SimTime> latest_group_stamp_;
   SimTime latest_sample_time_;
   uint64_t samples_taken_ = 0;
+  uint64_t samples_stalled_ = 0;
   bool started_ = false;
 };
 

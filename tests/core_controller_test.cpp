@@ -4,6 +4,9 @@
 
 #include <vector>
 
+#include "src/faults/fault_injector.h"
+#include "src/faults/fault_plan.h"
+
 namespace ampere {
 namespace {
 
@@ -245,6 +248,151 @@ TEST(ControllerTest, MultipleDomainsControlledIndependently) {
   controller.Tick(SimTime::Minutes(1));
   EXPECT_GT(controller.frozen_count(0), 0u);
   EXPECT_EQ(controller.frozen_count(1), 0u);
+}
+
+// --- Graceful degradation under faulty telemetry / fallible RPCs ---
+
+TEST(ControllerDegradedTest, StaleReadingWidensEtAndStillActs) {
+  ControllerFixture f;
+  for (int32_t s = 0; s < 8; ++s) {
+    f.Load(s, 8.0);  // Power = 1650 W.
+  }
+  // Budget 1750 -> p = 0.943. Fresh threshold 1 - 0.03 = 0.97: no action.
+  AmpereController controller(&f.scheduler, &f.monitor, f.Config(0.05, 0.03));
+  controller.AddDomain({"row", f.AllServers(), 1750.0});
+  f.monitor.SampleOnce(SimTime::Minutes(1));
+  controller.Tick(SimTime::Minutes(1));
+  EXPECT_EQ(f.FrozenCount(), 0u);
+  EXPECT_EQ(controller.degraded_ticks(), 0u);
+
+  // No new sample before the tick at minute 5: the reading is 4 minutes old
+  // (stale, not yet blackout). E_t widens 4x to 0.12, threshold drops to
+  // 0.88 < 0.943, u = (0.943 + 0.12 - 1)/0.05 = 1.26 -> capped at 0.5.
+  controller.Tick(SimTime::Minutes(5));
+  EXPECT_EQ(f.FrozenCount(), 4u);
+  EXPECT_EQ(controller.stale_fallbacks(), 1u);
+  EXPECT_EQ(controller.degraded_ticks(), 1u);
+  EXPECT_EQ(controller.blackout_skips(), 0u);
+
+  // The journal records the degraded tick with its age and widened margin.
+  auto records = controller.journal().Query(
+      SimTime::Minutes(5), SimTime::Minutes(5) + SimTime::Seconds(1));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].degraded, obs::DegradedMode::kStaleFallback);
+  EXPECT_EQ(records[0].reading_age_us, SimTime::Minutes(4).micros());
+  EXPECT_DOUBLE_EQ(records[0].et_effective, 0.12);
+}
+
+TEST(ControllerDegradedTest, BlackoutSkipHoldsFrozenSet) {
+  ControllerFixture f;
+  for (int32_t s = 0; s < 8; ++s) {
+    f.Load(s, 16.0);  // Full blast.
+  }
+  AmpereController controller(&f.scheduler, &f.monitor, f.Config(0.05, 0.02));
+  controller.AddDomain({"row", f.AllServers(), 1600.0});
+  f.monitor.SampleOnce(SimTime::Minutes(1));
+  controller.Tick(SimTime::Minutes(1));
+  const size_t frozen = f.FrozenCount();
+  ASSERT_GT(frozen, 0u);
+  const uint64_t ops =
+      controller.freeze_ops() + controller.unfreeze_ops();
+
+  // Reading is 9 minutes old at the next tick — beyond blackout_after. The
+  // controller holds the frozen set rather than act on garbage.
+  controller.Tick(SimTime::Minutes(10));
+  EXPECT_EQ(f.FrozenCount(), frozen);
+  EXPECT_EQ(controller.freeze_ops() + controller.unfreeze_ops(), ops);
+  EXPECT_EQ(controller.blackout_skips(), 1u);
+  auto records = controller.journal().Query(
+      SimTime::Minutes(10), SimTime::Minutes(10) + SimTime::Seconds(1));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].degraded, obs::DegradedMode::kBlackoutSkip);
+}
+
+TEST(ControllerDegradedTest, NeverSampledDomainSkipsInsteadOfGuessing) {
+  ControllerFixture f;
+  for (int32_t s = 0; s < 8; ++s) {
+    f.Load(s, 16.0);
+  }
+  AmpereController controller(&f.scheduler, &f.monitor, f.Config(0.05, 0.02));
+  controller.AddDomain({"row", f.AllServers(), 1600.0});
+  // Tick with no sample ever taken: the group's stamp is the never-sampled
+  // sentinel, so the tick must skip, not freeze off a zero reading.
+  controller.Tick(SimTime::Minutes(1));
+  EXPECT_EQ(f.FrozenCount(), 0u);
+  EXPECT_EQ(controller.blackout_skips(), 1u);
+  EXPECT_EQ(controller.freeze_ops(), 0u);
+}
+
+TEST(ControllerDegradedTest, FreezeRpcGiveUpLeavesConsistentBookkeeping) {
+  ControllerFixture f;
+  for (int32_t s = 0; s < 8; ++s) {
+    f.Load(s, 16.0);
+  }
+  faults::FaultPlanConfig chaos;
+  chaos.rpc_failure_prob = 1.0;  // Every attempt fails; retries exhaust.
+  faults::FaultInjector injector(
+      faults::FaultPlan::Generate(chaos, SimTime::Hours(1)));
+  f.scheduler.AttachFaultInjector(&injector);
+
+  AmpereController controller(&f.scheduler, &f.monitor, f.Config(0.05, 0.02));
+  controller.AddDomain({"row", f.AllServers(), 1600.0});
+  f.monitor.SampleOnce(SimTime::Minutes(1));
+  controller.Tick(SimTime::Minutes(1));
+
+  // Nothing froze, and the cache agrees with the scheduler's flags.
+  EXPECT_EQ(f.FrozenCount(), 0u);
+  EXPECT_EQ(controller.frozen_count(0), 0u);
+  EXPECT_EQ(controller.freeze_ops(), 0u);
+  EXPECT_GT(controller.rpc_giveups(), 0u);
+  EXPECT_GT(controller.rpc_failures(), 0u);
+  // With prob 1, every attempt drawn fails and retries ran to exhaustion.
+  EXPECT_EQ(injector.counts().rpc_attempts, injector.counts().rpc_failures);
+  EXPECT_EQ(injector.counts().rpc_attempts % 3, 0u);  // rpc_max_attempts = 3.
+  // The adversity is journaled on the tick's record.
+  auto records = controller.journal().Query(
+      SimTime::Minutes(1), SimTime::Minutes(1) + SimTime::Seconds(1));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_GT(records[0].rpc_giveups, 0u);
+}
+
+TEST(ControllerDegradedTest, UnfreezeRpcFailureKeepsServerInFrozenSet) {
+  ControllerFixture f;
+  for (int32_t s = 0; s < 8; ++s) {
+    f.dc.PlaceTask(ServerId(s), TaskSpec{JobId(3000 + s),
+                                         Resources{16.0, 16.0},
+                                         SimTime::Minutes(10)});
+  }
+  AmpereController controller(&f.scheduler, &f.monitor, f.Config(0.05, 0.02));
+  controller.AddDomain({"row", f.AllServers(), 1600.0});
+  f.monitor.SampleOnce(SimTime::Minutes(1));
+  controller.Tick(SimTime::Minutes(1));
+  const size_t frozen = f.FrozenCount();
+  ASSERT_GT(frozen, 0u);
+
+  // Load drains; unfreezes are due — but every RPC now fails.
+  faults::FaultPlanConfig chaos;
+  chaos.rpc_failure_prob = 1.0;
+  faults::FaultInjector injector(
+      faults::FaultPlan::Generate(chaos, SimTime::Hours(1)));
+  f.scheduler.AttachFaultInjector(&injector);
+  f.sim.RunUntil(SimTime::Minutes(11));
+  f.monitor.SampleOnce(SimTime::Minutes(11));
+  controller.Tick(SimTime::Minutes(11));
+
+  // Failed unfreezes keep the servers frozen AND in the cached set — the
+  // bookkeeping must track reality, not intent.
+  EXPECT_EQ(f.FrozenCount(), frozen);
+  EXPECT_EQ(controller.frozen_count(0), frozen);
+  EXPECT_EQ(controller.unfreeze_ops(), 0u);
+  EXPECT_GT(controller.rpc_giveups(), 0u);
+
+  // RPCs recover: the next tick retries and drains the frozen set.
+  f.scheduler.AttachFaultInjector(nullptr);
+  f.monitor.SampleOnce(SimTime::Minutes(12));
+  controller.Tick(SimTime::Minutes(12));
+  EXPECT_EQ(f.FrozenCount(), 0u);
+  EXPECT_EQ(controller.frozen_count(0), 0u);
 }
 
 }  // namespace
