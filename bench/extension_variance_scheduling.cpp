@@ -72,7 +72,7 @@ PolicyOutcome RunPolicy(PlacementPolicy policy) {
   double coldest_mean = 1e18;
   for (int32_t r = 0; r < kRows; ++r) {
     std::vector<double> watts;
-    for (const auto& p : db.Query(PowerMonitor::RowSeries(RowId(r)),
+    for (const auto& p : db.QueryView(PowerMonitor::RowSeries(RowId(r)),
                                   SimTime::Hours(2), SimTime::Hours(26))) {
       watts.push_back(p.value);
     }

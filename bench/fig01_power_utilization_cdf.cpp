@@ -46,7 +46,7 @@ void Main() {
   for (int32_t k = 0; k < fleet.dc().num_racks(); ++k) {
     double budget = fleet.dc().rack_budget_watts(RackId(k));
     for (const auto& p :
-         fleet.db().Query(PowerMonitor::RackSeries(RackId(k)), from, to)) {
+         fleet.db().QueryView(PowerMonitor::RackSeries(RackId(k)), from, to)) {
       rack_util.push_back(p.value / budget);
     }
   }
@@ -54,14 +54,14 @@ void Main() {
   for (int32_t r = 0; r < fleet.dc().num_rows(); ++r) {
     double budget = fleet.dc().row_budget_watts(RowId(r));
     for (const auto& p :
-         fleet.db().Query(PowerMonitor::RowSeries(RowId(r)), from, to)) {
+         fleet.db().QueryView(PowerMonitor::RowSeries(RowId(r)), from, to)) {
       row_util.push_back(p.value / budget);
     }
   }
   std::vector<double> dc_util;
   double dc_budget = fleet.dc().total_budget_watts();
   for (const auto& p :
-       fleet.db().Query(PowerMonitor::kTotalSeries, from, to)) {
+       fleet.db().QueryView(PowerMonitor::kTotalSeries, from, to)) {
     dc_util.push_back(p.value / dc_budget);
   }
 

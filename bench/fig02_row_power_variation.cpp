@@ -42,7 +42,7 @@ void Main() {
     std::printf("%8d", m);
     for (int32_t r = 0; r < 5; ++r) {
       auto points =
-          fleet.db().Query(PowerMonitor::RowSeries(RowId(r)), t, t);
+          fleet.db().QueryView(PowerMonitor::RowSeries(RowId(r)), t, t);
       double v = points.empty() ? 0.0
                                 : points.front().value /
                                       fleet.dc().row_budget_watts(RowId(r));
@@ -55,7 +55,7 @@ void Main() {
   std::vector<std::vector<double>> series;
   for (int32_t r = 0; r < 5; ++r) {
     std::vector<double> s;
-    for (const auto& p : fleet.db().Query(PowerMonitor::RowSeries(RowId(r)),
+    for (const auto& p : fleet.db().QueryView(PowerMonitor::RowSeries(RowId(r)),
                                           SimTime::Hours(2),
                                           SimTime::Hours(26))) {
       s.push_back(p.value);

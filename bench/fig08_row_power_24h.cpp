@@ -32,7 +32,7 @@ void Main() {
   fleet.Run(SimTime::Hours(26));
 
   std::vector<double> series;
-  for (const auto& p : fleet.db().Query(PowerMonitor::RowSeries(RowId(0)),
+  for (const auto& p : fleet.db().QueryView(PowerMonitor::RowSeries(RowId(0)),
                                         SimTime::Hours(2),
                                         SimTime::Hours(26))) {
     series.push_back(p.value);

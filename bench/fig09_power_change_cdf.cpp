@@ -37,7 +37,7 @@ void Main() {
 
   double budget = fleet.dc().row_budget_watts(RowId(0));
   std::vector<double> per_minute;
-  for (const auto& p : fleet.db().Query(PowerMonitor::RowSeries(RowId(0)),
+  for (const auto& p : fleet.db().QueryView(PowerMonitor::RowSeries(RowId(0)),
                                         SimTime::Hours(2),
                                         SimTime::Hours(2 + 24 * 4))) {
     per_minute.push_back(p.value / budget);

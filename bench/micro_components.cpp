@@ -14,6 +14,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -285,6 +287,81 @@ void BM_EventCoreScheduleFire(benchmark::State& state) {
 }
 BENCHMARK(BM_EventCoreScheduleFire);
 
+// Schedule + O(1) cancel through the pooled slots. Cancelled entries linger
+// in the queue until popped, so the loop drains periodically (untimed) to
+// keep the heap at steady size; the timed region is pure schedule/cancel.
+void BM_EventCoreScheduleCancel(benchmark::State& state) {
+  Simulation sim;
+  int n = 0;
+  for (auto _ : state) {
+    auto handle = sim.ScheduleAfter(SimTime::Micros(1), [] {});
+    handle.Cancel();
+    if (++n % 4096 == 0) {
+      state.PauseTiming();
+      sim.Step();  // Drains every stale entry; returns false.
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventCoreScheduleCancel);
+
+// Reference arm for the event core: the per-event allocation pattern the
+// pooled slots replaced — one shared_ptr control block for the cancel state
+// plus one std::function whose typical 24-byte closure overflows libstdc++'s
+// 16-byte inline buffer. The old queue is not reimplemented; the delta
+// against BM_EventCoreScheduleFire is the allocator traffic the slab/free
+// list removed (everything else about the two loops is equivalent work).
+void BM_EventCoreLegacyAllocPattern(benchmark::State& state) {
+  struct CancelState {
+    bool cancelled = false;
+  };
+  uint64_t hits = 0;
+  for (auto _ : state) {
+    auto cancel_state = std::make_shared<CancelState>();
+    const uint64_t a = hits;
+    const int64_t b = static_cast<int64_t>(hits);
+    std::function<void()> callback = [&hits, a, b] {
+      hits += (a ^ static_cast<uint64_t>(b)) & 1u;
+    };
+    if (!cancel_state->cancelled) {
+      callback();
+    }
+    benchmark::DoNotOptimize(cancel_state);
+    benchmark::DoNotOptimize(callback);
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventCoreLegacyAllocPattern);
+
+// Row-power read: the incrementally maintained aggregate (one load) vs the
+// full loop over the row's servers that it replaced as the readers' path.
+// Both return the same watts (the loop IS the resummation the drift-snap
+// periodically applies); the question is only what a read costs at 420
+// servers per row.
+void BM_RowPowerRead(benchmark::State& state) {
+  const bool incremental = state.range(0) == 1;
+  Simulation sim;
+  DataCenter dc(Rig::Topology(1), &sim);
+  for (int32_t s = 0; s < dc.num_servers(); ++s) {
+    dc.PlaceTask(ServerId(s), TaskSpec{JobId(s), Resources{8.0, 8.0},
+                                       SimTime::Hours(1000)});
+  }
+  for (auto _ : state) {
+    const double watts = incremental
+                             ? dc.row_power_watts(RowId(0))
+                             : dc.PowerOfServers(dc.servers_in_row(RowId(0)));
+    benchmark::DoNotOptimize(watts);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(incremental ? "incremental_O1" : "loop_over_420_servers");
+}
+BENCHMARK(BM_RowPowerRead)->Arg(1)->Arg(0);
+
+// String-name append: the convenience shim. Pays one transparent-hash map
+// probe per call before landing in the same flat storage as the interned
+// path below.
 void BM_TimeSeriesAppend(benchmark::State& state) {
   TimeSeriesDb db;
   int64_t t = 0;
@@ -294,6 +371,31 @@ void BM_TimeSeriesAppend(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TimeSeriesAppend);
+
+// Interned-handle append: the hot path PowerMonitor uses. One bounds check
+// plus a vector push_back — no hashing, no name formatting.
+void BM_TimeSeriesAppendInterned(benchmark::State& state) {
+  TimeSeriesDb db;
+  const SeriesId id = db.Intern("bench");
+  int64_t t = 0;
+  for (auto _ : state) {
+    db.Append(id, SimTime::Micros(t++), 1.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimeSeriesAppendInterned);
+
+// The map probe in isolation (Find by name), for decomposing the string-
+// minus-interned delta above.
+void BM_TimeSeriesFindByName(benchmark::State& state) {
+  TimeSeriesDb db;
+  db.Append("bench", SimTime::Micros(0), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.Find("bench"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimeSeriesFindByName);
 
 }  // namespace
 }  // namespace ampere

@@ -1,0 +1,516 @@
+// perf_closed_loop: the repo's perf baseline for the per-run hot path.
+//
+// Every scenario in the grid benches is one single-threaded discrete-event
+// run; the harness (PR 1) parallelizes *across* runs, so per-run throughput
+// is the floor every later PR stands on. This bench measures that floor and
+// emits a machine-readable record (BENCH_perf_closed_loop.json) that CI
+// compares against the committed baseline.
+//
+// Phases, per topology (small 84 / paper 420 / fleet4x 1680 servers):
+//   closed_loop  — a full ControlledExperiment (workload + scheduler +
+//                  monitor + controller + breaker) for several simulated
+//                  hours; reports steps/sec (sim events per wall second)
+//                  and sim-minutes/sec.
+//   sample       — the PowerMonitor minute pass in a tight loop on a loaded
+//                  fleet; reports samples/sec (server readings per wall
+//                  second), ns per pass, and heap allocations per pass.
+//   events       — event-core schedule+fire pairs with a typical closure;
+//                  reports ns and heap allocations per event.
+// Plus, at paper scale only:
+//   tick         — the controller decision tick; reports ns per tick.
+//
+// Allocation accounting: this binary replaces global operator new/delete
+// with counting forwarders. The steady-state contract after the interned-
+// handle/pooled-event rebuild is ZERO allocations per sample pass and per
+// event — enforced whenever the committed baseline says
+// "require_zero_alloc": true (CI runs `--check=BENCH_perf_closed_loop.json`).
+//
+// Flags:
+//   --json=PATH    write the current numbers as JSON
+//   --check=PATH   compare against a committed baseline: fail (exit 1) on a
+//                  >25% steps/sec regression on any topology, or on any
+//                  steady-state allocation when the baseline requires zero
+//   --quick        quarter-length closed loops (for smoke use)
+//
+// The committed BENCH_perf_closed_loop.json also archives the pre-rebuild
+// numbers under "pre_change" so the speedup this PR documented stays
+// auditable; --check ignores that block.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/controller.h"
+#include "src/core/experiment.h"
+#include "src/obs/metrics.h"
+#include "src/sched/scheduler.h"
+#include "src/telemetry/power_monitor.h"
+#include "src/telemetry/timeseries_db.h"
+
+// --- Global allocation counter ------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   ((size + static_cast<std::size_t>(align) -
+                                     1) /
+                                    static_cast<std::size_t>(align)) *
+                                       static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace ampere {
+namespace {
+
+constexpr uint64_t kSeed = 20160412;
+
+uint64_t AllocCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+double NowSeconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+struct TopologySpec {
+  const char* name;
+  int rows;
+  int racks_per_row;
+  double closed_loop_hours;
+};
+
+struct ClosedLoopStats {
+  double sim_hours = 0.0;
+  double wall_s = 0.0;
+  uint64_t events = 0;
+  double steps_per_sec = 0.0;
+  double sim_minutes_per_sec = 0.0;
+};
+
+struct SampleStats {
+  uint64_t passes = 0;
+  double samples_per_sec = 0.0;
+  double ns_per_pass = 0.0;
+  double allocs_per_pass = 0.0;
+};
+
+struct EventStats {
+  double ns_per_event = 0.0;
+  double allocs_per_event = 0.0;
+};
+
+struct TopologyResult {
+  std::string name;
+  int servers = 0;
+  ClosedLoopStats closed_loop;
+  SampleStats sample;
+  EventStats events;
+  double tick_ns = 0.0;  // Paper topology only; 0 elsewhere.
+};
+
+TopologyConfig MakeTopology(const TopologySpec& spec) {
+  TopologyConfig config;
+  config.num_rows = spec.rows;
+  config.racks_per_row = spec.racks_per_row;
+  config.servers_per_rack = 42;
+  config.server_capacity = Resources{16.0, 64.0};
+  config.power_model.rated_watts = 250.0;
+  config.power_model.idle_fraction = 0.65;
+  return config;
+}
+
+// --- Phase: full closed loop --------------------------------------------
+
+ClosedLoopStats RunClosedLoop(const TopologySpec& spec, double hours) {
+  ExperimentConfig config;
+  config.seed = kSeed;
+  config.topology = MakeTopology(spec);
+  config.over_provision_ratio = 0.25;
+  config.workload.arrivals.base_rate_per_min = ArrivalRateForNormalizedPower(
+      config.topology, config.workload, 0.98, 0.25);
+  config.controller.effect = FreezeEffectModel(0.05);
+  config.controller.et = EtEstimator::Constant(0.02);
+  config.warmup = SimTime::Minutes(30);
+  config.duration = SimTime::Hours(hours);
+
+  ControlledExperiment experiment(config);
+  const double start = NowSeconds();
+  experiment.Run();
+  const double wall = NowSeconds() - start;
+
+  ClosedLoopStats stats;
+  stats.sim_hours = hours + 0.5;
+  stats.wall_s = wall;
+  stats.events = experiment.sim().processed_events();
+  stats.steps_per_sec = static_cast<double>(stats.events) / wall;
+  stats.sim_minutes_per_sec = stats.sim_hours * 60.0 / wall;
+  return stats;
+}
+
+// --- Phase: telemetry sample pass ---------------------------------------
+
+// A loaded fleet whose monitor is sampled in a tight loop. obs is switched
+// off for the measured section so the numbers isolate the telemetry path
+// itself (the obs overhead has its own micro bench).
+SampleStats RunSamplePhase(const TopologySpec& spec) {
+  Simulation sim;
+  DataCenter dc(MakeTopology(spec), &sim);
+  TimeSeriesDb db;
+  PowerMonitor monitor(&dc, &db, PowerMonitorConfig{}, Rng(kSeed));
+  for (int32_t s = 0; s < dc.num_servers(); ++s) {
+    dc.PlaceTask(ServerId(s), TaskSpec{JobId(s), Resources{8.0, 8.0},
+                                       SimTime::Hours(100000)});
+  }
+
+  const uint64_t passes = 4096;
+  // Steady-state storage: one point per recorded series per pass. Sizing
+  // the stores up front is what production monitors do for a known horizon;
+  // it is also what makes a zero-allocation steady state possible at all.
+  db.Reserve(static_cast<size_t>(dc.num_racks() + dc.num_rows()) + 1);
+  monitor.PreallocateSamples(passes + 16);
+
+  int64_t minute = 1;
+  // Warmup: fault-free first passes intern/construct every series and let
+  // vectors settle.
+  for (int i = 0; i < 8; ++i) {
+    monitor.SampleOnce(SimTime::Minutes(static_cast<double>(minute++)));
+  }
+
+  obs::SetEnabled(false);
+  const uint64_t allocs_before = AllocCount();
+  const double start = NowSeconds();
+  for (uint64_t i = 0; i < passes; ++i) {
+    monitor.SampleOnce(SimTime::Minutes(static_cast<double>(minute++)));
+  }
+  const double wall = NowSeconds() - start;
+  const uint64_t allocs = AllocCount() - allocs_before;
+  obs::SetEnabled(true);
+
+  SampleStats stats;
+  stats.passes = passes;
+  stats.samples_per_sec =
+      static_cast<double>(passes) * static_cast<double>(dc.num_servers()) /
+      wall;
+  stats.ns_per_pass = wall * 1e9 / static_cast<double>(passes);
+  stats.allocs_per_pass =
+      static_cast<double>(allocs) / static_cast<double>(passes);
+  return stats;
+}
+
+// --- Phase: event core ---------------------------------------------------
+
+EventStats RunEventPhase() {
+  Simulation sim;
+  struct Receiver {
+    uint64_t hits = 0;
+    void OnFire(int32_t, int64_t) { ++hits; }
+  } receiver;
+
+  const uint64_t iterations = 1 << 20;
+  // Warmup grows the pool/queue to steady capacity.
+  for (uint64_t i = 0; i < 1024; ++i) {
+    sim.ScheduleAfter(SimTime::Micros(1), [&receiver, i, j = int64_t(i)] {
+      receiver.OnFire(static_cast<int32_t>(i), j);
+    });
+    sim.Step();
+  }
+
+  obs::SetEnabled(false);
+  const uint64_t allocs_before = AllocCount();
+  const double start = NowSeconds();
+  for (uint64_t i = 0; i < iterations; ++i) {
+    // The sim's typical closure shape — a this-pointer plus two ids
+    // (24 bytes, beyond std::function's 16-byte inline buffer).
+    sim.ScheduleAfter(SimTime::Micros(1), [&receiver, i, j = int64_t(i)] {
+      receiver.OnFire(static_cast<int32_t>(i & 0xff), j);
+    });
+    sim.Step();
+  }
+  const double wall = NowSeconds() - start;
+  const uint64_t allocs = AllocCount() - allocs_before;
+  obs::SetEnabled(true);
+
+  EventStats stats;
+  stats.ns_per_event = wall * 1e9 / static_cast<double>(iterations);
+  stats.allocs_per_event =
+      static_cast<double>(allocs) / static_cast<double>(iterations);
+  return stats;
+}
+
+// --- Phase: controller tick ----------------------------------------------
+
+double RunTickPhase(const TopologySpec& spec) {
+  Simulation sim;
+  DataCenter dc(MakeTopology(spec), &sim);
+  TimeSeriesDb db;
+  Scheduler scheduler(&dc, SchedulerConfig{}, Rng(kSeed + 1));
+  PowerMonitor monitor(&dc, &db, PowerMonitorConfig{}, Rng(kSeed + 2));
+  std::vector<ServerId> all;
+  for (int32_t s = 0; s < dc.num_servers(); ++s) {
+    all.push_back(ServerId(s));
+    dc.PlaceTask(ServerId(s), TaskSpec{JobId(s), Resources{8.0, 8.0},
+                                       SimTime::Hours(100000)});
+  }
+  monitor.RegisterGroup("domain", all);
+  monitor.SampleOnce(SimTime::Minutes(1));
+
+  AmpereControllerConfig config;
+  config.effect = FreezeEffectModel(0.05);
+  config.et = EtEstimator::Constant(0.02);
+  AmpereController controller(&scheduler, &monitor, config);
+  controller.AddDomain(
+      {"domain", all, static_cast<double>(dc.num_servers()) * 250.0 / 1.25});
+
+  const uint64_t ticks = 4096;
+  int64_t minute = 2;
+  for (int i = 0; i < 16; ++i) {
+    controller.Tick(SimTime::Minutes(static_cast<double>(minute++)));
+  }
+  obs::SetEnabled(false);
+  const double start = NowSeconds();
+  for (uint64_t i = 0; i < ticks; ++i) {
+    controller.Tick(SimTime::Minutes(static_cast<double>(minute++)));
+  }
+  const double wall = NowSeconds() - start;
+  obs::SetEnabled(true);
+  return wall * 1e9 / static_cast<double>(ticks);
+}
+
+// --- JSON emit / check ----------------------------------------------------
+
+void AppendJson(std::ostringstream& out, const TopologyResult& r,
+                bool last) {
+  out << "    \"" << r.name << "\": {\n";
+  out << "      \"servers\": " << r.servers << ",\n";
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "      \"closed_loop\": {\"sim_hours\": %.2f, \"wall_s\": "
+                "%.3f, \"events\": %llu, \"steps_per_sec\": %.0f, "
+                "\"sim_minutes_per_sec\": %.1f},\n",
+                r.closed_loop.sim_hours, r.closed_loop.wall_s,
+                static_cast<unsigned long long>(r.closed_loop.events),
+                r.closed_loop.steps_per_sec,
+                r.closed_loop.sim_minutes_per_sec);
+  out << buffer;
+  std::snprintf(buffer, sizeof(buffer),
+                "      \"sample\": {\"passes\": %llu, \"samples_per_sec\": "
+                "%.0f, \"ns_per_pass\": %.0f, \"allocs_per_pass\": %.3f},\n",
+                static_cast<unsigned long long>(r.sample.passes),
+                r.sample.samples_per_sec, r.sample.ns_per_pass,
+                r.sample.allocs_per_pass);
+  out << buffer;
+  std::snprintf(buffer, sizeof(buffer),
+                "      \"events\": {\"ns_per_event\": %.1f, "
+                "\"allocs_per_event\": %.3f}",
+                r.events.ns_per_event, r.events.allocs_per_event);
+  out << buffer;
+  if (r.tick_ns > 0.0) {
+    std::snprintf(buffer, sizeof(buffer), ",\n      \"tick_ns\": %.0f\n",
+                  r.tick_ns);
+    out << buffer;
+  } else {
+    out << "\n";
+  }
+  out << "    }" << (last ? "\n" : ",\n");
+}
+
+std::string ToJson(const std::vector<TopologyResult>& results) {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"perf_closed_loop\",\n  \"schema\": 1,\n";
+  out << "  \"require_zero_alloc\": true,\n";
+  out << "  \"topologies\": {\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    AppendJson(out, results[i], i + 1 == results.size());
+  }
+  out << "  }\n}\n";
+  return out.str();
+}
+
+// Minimal scanner for our own JSON shape: finds `"key": <number>` after the
+// first occurrence of `"section"`. Good enough for the baseline file this
+// bench itself writes; not a general JSON parser.
+bool FindNumber(const std::string& json, const std::string& section,
+                const std::string& key, double* out) {
+  size_t at = json.find("\"" + section + "\"");
+  if (at == std::string::npos) {
+    return false;
+  }
+  at = json.find("\"" + key + "\"", at);
+  if (at == std::string::npos) {
+    return false;
+  }
+  at = json.find(':', at);
+  if (at == std::string::npos) {
+    return false;
+  }
+  *out = std::strtod(json.c_str() + at + 1, nullptr);
+  return true;
+}
+
+bool CheckAgainstBaseline(const std::string& path,
+                          const std::vector<TopologyResult>& results) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "perf_closed_loop: cannot read baseline %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  // Strip the archived "pre_change" block (if present) so lookups resolve
+  // inside the current-baseline section only.
+  std::string json = buffer.str();
+  if (size_t cut = json.find("\"pre_change\""); cut != std::string::npos) {
+    json = json.substr(0, cut);
+  }
+
+  double zero_alloc_flag = 0.0;
+  const bool require_zero_alloc =
+      json.find("\"require_zero_alloc\": true") != std::string::npos;
+  (void)zero_alloc_flag;
+
+  bool ok = true;
+  for (const TopologyResult& r : results) {
+    double baseline_steps = 0.0;
+    if (!FindNumber(json, r.name, "steps_per_sec", &baseline_steps)) {
+      std::fprintf(stderr, "  [%s] baseline has no steps_per_sec; skipped\n",
+                   r.name.c_str());
+      continue;
+    }
+    const double floor = 0.75 * baseline_steps;
+    const bool pass = r.closed_loop.steps_per_sec >= floor;
+    std::printf("  [%s] steps/sec %.0f vs baseline %.0f (floor %.0f): %s\n",
+                r.name.c_str(), r.closed_loop.steps_per_sec, baseline_steps,
+                floor, pass ? "ok" : "REGRESSION");
+    ok = ok && pass;
+    if (require_zero_alloc) {
+      const bool alloc_ok = r.sample.allocs_per_pass == 0.0 &&
+                            r.events.allocs_per_event == 0.0;
+      std::printf("  [%s] steady-state allocs: %.3f/pass, %.3f/event: %s\n",
+                  r.name.c_str(), r.sample.allocs_per_pass,
+                  r.events.allocs_per_event,
+                  alloc_ok ? "ok" : "NONZERO (hot path allocates)");
+      ok = ok && alloc_ok;
+    }
+  }
+  return ok;
+}
+
+int Main(int argc, char** argv) {
+  std::string json_path;
+  std::string check_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--check=", 0) == 0) {
+      check_path = arg.substr(8);
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const std::vector<TopologySpec> specs = {
+      {"small", 1, 2, 96.0},
+      {"paper", 1, 10, 72.0},
+      {"fleet4x", 4, 10, 24.0},
+  };
+
+  std::printf("perf_closed_loop: hot-path throughput (seed=%llu%s)\n",
+              static_cast<unsigned long long>(kSeed),
+              quick ? ", quick" : "");
+  std::vector<TopologyResult> results;
+  for (const TopologySpec& spec : specs) {
+    TopologyResult r;
+    r.name = spec.name;
+    r.servers = spec.rows * spec.racks_per_row * 42;
+    const double hours =
+        quick ? spec.closed_loop_hours / 4.0 : spec.closed_loop_hours;
+    r.closed_loop = RunClosedLoop(spec, hours);
+    r.sample = RunSamplePhase(spec);
+    r.events = RunEventPhase();
+    if (std::strcmp(spec.name, "paper") == 0) {
+      r.tick_ns = RunTickPhase(spec);
+    }
+    std::printf(
+        "  [%7s] %4d servers | closed loop %5.2f sim-h in %6.2fs "
+        "(%8.0f steps/s, %6.1f sim-min/s) | sample %9.0f samples/s "
+        "(%6.0f ns/pass, %.3f allocs/pass) | events %5.1f ns "
+        "(%.3f allocs)%s\n",
+        spec.name, r.servers, r.closed_loop.sim_hours, r.closed_loop.wall_s,
+        r.closed_loop.steps_per_sec, r.closed_loop.sim_minutes_per_sec,
+        r.sample.samples_per_sec, r.sample.ns_per_pass,
+        r.sample.allocs_per_pass, r.events.ns_per_event,
+        r.events.allocs_per_event, r.tick_ns > 0.0 ? " | tick" : "");
+    if (r.tick_ns > 0.0) {
+      std::printf("  [%7s] controller tick: %.0f ns\n", spec.name, r.tick_ns);
+    }
+    results.push_back(std::move(r));
+  }
+
+  const std::string json = ToJson(results);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
+    out << json;
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::printf("%s", json.c_str());
+  }
+
+  if (!check_path.empty()) {
+    std::printf("checking against baseline %s\n", check_path.c_str());
+    if (!CheckAgainstBaseline(check_path, results)) {
+      std::printf("PERF CHECK [FAIL]\n");
+      return 1;
+    }
+    std::printf("PERF CHECK [PASS]\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ampere
+
+int main(int argc, char** argv) { return ampere::Main(argc, argv); }

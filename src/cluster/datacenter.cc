@@ -88,8 +88,6 @@ bool DataCenter::PlaceTask(ServerId id, const TaskSpec& spec) {
     return false;
   }
   AMPERE_CHECK(spec.work > SimTime()) << "task with non-positive work";
-  AMPERE_CHECK(!server.tasks_.contains(spec.job))
-      << "job " << spec.job.value() << " already on server " << id.value();
 
   double old_power = server.power_watts();
   double old_dynamic = server.dynamic_watts_at_full_freq();
@@ -101,7 +99,12 @@ bool DataCenter::PlaceTask(ServerId id, const TaskSpec& spec) {
   SimTime wall = spec.work * (1.0 / server.frequency());
   task.completion = sim_->ScheduleAfter(
       wall, [this, id, job = spec.job] { CompleteTask(id, job); });
-  server.tasks_.emplace(spec.job, std::move(task));
+  // Single probe: emplace both detects the duplicate (was a separate
+  // contains() before) and inserts.
+  const bool inserted =
+      server.tasks_.emplace(spec.job, std::move(task)).second;
+  AMPERE_CHECK(inserted) << "job " << spec.job.value()
+                         << " already on server " << id.value();
   server.allocated_ += spec.demand;
   AMPERE_CHECK(server.capacity_.Fits(server.allocated_));
 
@@ -184,7 +187,11 @@ void DataCenter::WakeServer(ServerId id) {
 
 void DataCenter::RefreshServerPower(ServerId id, double old_power,
                                     double old_dynamic) {
-  const Server& server = servers_[id.index()];
+  Server& server = servers_[id.index()];
+  // Re-evaluate the power model once per mutation; every reader between now
+  // and the next mutation (telemetry, capping, ranking) gets the cached
+  // value — bit-identical to evaluating the model on demand.
+  server.RecomputePowerCache();
   double power_delta = server.power_watts() - old_power;
   double dynamic_delta = server.dynamic_watts_at_full_freq() - old_dynamic;
   racks_[server.rack().index()].power_watts += power_delta;
@@ -192,6 +199,72 @@ void DataCenter::RefreshServerPower(ServerId id, double old_power,
   row.power_watts += power_delta;
   row.dynamic_full_sum_watts += dynamic_delta;
   total_power_watts_ += power_delta;
+  // Each incremental fold can introduce one rounding error; snap the
+  // aggregates back to the exact sums periodically so drift stays bounded
+  // regardless of run length. The trigger is a pure function of the event
+  // sequence, so resummation points are deterministic.
+  if (++power_mutations_since_resum_ >= kResumIntervalMutations) {
+    ResummatePowerAggregates();
+  }
+}
+
+double DataCenter::ExactRackPowerWatts(RackId id) const {
+  double sum = 0.0;
+  for (ServerId sid : racks_[id.index()].servers) {
+    sum += servers_[sid.index()].power_watts();
+  }
+  return sum;
+}
+
+double DataCenter::ExactRowPowerWatts(RowId id) const {
+  // Summed rack-by-rack (not server-by-server) so the value matches what
+  // ResummatePowerAggregates writes into the row aggregate bit-for-bit.
+  double sum = 0.0;
+  for (RackId rid : rows_[id.index()].racks) {
+    sum += ExactRackPowerWatts(rid);
+  }
+  return sum;
+}
+
+double DataCenter::ExactRowDynamicFullWatts(RowId id) const {
+  double sum = 0.0;
+  for (ServerId sid : rows_[id.index()].servers) {
+    sum += servers_[sid.index()].dynamic_watts_at_full_freq();
+  }
+  return sum;
+}
+
+double DataCenter::ExactTotalPowerWatts() const {
+  double sum = 0.0;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    sum += ExactRowPowerWatts(RowId(static_cast<int32_t>(r)));
+  }
+  return sum;
+}
+
+void DataCenter::ResummatePowerAggregates() {
+  double total = 0.0;
+  for (RowState& row : rows_) {
+    double row_sum = 0.0;
+    for (RackId rid : row.racks) {
+      RackState& rack = racks_[rid.index()];
+      double rack_sum = 0.0;
+      for (ServerId sid : rack.servers) {
+        rack_sum += servers_[sid.index()].power_watts();
+      }
+      rack.power_watts = rack_sum;
+      row_sum += rack_sum;
+    }
+    row.power_watts = row_sum;
+    double dynamic_sum = 0.0;
+    for (ServerId sid : row.servers) {
+      dynamic_sum += servers_[sid.index()].dynamic_watts_at_full_freq();
+    }
+    row.dynamic_full_sum_watts = dynamic_sum;
+    total += row_sum;
+  }
+  total_power_watts_ = total;
+  power_mutations_since_resum_ = 0;
 }
 
 void DataCenter::SetServerFrequency(ServerId id, double freq) {

@@ -5,6 +5,8 @@ namespace ampere {
 Server::Server(ServerId id, RackId rack, RowId row, Resources capacity,
                const ServerPowerModel* power_model)
     : id_(id), rack_(rack), row_(row), capacity_(capacity),
-      power_model_(power_model) {}
+      power_model_(power_model) {
+  RecomputePowerCache();
+}
 
 }  // namespace ampere

@@ -7,10 +7,13 @@
 #ifndef SRC_CLUSTER_SERVER_H_
 #define SRC_CLUSTER_SERVER_H_
 
+#include <functional>
 #include <unordered_map>
+#include <utility>
 
 #include "src/cluster/resources.h"
 #include "src/common/ids.h"
+#include "src/common/pool_allocator.h"
 #include "src/common/time.h"
 #include "src/power/power_model.h"
 #include "src/sim/simulation.h"
@@ -66,26 +69,36 @@ class Server {
   double frequency() const { return frequency_; }
   size_t num_tasks() const { return tasks_.size(); }
 
-  // Instantaneous draw at the current operating point.
-  double power_watts() const {
-    if (asleep_) {
-      return sleep_watts_;
-    }
-    return power_model_->PowerAt(utilization(), frequency_);
-  }
+  // Instantaneous draw at the current operating point. Cached: recomputed by
+  // the owning DataCenter (RecomputePowerCache) on every power-affecting
+  // mutation, so the telemetry monitor's per-server read is one load instead
+  // of a power-model evaluation. The cached value is the same pure function
+  // of (asleep, utilization, frequency) the model would return on demand.
+  double power_watts() const { return cached_power_watts_; }
   // Dynamic (above-idle) draw the server would have at full frequency; row
-  // capping decisions aggregate this.
+  // capping decisions aggregate this. Cached alongside power_watts().
   double dynamic_watts_at_full_freq() const {
-    if (asleep_) {
-      return 0.0;
-    }
-    return power_model_->DynamicPowerAt(utilization(), 1.0);
+    return cached_dynamic_full_watts_;
   }
   double idle_watts() const { return power_model_->idle_watts(); }
   double rated_watts() const { return power_model_->rated_watts(); }
 
  private:
   friend class DataCenter;
+
+  // Re-evaluates the power model at the current operating point. Called by
+  // DataCenter after every mutation of asleep_/waking_/sleep_watts_/
+  // allocated_/frequency_ (all of which funnel through DataCenter).
+  void RecomputePowerCache() {
+    if (asleep_) {
+      cached_power_watts_ = sleep_watts_;
+      cached_dynamic_full_watts_ = 0.0;
+      return;
+    }
+    const double u = utilization();
+    cached_power_watts_ = power_model_->PowerAt(u, frequency_);
+    cached_dynamic_full_watts_ = power_model_->DynamicPowerAt(u, 1.0);
+  }
 
   struct RunningTask {
     Resources demand;
@@ -106,8 +119,19 @@ class Server {
   bool waking_ = false;
   double frequency_ = 1.0;
   double sleep_watts_ = 0.0;  // Set by the owning DataCenter.
+  double cached_power_watts_ = 0.0;
+  double cached_dynamic_full_watts_ = 0.0;
   Simulation::EventHandle wake_completion_;
-  std::unordered_map<JobId, RunningTask> tasks_;
+  // Task table nodes churn once per job; the pool allocator recycles them
+  // through a per-server free list instead of malloc/free. The hashtable's
+  // bucket assignment and iteration order depend only on hashes and
+  // insertion order — never node addresses — so behaviour (including the
+  // frequency-reconcile walk in DataCenter::SetServerFrequency) is
+  // bit-identical to the std::allocator map this replaces.
+  std::unordered_map<JobId, RunningTask, std::hash<JobId>,
+                     std::equal_to<JobId>,
+                     PoolAllocator<std::pair<const JobId, RunningTask>>>
+      tasks_;
 };
 
 }  // namespace ampere

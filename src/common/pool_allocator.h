@@ -1,0 +1,157 @@
+// Fixed-size node pool allocator for node-based containers on hot paths.
+//
+// std::unordered_map allocates one heap node per element; on churn-heavy
+// maps (a server's running-task table turns over once per job) the
+// malloc/free pair dominates the container's cost. PoolAllocator recycles
+// nodes through a free list carved from geometrically-growing blocks, so
+// steady-state insert/erase touches no global allocator at all.
+//
+// Determinism note: the allocator changes only *where* nodes live, never
+// how the container arranges them — libstdc++'s hashtable layout (bucket
+// assignment, within-bucket chaining, iteration order) is a function of
+// hashes and insertion order alone, not of node addresses. Swapping this in
+// for std::allocator is therefore observation-equivalent, which the
+// bit-identity harness tests verify end to end.
+//
+// Concurrency: a pool is confined to the container that owns it (copies of
+// the allocator share the pool via shared_ptr). Containers used from one
+// thread at a time — the simulation model's case — need no locking.
+//
+// Only single-object allocations of the pool's node size are pooled;
+// array allocations (e.g. the hashtable's bucket vector) and mismatched
+// sizes from rebound copies fall through to operator new/delete.
+
+#ifndef SRC_COMMON_POOL_ALLOCATOR_H_
+#define SRC_COMMON_POOL_ALLOCATOR_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace ampere {
+
+namespace internal {
+
+// Untyped fixed-node-size arena with an intrusive free list. Blocks are
+// only released when the pool is destroyed, so recycled node addresses stay
+// valid for the lifetime of the owning container.
+class NodePool {
+ public:
+  explicit NodePool(size_t node_size)
+      : node_size_(node_size < sizeof(FreeNode) ? sizeof(FreeNode)
+                                                : node_size) {}
+
+  NodePool(const NodePool&) = delete;
+  NodePool& operator=(const NodePool&) = delete;
+
+  size_t node_size() const { return node_size_; }
+
+  void* Allocate() {
+    if (free_ != nullptr) {
+      FreeNode* node = free_;
+      free_ = node->next;
+      return node;
+    }
+    if (bump_remaining_ == 0) {
+      Grow();
+    }
+    void* p = bump_;
+    bump_ += node_size_;
+    --bump_remaining_;
+    return p;
+  }
+
+  void Deallocate(void* p) {
+    FreeNode* node = static_cast<FreeNode*>(p);
+    node->next = free_;
+    free_ = node;
+  }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  void Grow() {
+    blocks_.emplace_back(new unsigned char[node_size_ * next_block_nodes_]);
+    bump_ = blocks_.back().get();
+    bump_remaining_ = next_block_nodes_;
+    if (next_block_nodes_ < kMaxBlockNodes) {
+      next_block_nodes_ *= 2;
+    }
+  }
+
+  static constexpr size_t kMaxBlockNodes = 4096;
+
+  const size_t node_size_;
+  FreeNode* free_ = nullptr;
+  unsigned char* bump_ = nullptr;
+  size_t bump_remaining_ = 0;
+  size_t next_block_nodes_ = 16;
+  std::vector<std::unique_ptr<unsigned char[]>> blocks_;
+};
+
+}  // namespace internal
+
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+  // The pool moves/swaps with the nodes it owns, so cross-container moves
+  // are always pointer steals, never element-wise reallocation.
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+
+  PoolAllocator() = default;
+
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& other) noexcept  // NOLINT(runtime/explicit)
+      : pool_(other.pool_) {}
+
+  T* allocate(size_t n) {
+    // Blocks come from operator new[] (max_align_t-aligned) and nodes are
+    // spaced sizeof(T) apart (a multiple of alignof(T)), so the pool serves
+    // any T without extended alignment; over-aligned types bypass it.
+    if constexpr (alignof(T) <= alignof(std::max_align_t)) {
+      if (n == 1) {
+        if (pool_ == nullptr) {
+          pool_ = std::make_shared<internal::NodePool>(sizeof(T));
+        }
+        if (pool_->node_size() == NodeBytes()) {
+          return static_cast<T*>(pool_->Allocate());
+        }
+      }
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, size_t n) {
+    if (n == 1 && pool_ != nullptr && pool_->node_size() == NodeBytes()) {
+      pool_->Deallocate(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  friend bool operator==(const PoolAllocator& a, const PoolAllocator& b) {
+    return a.pool_ == b.pool_;
+  }
+  friend bool operator!=(const PoolAllocator& a, const PoolAllocator& b) {
+    return !(a == b);
+  }
+
+ private:
+  template <typename U>
+  friend class PoolAllocator;
+
+  static constexpr size_t NodeBytes() {
+    return sizeof(T) < sizeof(void*) ? sizeof(void*) : sizeof(T);
+  }
+
+  std::shared_ptr<internal::NodePool> pool_;
+};
+
+}  // namespace ampere
+
+#endif  // SRC_COMMON_POOL_ALLOCATOR_H_

@@ -55,8 +55,15 @@ int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
     // Full-range request: [INT64_MIN, INT64_MAX].
     return static_cast<int64_t>(NextU64());
   }
-  // Rejection sampling to avoid modulo bias.
-  uint64_t limit = ~uint64_t{0} - (~uint64_t{0} % range);
+  // Rejection sampling to avoid modulo bias. The rejection limit is a pure
+  // function of the range; memoizing it serves the dominant pattern (the
+  // scheduler drawing over a fixed server count on every call) one 64-bit
+  // division cheaper, with a draw sequence identical to recomputing it.
+  if (range != cached_range_) {
+    cached_range_ = range;
+    cached_limit_ = ~uint64_t{0} - (~uint64_t{0} % range);
+  }
+  const uint64_t limit = cached_limit_;
   uint64_t v;
   do {
     v = NextU64();

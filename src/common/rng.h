@@ -62,6 +62,10 @@ class Rng {
   uint64_t s_[4] = {};
   bool has_cached_normal_ = false;
   double cached_normal_ = 0.0;
+  // UniformInt rejection-limit memo; a range of 0 never occurs here (the
+  // full-range case returns before the memo), so 0 means "empty".
+  uint64_t cached_range_ = 0;
+  uint64_t cached_limit_ = 0;
 };
 
 }  // namespace ampere

@@ -27,26 +27,37 @@ AmpereController::AmpereController(Scheduler* scheduler,
 std::vector<ServerId> AmpereController::RankServers(
     const ControlDomain& domain) {
   std::vector<ServerId> ranked = domain.servers;
+  // Power readings are stable for the whole sort (no mutation happens
+  // between comparisons), so the power-ranked policies sort (watts, id)
+  // pairs read once per server instead of calling LatestServerWatts()
+  // O(n log n) times from the comparator. The comparators below return the
+  // same result for every pair as the previous read-in-comparator form, so
+  // std::sort — a deterministic algorithm — produces the identical
+  // permutation.
+  auto sort_by_key = [&](bool highest_first) {
+    std::vector<std::pair<double, ServerId>> keyed;
+    keyed.reserve(ranked.size());
+    for (ServerId id : ranked) {
+      keyed.emplace_back(monitor_->LatestServerWatts(id), id);
+    }
+    std::sort(keyed.begin(), keyed.end(),
+              [highest_first](const std::pair<double, ServerId>& a,
+                              const std::pair<double, ServerId>& b) {
+                if (a.first != b.first) {
+                  return highest_first ? a.first > b.first : a.first < b.first;
+                }
+                return a.second < b.second;  // Deterministic tie-break.
+              });
+    for (size_t i = 0; i < keyed.size(); ++i) {
+      ranked[i] = keyed[i].second;
+    }
+  };
   switch (config_.selection) {
     case FreezeSelection::kHighestPower:
-      std::sort(ranked.begin(), ranked.end(), [this](ServerId a, ServerId b) {
-        double pa = monitor_->LatestServerWatts(a);
-        double pb = monitor_->LatestServerWatts(b);
-        if (pa != pb) {
-          return pa > pb;
-        }
-        return a < b;  // Deterministic tie-break.
-      });
+      sort_by_key(/*highest_first=*/true);
       break;
     case FreezeSelection::kLowestPower:
-      std::sort(ranked.begin(), ranked.end(), [this](ServerId a, ServerId b) {
-        double pa = monitor_->LatestServerWatts(a);
-        double pb = monitor_->LatestServerWatts(b);
-        if (pa != pb) {
-          return pa < pb;
-        }
-        return a < b;
-      });
+      sort_by_key(/*highest_first=*/false);
       break;
     case FreezeSelection::kRandom:
       for (size_t i = ranked.size(); i > 1; --i) {
@@ -203,7 +214,11 @@ void AmpereController::TickDomain(size_t domain_index, SimTime now) {
     // lines 7-10). For the power-ranked paper policy the band is r_stable
     // times the weakest top-set member's power; for the ablation policies the
     // pool simply retains currently frozen servers.
+    // Sized up front to avoid incremental rehashing; the pool is only ever
+    // queried (contains/size), never iterated, so its bucket layout cannot
+    // influence any decision.
     std::unordered_set<ServerId> pool;
+    pool.reserve(ranked.size() + frozen_set.size());
     if (config_.selection == FreezeSelection::kHighestPower) {
       double p_min_top = monitor_->LatestServerWatts(ranked[n_freeze - 1]);
       p_threshold = config_.r_stable * p_min_top;

@@ -457,6 +457,22 @@ void MetricsRegistry::CounterAdd(std::string_view name, uint64_t delta) {
   FindOrInsert(shard.counters, name) += delta;
 }
 
+uint64_t* MetricsRegistry::CounterCell(std::string_view name) {
+  Shard& shard = LocalShard();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return &FindOrInsert(shard.counters, name);
+}
+
+void CounterSite::Rebind(MetricsRegistry& registry) {
+  // Read the epoch before resolving the cell: if a Reset() lands in
+  // between, the cached epoch is already stale and the next Add() simply
+  // rebinds again — the site can cache an old cell for at most one call.
+  const uint64_t epoch = registry.epoch();
+  cell_ = registry.CounterCell(name_);
+  registry_id_ = registry.id();
+  epoch_ = epoch;
+}
+
 void MetricsRegistry::GaugeSet(std::string_view name, double value) {
   Shard& shard = LocalShard();
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -508,8 +524,12 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     {
       std::lock_guard<std::mutex> shard_lock(shard->mu);
       part.counters.reserve(shard->counters.size());
-      for (const auto& [name, value] : shard->counters) {
-        part.counters.push_back(CounterValue{name, value});
+      for (auto& [name, value] : shard->counters) {
+        // CounterSite increments bypass the shard mutex; read through
+        // atomic_ref so this cross-thread read is race-free.
+        part.counters.push_back(CounterValue{
+            name, std::atomic_ref<uint64_t>(value).load(
+                      std::memory_order_relaxed)});
       }
       part.gauges.reserve(shard->gauges.size());
       for (const auto& [name, cell] : shard->gauges) {
@@ -549,6 +569,8 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
+  // Invalidate every cached CounterCell() pointer before freeing the nodes.
+  epoch_.fetch_add(1, std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> shard_lock(shard->mu);
     shard->counters.clear();

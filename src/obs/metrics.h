@@ -155,6 +155,18 @@ class MetricsRegistry {
 
   void CounterAdd(std::string_view name, uint64_t delta = 1);
   void GaugeSet(std::string_view name, double value);
+
+  // Process-unique registry id and Reset() epoch. Call-site caches
+  // (CounterSite below) compare both to detect, in O(1), that a cached cell
+  // pointer belongs to a different registry or predates a Reset().
+  uint64_t id() const { return id_; }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+  // Stable address of the calling thread's counter cell for `name` (the
+  // shard maps are node-based, so the address survives rehashing). Valid
+  // until the next Reset() — observable as an epoch() change — or until the
+  // registry is destroyed.
+  uint64_t* CounterCell(std::string_view name);
   // The first observation of a name fixes its bucket layout; later calls
   // must pass a bounds span of the same size (contents are trusted).
   void HistogramObserve(std::string_view name, double value,
@@ -167,7 +179,10 @@ class MetricsRegistry {
   // Merges every thread shard into one name-sorted snapshot.
   MetricsSnapshot Snapshot() const;
 
-  // Clears all shards (names and values).
+  // Clears all shards (names and values) and advances epoch(), invalidating
+  // every cached CounterCell() pointer. Must not race with writers: callers
+  // reset between runs, at points where no instrumented code is executing
+  // against this registry (the harness already guarantees this).
   void Reset();
 
   // The process-wide registry instrumentation writes to when no scoped
@@ -182,6 +197,7 @@ class MetricsRegistry {
   Shard& LocalShard();
 
   const uint64_t id_;  // Process-unique; never reused.
+  std::atomic<uint64_t> epoch_{0};  // Bumped by Reset().
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
@@ -227,6 +243,49 @@ inline void SpanRecord(std::string_view name, double duration_ns) {
   CurrentMetrics()->SpanRecord(name, duration_ns);
 }
 
+// --- Counter call-site cache ---------------------------------------------
+//
+// The generic CounterAdd pays a thread-local shard lookup, a mutex lock and
+// a string hash probe on every call — fine at minute cadence, too heavy for
+// per-event sites inside the simulation loop (job submitted, task placed).
+// A CounterSite caches the resolved cell pointer per (call site, thread):
+// the steady-state Add() is two loads, two compares and a relaxed
+// increment, with no lock and no hashing. The AMPERE_COUNTER_ADD macro
+// below declares one `static thread_local` site per expansion.
+//
+// Correctness: shards are single-writer (the owning thread), so the
+// unlocked increment cannot lose updates; Snapshot() on another thread
+// reads the cell through std::atomic_ref, making the unlocked write/read
+// pair race-free. A registry switch (ScopedMetricsRegistry) or Reset() is
+// detected by comparing the cached registry id and epoch, after which the
+// site rebinds through the normal locked path.
+//
+// `name` must point at storage that outlives the site (string literals at
+// the macro sites).
+class CounterSite {
+ public:
+  constexpr explicit CounterSite(std::string_view name) : name_(name) {}
+
+  void Add(uint64_t delta) {
+    MetricsRegistry* registry = CurrentMetrics();
+    if (registry->id() != registry_id_ || registry->epoch() != epoch_)
+        [[unlikely]] {
+      Rebind(*registry);
+    }
+    std::atomic_ref<uint64_t> cell(*cell_);
+    cell.store(cell.load(std::memory_order_relaxed) + delta,
+               std::memory_order_relaxed);
+  }
+
+ private:
+  void Rebind(MetricsRegistry& registry);
+
+  std::string_view name_;
+  uint64_t* cell_ = nullptr;
+  uint64_t registry_id_ = 0;  // 0 is never a live registry id.
+  uint64_t epoch_ = 0;
+};
+
 }  // namespace obs
 }  // namespace ampere
 
@@ -234,11 +293,16 @@ inline void SpanRecord(std::string_view name, double duration_ns) {
 
 #ifndef AMPERE_OBS_DISABLED
 
-#define AMPERE_COUNTER_ADD(name, delta)          \
-  do {                                           \
-    if (::ampere::obs::Enabled()) {              \
-      ::ampere::obs::CounterAdd((name), (delta)); \
-    }                                            \
+// `name` must be a string literal (or otherwise have static storage
+// duration): each expansion declares a thread-local CounterSite that keeps
+// the name by reference for rebinding after registry switches.
+#define AMPERE_COUNTER_ADD(name, delta)                       \
+  do {                                                        \
+    if (::ampere::obs::Enabled()) {                           \
+      static thread_local ::ampere::obs::CounterSite          \
+          ampere_obs_counter_site{(name)};                    \
+      ampere_obs_counter_site.Add((delta));                   \
+    }                                                         \
   } while (0)
 
 #define AMPERE_GAUGE_SET(name, value)            \

@@ -200,7 +200,11 @@ ServerId Scheduler::PickServer(const JobSpec& job) {
 }
 
 bool Scheduler::TryPlace(const JobSpec& job) {
-  AMPERE_SPAN("sched.place");
+  // No span here: placement runs once per job event, which is far too hot
+  // for per-call wall-clock instrumentation (the same rationale as the
+  // event loop in Simulation::RunUntil, which spans the drain rather than
+  // each event). The sched.placements counter below remains the per-call
+  // signal; tick-level latency is covered by controller.tick/sim.run_until.
   ServerId id = PickServer(job);
   if (!id.valid()) {
     return false;

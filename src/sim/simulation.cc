@@ -1,51 +1,47 @@
 #include "src/sim/simulation.h"
 
+#include <memory>
 #include <utility>
 
-#include "src/common/check.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 
 namespace ampere {
 
-struct Simulation::EventHandle::State {
-  Callback callback;
-  bool cancelled = false;
-  bool fired = false;
-};
-
 void Simulation::EventHandle::Cancel() {
-  if (auto state = state_.lock()) {
-    state->cancelled = true;
+  if (sim_ != nullptr) {
+    sim_->CancelEvent(slot_, generation_);
   }
 }
 
 bool Simulation::EventHandle::pending() const {
-  auto state = state_.lock();
-  return state != nullptr && !state->cancelled && !state->fired;
+  return sim_ != nullptr && sim_->EventPending(slot_, generation_);
 }
 
-Simulation::EventHandle Simulation::ScheduleAt(SimTime at, Callback callback) {
-  AMPERE_CHECK(at >= now_) << "scheduling into the past: at="
-                           << at.ToString() << " now=" << now_.ToString();
-  auto state = std::make_shared<EventHandle::State>();
-  state->callback = std::move(callback);
-  queue_.push(QueueEntry{at, next_seq_++, state});
-  ++live_events_;
-  return EventHandle(std::move(state));
-}
-
-Simulation::EventHandle Simulation::ScheduleAfter(SimTime delay,
-                                                  Callback callback) {
-  AMPERE_CHECK(delay >= SimTime()) << "negative delay";
-  return ScheduleAt(now_ + delay, std::move(callback));
+void Simulation::CancelEvent(uint32_t slot_index, uint64_t generation) {
+  if (slot_index >= slots_.size()) {
+    return;
+  }
+  if (slots_[slot_index].generation != generation) {
+    // Already fired, already cancelled, or the slot was recycled for a newer
+    // event: nothing to do.
+    return;
+  }
+  // O(1) cancel: stale the handle/queue-entry generation and recycle the
+  // slot immediately. The queue entry stays behind and is discarded (by the
+  // generation mismatch) when it reaches the head.
+  RetireSlot(slot_index);
+  --live_events_;
 }
 
 void Simulation::SchedulePeriodic(SimTime start, SimTime interval,
                                   std::function<void(SimTime)> callback) {
   AMPERE_CHECK(interval > SimTime()) << "non-positive period";
   // The self-rescheduling closure owns the user callback; each firing queues
-  // the next one, so the task survives indefinitely.
+  // the next one, so the task survives indefinitely. The user callback sits
+  // behind one shared_ptr allocated here, once — the per-fire re-arm closure
+  // (40 bytes) fits the pooled slots' inline buffer, so steady-state
+  // periodic ticks are allocation-free.
   auto cb = std::make_shared<std::function<void(SimTime)>>(std::move(callback));
   struct Rearm {
     Simulation* sim;
@@ -63,18 +59,34 @@ void Simulation::SchedulePeriodic(SimTime start, SimTime interval,
 }
 
 bool Simulation::Step() {
-  while (!queue_.empty()) {
-    QueueEntry entry = queue_.top();
-    queue_.pop();
-    --live_events_;
-    if (entry.state->cancelled) {
+  while (!heap_.empty()) {
+    const QueueEntry entry = heap_.front();
+    HeapPop();
+    if (EntryStale(entry)) {
+      // Cancelled (the slot was retired, possibly re-minted since): the
+      // live-event count was settled at cancel time.
       continue;
     }
+    --live_events_;
     AMPERE_CHECK(entry.time >= now_);
     now_ = entry.time;
-    entry.state->fired = true;
     ++processed_events_;
-    entry.state->callback();
+    Slot& slot = slots_[entry.slot];
+    // Advance the generation before invoking: the event is now "fired", so
+    // a Cancel() or pending() from inside its own callback behaves like the
+    // old shared-state handles (no-op / false). The slot is only returned
+    // to the free list after the callback finishes, so events scheduled by
+    // the callback cannot alias the still-running slot.
+    ++slot.generation;
+    try {
+      slot.callback.Invoke();
+    } catch (...) {
+      slot.callback.Reset();
+      free_list_.push_back(entry.slot);
+      throw;
+    }
+    slot.callback.Reset();
+    free_list_.push_back(entry.slot);
     return true;
   }
   return false;
@@ -87,15 +99,14 @@ void Simulation::RunUntil(SimTime until) {
   // whole drain plus a delta counter of events processed inside it.
   AMPERE_SPAN("sim.run_until");
   const uint64_t processed_before = processed_events_;
-  while (!queue_.empty()) {
-    // Discard cancelled entries first: Step() would skip past them to the
-    // next live event, which may lie beyond the boundary.
-    if (queue_.top().state->cancelled) {
-      queue_.pop();
-      --live_events_;
+  while (!heap_.empty()) {
+    // Discard stale (cancelled) entries first: Step() would skip past them
+    // to the next live event, which may lie beyond the boundary.
+    if (EntryStale(heap_.front())) {
+      HeapPop();
       continue;
     }
-    if (queue_.top().time > until) {
+    if (heap_.front().time > until) {
       break;
     }
     Step();
@@ -106,6 +117,15 @@ void Simulation::RunUntil(SimTime until) {
 
 void Simulation::RunToCompletion() {
   while (Step()) {
+  }
+}
+
+void Simulation::ReserveEvents(size_t expected_live) {
+  free_list_.reserve(expected_live);
+  heap_.reserve(expected_live);
+  while (slots_.size() < expected_live) {
+    slots_.emplace_back();
+    free_list_.push_back(static_cast<uint32_t>(slots_.size() - 1));
   }
 }
 

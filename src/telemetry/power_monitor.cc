@@ -17,38 +17,12 @@ PowerMonitor::PowerMonitor(DataCenter* dc, TimeSeriesDb* db,
                         SimTime::Micros(-1)) {
   AMPERE_CHECK(dc != nullptr && db != nullptr);
   AMPERE_CHECK(config.interval > SimTime());
-}
 
-void PowerMonitor::RegisterGroup(const std::string& name,
-                                 std::vector<ServerId> servers) {
-  AMPERE_CHECK(!started_) << "groups must be registered before Start";
-  AMPERE_CHECK(!servers.empty());
-  // Precompute the rows this group spans: a group reading is only as fresh
-  // as its members' row feeds, so blackout checks consult both.
-  std::vector<RowId> rows;
-  for (ServerId sid : servers) {
-    RowId row = dc_->row_of(sid);
-    bool seen = false;
-    for (RowId r : rows) {
-      if (r == row) {
-        seen = true;
-        break;
-      }
-    }
-    if (!seen) rows.push_back(row);
-  }
-  groups_.emplace_back(name, std::move(servers));
-  group_rows_.push_back(std::move(rows));
-  latest_group_watts_[name] = 0.0;
-  latest_group_stamp_[name] = SimTime::Micros(-1);
-}
-
-void PowerMonitor::Start(SimTime first_sample) {
-  AMPERE_CHECK(!started_);
-  started_ = true;
-  // Pre-size the store for every series this monitor will ever create, so
-  // the per-minute Append path never rehashes mid-run.
-  size_t expected = groups_.size() + 1;  // Groups + dc total.
+  // Intern every series this monitor will write, once, so SampleOnce never
+  // formats a name or probes the name map again. Pre-size the store first
+  // so interning does not rehash (groups registered later may add a few
+  // more — that is setup-time cost, not sample-time cost).
+  size_t expected = 1;  // dc total.
   if (config_.record_servers) {
     expected += static_cast<size_t>(dc_->num_servers());
   }
@@ -59,8 +33,80 @@ void PowerMonitor::Start(SimTime first_sample) {
     expected += static_cast<size_t>(dc_->num_rows());
   }
   db_->Reserve(expected);
+  if (config_.record_servers) {
+    server_series_.reserve(static_cast<size_t>(dc_->num_servers()));
+    for (int32_t s = 0; s < dc_->num_servers(); ++s) {
+      server_series_.push_back(db_->Intern(ServerSeries(ServerId(s))));
+    }
+  }
+  if (config_.record_racks) {
+    rack_series_.reserve(static_cast<size_t>(dc_->num_racks()));
+    for (int32_t r = 0; r < dc_->num_racks(); ++r) {
+      rack_series_.push_back(db_->Intern(RackSeries(RackId(r))));
+    }
+  }
+  row_channel_.reserve(static_cast<size_t>(dc_->num_rows()));
+  for (int32_t r = 0; r < dc_->num_rows(); ++r) {
+    row_channel_.push_back(RowSeries(RowId(r)));
+  }
+  if (config_.record_rows) {
+    row_series_.reserve(static_cast<size_t>(dc_->num_rows()));
+    for (int32_t r = 0; r < dc_->num_rows(); ++r) {
+      row_series_.push_back(db_->Intern(row_channel_[static_cast<size_t>(r)]));
+    }
+  }
+  if (config_.record_total) {
+    total_series_ = db_->Intern(kTotalSeries);
+  }
+}
+
+void PowerMonitor::RegisterGroup(const std::string& name,
+                                 std::vector<ServerId> servers) {
+  AMPERE_CHECK(!started_) << "groups must be registered before Start";
+  AMPERE_CHECK(!servers.empty());
+  Group group;
+  group.name = name;
+  group.channel = GroupSeries(name);
+  // Precompute the rows this group spans with a seen-bitmap sized by
+  // num_rows: O(servers + rows), not O(servers x rows).
+  std::vector<char> seen(static_cast<size_t>(dc_->num_rows()), 0);
+  for (ServerId sid : servers) {
+    RowId row = dc_->row_of(sid);
+    char& mark = seen[static_cast<size_t>(row.index())];
+    if (mark == 0) {
+      mark = 1;
+      group.rows.push_back(row);
+    }
+  }
+  group.servers = std::move(servers);
+  group.series = db_->Intern(group.channel);
+  groups_.push_back(std::move(group));
+}
+
+void PowerMonitor::Start(SimTime first_sample) {
+  AMPERE_CHECK(!started_);
+  started_ = true;
   dc_->sim()->SchedulePeriodic(first_sample, config_.interval,
                                [this](SimTime t) { SampleOnce(t); });
+}
+
+void PowerMonitor::PreallocateSamples(size_t expected_samples) {
+  for (SeriesId id : server_series_) {
+    db_->ReservePoints(id, expected_samples);
+  }
+  for (SeriesId id : rack_series_) {
+    db_->ReservePoints(id, expected_samples);
+  }
+  for (SeriesId id : row_series_) {
+    db_->ReservePoints(id, expected_samples);
+  }
+  if (total_series_.valid()) {
+    db_->ReservePoints(total_series_, expected_samples);
+  }
+  for (const Group& group : groups_) {
+    db_->ReservePoints(group.series, expected_samples);
+  }
+  row_dark_.reserve(static_cast<size_t>(dc_->num_rows()));
 }
 
 void PowerMonitor::SampleOnce(SimTime stamp) {
@@ -81,20 +127,20 @@ void PowerMonitor::SampleOnce(SimTime stamp) {
   // Which row feeds are dark this pass. A blacked-out row monitor returns
   // nothing: its servers' readings are not refreshed and no row point is
   // appended until the window ends.
-  std::vector<char> row_dark;
   bool any_dark = false;
   if (injector_ != nullptr) {
-    row_dark.assign(static_cast<size_t>(dc_->num_rows()), 0);
+    row_dark_.assign(static_cast<size_t>(dc_->num_rows()), 0);
     for (int32_t r = 0; r < dc_->num_rows(); ++r) {
-      if (injector_->ChannelBlackedOut(RowSeries(RowId(r)), stamp)) {
-        row_dark[static_cast<size_t>(r)] = 1;
+      if (injector_->ChannelBlackedOut(row_channel_[static_cast<size_t>(r)],
+                                       stamp)) {
+        row_dark_[static_cast<size_t>(r)] = 1;
         any_dark = true;
         AMPERE_COUNTER_ADD("faults.blackout_rows", 1);
       }
     }
   }
   auto dark_row = [&](RowId id) {
-    return any_dark && row_dark[static_cast<size_t>(id.index())] != 0;
+    return any_dark && row_dark_[static_cast<size_t>(id.index())] != 0;
   };
 
   // Read every server once through "IPMI": true draw + sensor noise, then
@@ -127,7 +173,7 @@ void PowerMonitor::SampleOnce(SimTime stamp) {
     }
     latest_server_watts_[id.index()] = reading;
     if (config_.record_servers) {
-      db_->Append(ServerSeries(id), stamp, reading);
+      db_->Append(server_series_[static_cast<size_t>(s)], stamp, reading);
     }
   }
 
@@ -138,7 +184,7 @@ void PowerMonitor::SampleOnce(SimTime stamp) {
       for (ServerId sid : dc_->servers_in_rack(id)) {
         sum += latest_server_watts_[sid.index()];
       }
-      db_->Append(RackSeries(id), stamp, sum);
+      db_->Append(rack_series_[static_cast<size_t>(r)], stamp, sum);
     }
   }
 
@@ -160,74 +206,78 @@ void PowerMonitor::SampleOnce(SimTime stamp) {
     latest_row_stamp_[id.index()] = stamp;
     total += sum;
     if (config_.record_rows) {
-      db_->Append(RowSeries(id), stamp, sum);
+      db_->Append(row_series_[static_cast<size_t>(r)], stamp, sum);
     }
   }
   if (config_.record_total) {
-    db_->Append(kTotalSeries, stamp, total);
+    db_->Append(total_series_, stamp, total);
   }
 
-  for (size_t g = 0; g < groups_.size(); ++g) {
-    const auto& [name, servers] = groups_[g];
+  for (Group& group : groups_) {
     if (injector_ != nullptr &&
-        injector_->ChannelBlackedOut(GroupSeries(name), stamp)) {
+        injector_->ChannelBlackedOut(group.channel, stamp)) {
       // The group's own virtual feed is dark; value and stamp stay put.
       continue;
     }
     double sum = 0.0;
-    for (ServerId sid : servers) {
+    for (ServerId sid : group.servers) {
       sum += latest_server_watts_[sid.index()];
     }
-    latest_group_watts_[name] = sum;
-    latest_group_stamp_[name] = stamp;
-    db_->Append(GroupSeries(name), stamp, sum);
+    group.latest_watts = sum;
+    group.latest_stamp = stamp;
+    db_->Append(group.series, stamp, sum);
   }
 }
 
-bool PowerMonitor::FeedBlackedOut(const std::string& series,
+bool PowerMonitor::FeedBlackedOut(std::string_view series,
                                   SimTime now) const {
   return injector_ != nullptr && injector_->ChannelBlackedOut(series, now);
+}
+
+const PowerMonitor::Group& PowerMonitor::FindGroupOrDie(
+    const std::string& name) const {
+  for (const Group& group : groups_) {
+    if (group.name == name) {
+      return group;
+    }
+  }
+  AMPERE_CHECK(false) << "unknown group " << name;
+  __builtin_unreachable();
 }
 
 PowerReading PowerMonitor::LatestRowReading(RowId id, SimTime now) const {
   PowerReading reading;
   reading.watts = latest_row_watts_[id.index()];
   reading.stamp = latest_row_stamp_[id.index()];
-  reading.blacked_out = FeedBlackedOut(RowSeries(id), now);
+  reading.blacked_out =
+      FeedBlackedOut(row_channel_[static_cast<size_t>(id.index())], now);
   return reading;
 }
 
 PowerReading PowerMonitor::LatestGroupReading(const std::string& name,
                                               SimTime now) const {
-  auto watts_it = latest_group_watts_.find(name);
-  AMPERE_CHECK(watts_it != latest_group_watts_.end()) << "unknown group "
-                                                      << name;
+  const Group& group = FindGroupOrDie(name);
   PowerReading reading;
-  reading.watts = watts_it->second;
-  reading.stamp = latest_group_stamp_.at(name);
-  reading.blacked_out = FeedBlackedOut(GroupSeries(name), now);
+  reading.watts = group.latest_watts;
+  reading.stamp = group.latest_stamp;
+  reading.blacked_out = FeedBlackedOut(group.channel, now);
   if (!reading.blacked_out && injector_ != nullptr) {
     // A group aggregate is only as fresh as its members' row feeds: if any
     // member row is dark the sum silently mixes stale per-server values, so
     // surface it as a blackout and let the consumer skip rather than guess.
-    for (size_t g = 0; g < groups_.size(); ++g) {
-      if (groups_[g].first != name) continue;
-      for (RowId row : group_rows_[g]) {
-        if (FeedBlackedOut(RowSeries(row), now)) {
-          reading.blacked_out = true;
-          break;
-        }
+    for (RowId row : group.rows) {
+      if (FeedBlackedOut(row_channel_[static_cast<size_t>(row.index())],
+                         now)) {
+        reading.blacked_out = true;
+        break;
       }
-      break;
     }
   }
   return reading;
 }
 
 double PowerMonitor::LatestGroupWatts(const std::string& name) const {
-  auto it = latest_group_watts_.find(name);
-  AMPERE_CHECK(it != latest_group_watts_.end()) << "unknown group " << name;
-  return it->second;
+  return FindGroupOrDie(name).latest_watts;
 }
 
 std::string PowerMonitor::ServerSeries(ServerId id) {

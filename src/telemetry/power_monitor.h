@@ -12,12 +12,17 @@
 // a named set of servers (e.g. "the experiment group": servers with even
 // ids) gets its own aggregated series, exactly as the real evaluation
 // aggregated the two parity-split halves of one row.
+//
+// Hot-path note: every series this monitor writes is interned into the
+// TimeSeriesDb at construction / RegisterGroup time, so the steady-state
+// SampleOnce never hashes a string, never formats a name, and (after
+// PreallocateSamples) never allocates.
 
 #ifndef SRC_TELEMETRY_POWER_MONITOR_H_
 #define SRC_TELEMETRY_POWER_MONITOR_H_
 
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "src/cluster/datacenter.h"
@@ -61,6 +66,7 @@ struct PowerMonitorConfig {
 class PowerMonitor {
  public:
   // `dc`, `db`, and the simulation behind them must outlive the monitor.
+  // Interns every topology series (per config flags) into `db` up front.
   PowerMonitor(DataCenter* dc, TimeSeriesDb* db, const PowerMonitorConfig& config,
                Rng rng);
 
@@ -79,6 +85,12 @@ class PowerMonitor {
 
   // Begins sampling at `first_sample`, then every interval.
   void Start(SimTime first_sample);
+
+  // Capacity hint: reserves storage in the TimeSeriesDb for
+  // `expected_samples` points on every series this monitor records, so the
+  // steady-state sample path touches no allocator. Purely a reservation —
+  // sampling past the hint still works (amortized growth).
+  void PreallocateSamples(size_t expected_samples);
 
   // Takes one sample immediately (also used by Start's periodic task).
   void SampleOnce(SimTime stamp);
@@ -108,24 +120,44 @@ class PowerMonitor {
   static constexpr const char* kTotalSeries = "dc/power";
 
  private:
+  struct Group {
+    std::string name;
+    std::string channel;  // GroupSeries(name), precomputed once.
+    std::vector<ServerId> servers;
+    // Rows the group's servers span: a group reading is only as fresh as
+    // its members' row feeds, so blackout checks consult both.
+    std::vector<RowId> rows;
+    SeriesId series;
+    double latest_watts = 0.0;
+    SimTime latest_stamp = SimTime::Micros(-1);
+  };
+
   // True if the named feed's channel is dark at `now` (no injector => never).
-  bool FeedBlackedOut(const std::string& series, SimTime now) const;
+  bool FeedBlackedOut(std::string_view series, SimTime now) const;
+  const Group& FindGroupOrDie(const std::string& name) const;
 
   DataCenter* dc_;
   TimeSeriesDb* db_;
   PowerMonitorConfig config_;
   Rng rng_;
   faults::FaultInjector* injector_ = nullptr;
-  std::vector<std::pair<std::string, std::vector<ServerId>>> groups_;
-  // Rows each group's servers span, aligned with groups_. A group reading is
-  // flagged blacked_out when its own feed or any member row's feed is dark.
-  std::vector<std::vector<RowId>> group_rows_;
+  std::vector<Group> groups_;
+  // Interned handles, filled at construction per the config's record flags
+  // (empty vectors / invalid ids when a tier is not recorded).
+  std::vector<SeriesId> server_series_;
+  std::vector<SeriesId> rack_series_;
+  std::vector<SeriesId> row_series_;
+  SeriesId total_series_;
+  // Precomputed blackout channel names ("row/N/power"), so fault checks do
+  // not re-format per pass.
+  std::vector<std::string> row_channel_;
   std::vector<double> latest_server_watts_;
   std::vector<double> latest_row_watts_;
-  std::unordered_map<std::string, double> latest_group_watts_;
   // Per-feed refresh stamps; negative = never refreshed.
   std::vector<SimTime> latest_row_stamp_;
-  std::unordered_map<std::string, SimTime> latest_group_stamp_;
+  // Scratch for the per-pass dark-row bitmap (only touched with an injector
+  // attached); member so faulted passes do not allocate either.
+  std::vector<char> row_dark_;
   SimTime latest_sample_time_;
   uint64_t samples_taken_ = 0;
   uint64_t samples_stalled_ = 0;

@@ -2,36 +2,60 @@
 
 #include <algorithm>
 
-#include "src/common/check.h"
-
 namespace ampere {
 
-void TimeSeriesDb::Append(std::string_view series, SimTime t, double value) {
-  // Heterogeneous find first: in steady state (420 servers x 1/min x 24 h
-  // per run) the series always exists, and this path allocates nothing.
-  auto it = series_.find(series);
-  if (it == series_.end()) {
-    // First sample of a new series: pay the one-time string construction.
-    it = series_.emplace(std::string(series), std::vector<TimePoint>())
-             .first;
+SeriesId TimeSeriesDb::Intern(std::string_view name) {
+  // Heterogeneous find first: repeat interns (and the string-API shim) pay
+  // one hash probe and allocate nothing.
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    return SeriesId(it->second);
   }
-  auto& points = it->second;
-  AMPERE_CHECK(points.empty() || points.back().time <= t)
-      << "out-of-order append to series " << series;
-  points.push_back(TimePoint{t, value});
+  AMPERE_CHECK(points_.size() < SeriesId::kInvalid) << "series table full";
+  const uint32_t id = static_cast<uint32_t>(points_.size());
+  names_.emplace_back(name);
+  points_.emplace_back();
+  index_.emplace(names_.back(), id);
+  return SeriesId(id);
+}
+
+SeriesId TimeSeriesDb::Find(std::string_view name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return SeriesId();
+  }
+  return SeriesId(it->second);
+}
+
+void TimeSeriesDb::ReservePoints(SeriesId id, size_t expected_points) {
+  AMPERE_CHECK(id.valid() && id.index() < points_.size())
+      << "ReservePoints through invalid SeriesId";
+  points_[id.index()].reserve(expected_points);
+}
+
+std::span<const TimePoint> TimeSeriesDb::QueryView(SeriesId id, SimTime from,
+                                                   SimTime to) const {
+  auto points = Series(id);
+  auto lo = std::lower_bound(
+      points.begin(), points.end(), from,
+      [](const TimePoint& p, SimTime t) { return p.time < t; });
+  auto hi = std::upper_bound(
+      points.begin(), points.end(), to,
+      [](SimTime t, const TimePoint& p) { return t < p.time; });
+  return points.subspan(static_cast<size_t>(lo - points.begin()),
+                        static_cast<size_t>(hi - lo));
+}
+
+const std::string& TimeSeriesDb::Name(SeriesId id) const {
+  AMPERE_CHECK(id.valid() && id.index() < names_.size())
+      << "Name of invalid SeriesId";
+  return names_[id.index()];
 }
 
 void TimeSeriesDb::Reserve(size_t expected_series) {
-  series_.reserve(expected_series);
-}
-
-std::span<const TimePoint> TimeSeriesDb::Series(
-    std::string_view series) const {
-  auto it = series_.find(series);
-  if (it == series_.end()) {
-    return {};
-  }
-  return it->second;
+  index_.reserve(expected_series);
+  names_.reserve(expected_series);
+  points_.reserve(expected_series);
 }
 
 std::vector<double> TimeSeriesDb::Values(std::string_view series) const {
@@ -44,31 +68,19 @@ std::vector<double> TimeSeriesDb::Values(std::string_view series) const {
   return values;
 }
 
-std::optional<TimePoint> TimeSeriesDb::Latest(std::string_view series) const {
-  auto points = Series(series);
-  if (points.empty()) {
-    return std::nullopt;
-  }
-  return points.back();
-}
-
 std::vector<TimePoint> TimeSeriesDb::Query(std::string_view series,
                                            SimTime from, SimTime to) const {
-  auto points = Series(series);
-  auto lo = std::lower_bound(
-      points.begin(), points.end(), from,
-      [](const TimePoint& p, SimTime t) { return p.time < t; });
-  auto hi = std::upper_bound(
-      points.begin(), points.end(), to,
-      [](SimTime t, const TimePoint& p) { return t < p.time; });
-  return std::vector<TimePoint>(lo, hi);
+  auto view = QueryView(series, from, to);
+  return std::vector<TimePoint>(view.begin(), view.end());
 }
 
 std::vector<std::string> TimeSeriesDb::SeriesNames() const {
   std::vector<std::string> names;
-  names.reserve(series_.size());
-  for (const auto& [name, _] : series_) {
-    names.push_back(name);
+  names.reserve(names_.size());
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (!points_[i].empty()) {
+      names.push_back(names_[i]);
+    }
   }
   std::sort(names.begin(), names.end());
   return names;
@@ -76,7 +88,7 @@ std::vector<std::string> TimeSeriesDb::SeriesNames() const {
 
 size_t TimeSeriesDb::TotalPoints() const {
   size_t n = 0;
-  for (const auto& [_, points] : series_) {
+  for (const auto& points : points_) {
     n += points.size();
   }
   return n;

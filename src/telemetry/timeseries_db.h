@@ -5,11 +5,23 @@
 // append-only in-memory store with range queries; the controller and the
 // benches consume the identical query surface (latest value, range scan,
 // whole-series extraction).
+//
+// Two access tiers:
+//   1. Interned handles (SeriesId) — the hot path. A producer interns each
+//      series name once (paying the hash + string copy), then appends through
+//      the integer handle: a bounds-checked vector index, no hashing, no
+//      string formatting, and (after ReservePoints) no allocation.
+//   2. String names — the convenience/export surface. Kept as a thin shim
+//      over interning so tests, benches, and CSV export read naturally.
+//
+// Storage is a flat std::vector<std::vector<TimePoint>> indexed by SeriesId;
+// the name->id map is only consulted at intern/lookup time, never per append.
 
 #ifndef SRC_TELEMETRY_TIMESERIES_DB_H_
 #define SRC_TELEMETRY_TIMESERIES_DB_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <span>
@@ -18,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/common/time.h"
 
 namespace ampere {
@@ -27,48 +40,139 @@ struct TimePoint {
   double value = 0.0;
 };
 
+// Opaque interned-series handle. Default-constructed handles are invalid;
+// valid handles come from TimeSeriesDb::Intern / Find and stay valid for the
+// lifetime of that database (series are never removed).
+class SeriesId {
+ public:
+  SeriesId() = default;
+  bool valid() const { return value_ != kInvalid; }
+  uint32_t index() const { return value_; }
+  friend bool operator==(SeriesId a, SeriesId b) {
+    return a.value_ == b.value_;
+  }
+  friend bool operator!=(SeriesId a, SeriesId b) {
+    return a.value_ != b.value_;
+  }
+
+ private:
+  friend class TimeSeriesDb;
+  explicit SeriesId(uint32_t value) : value_(value) {}
+  static constexpr uint32_t kInvalid = 0xffffffffu;
+  uint32_t value_ = kInvalid;
+};
+
 class TimeSeriesDb {
  public:
-  // Appends a point; timestamps within one series must be non-decreasing
-  // (the monitor samples monotonically). The hot path of every run: one
-  // call per server per minute. Heterogeneous lookup keeps it
-  // allocation-free — no temporary std::string per sample.
-  void Append(std::string_view series, SimTime t, double value);
+  // --- Interned-handle tier (hot path) -----------------------------------
 
-  // Capacity hint: pre-sizes the series map for `expected_series` entries
-  // (the monitor calls this once with its series count so the steady state
-  // never rehashes).
+  // Returns the handle for `name`, creating an empty series on first use.
+  // The only place a string is hashed or copied; producers call this once
+  // per series at setup time (PowerMonitor pre-interns its whole fleet).
+  SeriesId Intern(std::string_view name);
+
+  // Lookup without creation; invalid handle if the series does not exist.
+  SeriesId Find(std::string_view name) const;
+
+  // Appends a point through a handle: one bounds check + vector push_back.
+  // Timestamps within one series must be non-decreasing (the monitor
+  // samples monotonically). This is the hot path of every run — one call
+  // per recorded aggregate per minute — and after ReservePoints it touches
+  // no allocator.
+  void Append(SeriesId id, SimTime t, double value) {
+    AMPERE_CHECK(id.valid() && id.index() < points_.size())
+        << "append through invalid SeriesId";
+    std::vector<TimePoint>& points = points_[id.index()];
+    AMPERE_CHECK(points.empty() || points.back().time <= t)
+        << "out-of-order append to series " << names_[id.index()];
+    points.push_back(TimePoint{t, value});
+  }
+
+  // Pre-sizes one series' storage for `expected_points` total points so the
+  // steady-state Append never reallocates.
+  void ReservePoints(SeriesId id, size_t expected_points);
+
+  // Whole series / range views by handle. Spans are invalidated by the next
+  // Append to the same series (vector growth); consume before resampling.
+  std::span<const TimePoint> Series(SeriesId id) const {
+    if (!id.valid() || id.index() >= points_.size()) {
+      return {};
+    }
+    return points_[id.index()];
+  }
+  std::span<const TimePoint> QueryView(SeriesId id, SimTime from,
+                                       SimTime to) const;
+  std::optional<TimePoint> Latest(SeriesId id) const {
+    auto points = Series(id);
+    if (points.empty()) {
+      return std::nullopt;
+    }
+    return points.back();
+  }
+
+  // Interned-name reverse lookup (valid handles only).
+  const std::string& Name(SeriesId id) const;
+
+  // Number of interned series (including pre-interned, still-empty ones).
+  size_t NumSeries() const { return points_.size(); }
+
+  // --- String tier (shim over interning) ---------------------------------
+
+  // Appends a point; interns the name on first use. Heterogeneous lookup
+  // keeps the repeat path allocation-free, but still pays one hash probe —
+  // hot producers should hold a SeriesId instead.
+  void Append(std::string_view series, SimTime t, double value) {
+    Append(Intern(series), t, value);
+  }
+
+  // Capacity hint: pre-sizes the name map and series tables for
+  // `expected_series` entries so interning never rehashes mid-run.
   void Reserve(size_t expected_series);
 
   // Whole series (empty span if the series does not exist).
-  std::span<const TimePoint> Series(std::string_view series) const;
+  std::span<const TimePoint> Series(std::string_view series) const {
+    return Series(Find(series));
+  }
 
-  // Values only, in time order.
+  // Points with from <= time <= to, as a view (no copy).
+  std::span<const TimePoint> QueryView(std::string_view series, SimTime from,
+                                       SimTime to) const {
+    return QueryView(Find(series), from, to);
+  }
+
+  // Values only, in time order. Copying: export/analysis surface.
   std::vector<double> Values(std::string_view series) const;
 
   // Most recent point, if any.
-  std::optional<TimePoint> Latest(std::string_view series) const;
+  std::optional<TimePoint> Latest(std::string_view series) const {
+    return Latest(Find(series));
+  }
 
-  // Points with from <= time <= to.
+  // Points with from <= time <= to. Copying: export/analysis surface —
+  // internal consumers should prefer QueryView.
   std::vector<TimePoint> Query(std::string_view series, SimTime from,
                                SimTime to) const;
 
+  // Names of series that hold at least one point, sorted. Pre-interned but
+  // never-appended series are deliberately excluded: interning is a capacity
+  // hint, not an observable write.
   std::vector<std::string> SeriesNames() const;
   size_t TotalPoints() const;
 
  private:
   // Transparent (heterogeneous) hash/equal: find() and the insert-or-lookup
-  // in Append accept std::string_view without materializing a std::string.
+  // in Intern accept std::string_view without materializing a std::string.
   struct TransparentHash {
     using is_transparent = void;
     size_t operator()(std::string_view s) const {
       return std::hash<std::string_view>{}(s);
     }
   };
-  using SeriesMap = std::unordered_map<std::string, std::vector<TimePoint>,
-                                       TransparentHash, std::equal_to<>>;
 
-  SeriesMap series_;
+  std::unordered_map<std::string, uint32_t, TransparentHash, std::equal_to<>>
+      index_;
+  std::vector<std::string> names_;             // Indexed by SeriesId.
+  std::vector<std::vector<TimePoint>> points_;  // Indexed by SeriesId.
 };
 
 }  // namespace ampere

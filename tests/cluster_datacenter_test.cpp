@@ -272,5 +272,52 @@ TEST(DataCenterCappingTest, BreakerTripsWithoutCapping) {
   EXPECT_TRUE(dc.AnyBreakerTripped());
 }
 
+TEST(DataCenterTest, ExactAccessorsMatchIncrementalAggregates) {
+  Simulation sim;
+  DataCenter dc(SmallTopology(), &sim);
+  for (int32_t s = 0; s < 8; ++s) {
+    ASSERT_TRUE(dc.PlaceTask(
+        ServerId(s),
+        TaskSpec{JobId(s), Resources{8.0, 16.0}, SimTime::Minutes(5)}));
+  }
+  // A handful of mutations introduces no measurable drift yet: exact and
+  // incremental agree tightly at every level.
+  for (int32_t r = 0; r < dc.num_rows(); ++r) {
+    EXPECT_NEAR(dc.row_power_watts(RowId(r)), dc.ExactRowPowerWatts(RowId(r)),
+                1e-9);
+  }
+  for (int32_t k = 0; k < dc.num_racks(); ++k) {
+    EXPECT_NEAR(dc.rack_power_watts(RackId(k)),
+                dc.ExactRackPowerWatts(RackId(k)), 1e-9);
+  }
+  EXPECT_NEAR(dc.total_power_watts(), dc.ExactTotalPowerWatts(), 1e-9);
+}
+
+TEST(DataCenterTest, ResummateSnapsAggregatesToExactSums) {
+  Simulation sim;
+  DataCenter dc(SmallTopology(), &sim);
+  for (int32_t s = 0; s < 16; ++s) {
+    ASSERT_TRUE(dc.PlaceTask(
+        ServerId(s),
+        TaskSpec{JobId(s), Resources{4.0, 8.0}, SimTime::Minutes(5)}));
+  }
+  EXPECT_GT(dc.power_mutations_since_resum(), 0u);
+  dc.ResummatePowerAggregates();
+  EXPECT_EQ(dc.power_mutations_since_resum(), 0u);
+  // After a snap the aggregates are bitwise equal to the exact sums (the
+  // resummation and the exact accessors use the same summation order).
+  for (int32_t r = 0; r < dc.num_rows(); ++r) {
+    EXPECT_EQ(dc.row_power_watts(RowId(r)), dc.ExactRowPowerWatts(RowId(r)));
+  }
+  for (int32_t k = 0; k < dc.num_racks(); ++k) {
+    EXPECT_EQ(dc.rack_power_watts(RackId(k)),
+              dc.ExactRackPowerWatts(RackId(k)));
+  }
+  EXPECT_EQ(dc.total_power_watts(), dc.ExactTotalPowerWatts());
+  // Resummation is idempotent.
+  dc.ResummatePowerAggregates();
+  EXPECT_EQ(dc.total_power_watts(), dc.ExactTotalPowerWatts());
+}
+
 }  // namespace
 }  // namespace ampere

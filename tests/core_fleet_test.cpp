@@ -27,7 +27,7 @@ TEST(FleetTest, PerRowLoadLevelsMatchProducts) {
   fleet.Run(SimTime::Hours(6));
   // Average row power over the last 3 h, normalized to rated budget.
   for (int32_t r = 0; r < 3; ++r) {
-    auto points = fleet.db().Query(PowerMonitor::RowSeries(RowId(r)),
+    auto points = fleet.db().QueryView(PowerMonitor::RowSeries(RowId(r)),
                                    SimTime::Hours(3), SimTime::Hours(6));
     ASSERT_FALSE(points.empty());
     double sum = 0.0;
@@ -79,7 +79,7 @@ TEST(FleetTest, FlexibleStreamAddsUnpinnedLoad) {
   fleet.Run(SimTime::Hours(4));
   // Mean row power over the last 2 h should sit near 0.76 of rated.
   for (int32_t r = 0; r < 3; ++r) {
-    auto points = fleet.db().Query(PowerMonitor::RowSeries(RowId(r)),
+    auto points = fleet.db().QueryView(PowerMonitor::RowSeries(RowId(r)),
                                    SimTime::Hours(2), SimTime::Hours(4));
     double sum = 0.0;
     for (const auto& point : points) {
@@ -101,6 +101,32 @@ TEST(FleetTest, EmptyProductsThrows) {
   FleetConfig config = SmallFleet();
   config.products.clear();
   EXPECT_THROW(Fleet{config}, CheckFailure);
+}
+
+TEST(FleetTest, IncrementalAggregatesStayWithinDriftBoundOverSevenDays) {
+  // Seven days of steady churn pushes the incremental rack/row/dc power
+  // aggregates through hundreds of thousands of delta updates — several
+  // resummation epochs (kResumIntervalMutations apart). At any point between
+  // snaps the accumulated float drift must stay within 1e-9 W of a full
+  // recomputation from the per-server caches.
+  Fleet fleet(SmallFleet());
+  fleet.Run(SimTime::Hours(24 * 7));
+  DataCenter& dc = fleet.dc();
+  // The run crossed at least one snap (the counter would otherwise hold the
+  // full mutation count of the week).
+  EXPECT_LT(dc.power_mutations_since_resum(),
+            DataCenter::kResumIntervalMutations);
+  for (int32_t r = 0; r < dc.num_rows(); ++r) {
+    EXPECT_NEAR(dc.row_power_watts(RowId(r)), dc.ExactRowPowerWatts(RowId(r)),
+                1e-9)
+        << "row " << r;
+  }
+  for (int32_t k = 0; k < dc.num_racks(); ++k) {
+    EXPECT_NEAR(dc.rack_power_watts(RackId(k)),
+                dc.ExactRackPowerWatts(RackId(k)), 1e-9)
+        << "rack " << k;
+  }
+  EXPECT_NEAR(dc.total_power_watts(), dc.ExactTotalPowerWatts(), 1e-9);
 }
 
 }  // namespace
