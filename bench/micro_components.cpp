@@ -14,12 +14,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <memory>
+#include <new>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/core/controller.h"
 #include "src/control/pcp.h"
 #include "src/control/spcp.h"
@@ -31,8 +38,58 @@
 #include "src/telemetry/power_monitor.h"
 #include "src/workload/batch_workload.h"
 
+// --- Global allocation counter ------------------------------------------
+//
+// Same replacement perf_closed_loop uses: every operator new bumps a relaxed
+// atomic so steady-state cases can assert a zero allocation delta. Counts
+// are only ever read as before/after differences around controlled loops,
+// so the benchmark framework's own allocations never pollute a reading.
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   ((size + static_cast<std::size_t>(align) -
+                                     1) /
+                                    static_cast<std::size_t>(align)) *
+                                       static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
 namespace ampere {
 namespace {
+
+uint64_t AllocCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
 
 struct Rig {
   Simulation sim;
@@ -87,6 +144,64 @@ void BM_MonitorSampleRow(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * rig.dc.num_servers());
 }
 BENCHMARK(BM_MonitorSampleRow)->Arg(1)->Arg(4);
+
+// Group sampling in steady state, with the group registered AFTER
+// PreallocateSamples — the ordering that used to leave the group's series
+// unreserved (RegisterGroup now back-fills the reservation from the last
+// preallocation). Before the timed loop the case hard-asserts a zero
+// allocation delta across 64 sample passes, so a regression fails the run
+// loudly instead of just shifting a number.
+void BM_GroupSamplingSteadyState(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRegistry scope(&registry);
+  constexpr size_t kPrealloc = size_t{1} << 15;
+  int64_t minute = 1;
+  size_t taken = 0;
+  auto make_rig = [&] {
+    auto rig = std::make_unique<Rig>(1);
+    // Preallocation FIRST, group registration SECOND: the previously buggy
+    // order. RegisterGroup must reserve the new series itself.
+    rig->monitor.PreallocateSamples(kPrealloc + 16);
+    std::vector<ServerId> all;
+    all.reserve(static_cast<size_t>(rig->dc.num_servers()));
+    for (int32_t s = 0; s < rig->dc.num_servers(); ++s) {
+      all.push_back(ServerId(s));
+    }
+    rig->monitor.RegisterGroup("all_servers", all);
+    minute = 1;
+    taken = 0;
+    return rig;
+  };
+  auto rig = make_rig();
+  auto sample = [&] {
+    rig->monitor.SampleOnce(SimTime::Minutes(static_cast<double>(minute++)));
+    ++taken;
+  };
+  for (int i = 0; i < 4; ++i) {
+    sample();  // Warmup: first passes may fault pages / prime maps.
+  }
+  const uint64_t allocs_before = AllocCount();
+  for (int i = 0; i < 64; ++i) {
+    sample();
+  }
+  AMPERE_CHECK(AllocCount() == allocs_before)
+      << "group sampling allocated in steady state after "
+         "PreallocateSamples -> RegisterGroup";
+  for (auto _ : state) {
+    if (taken >= kPrealloc) {
+      state.PauseTiming();
+      rig = make_rig();
+      for (int i = 0; i < 4; ++i) {
+        sample();
+      }
+      state.ResumeTiming();
+    }
+    sample();
+  }
+  state.SetItemsProcessed(state.iterations() * rig->dc.num_servers());
+  state.SetLabel("prealloc_then_register_group_zero_alloc");
+}
+BENCHMARK(BM_GroupSamplingSteadyState);
 
 void BM_SchedulerPlacement(benchmark::State& state) {
   obs::MetricsRegistry registry;
@@ -384,6 +499,57 @@ void BM_TimeSeriesAppendInterned(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TimeSeriesAppendInterned);
+
+// Bulk ingest: one AppendBatch call per batch (Arg1 == 1) vs the same batch
+// fed through the per-point interned Append (Arg1 == 0). Both arms pay the
+// identical batch-fill loop; the delta is the per-point call + order-check
+// overhead the batch form amortizes to once per batch. Storage is reserved
+// up front and the db is rebuilt (untimed) when the reservation is
+// exhausted, so neither arm ever times a reallocation.
+void BM_TimeSeriesAppendBatch(benchmark::State& state) {
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  const bool batched = state.range(1) == 1;
+  constexpr size_t kReserve = size_t{1} << 22;
+  std::optional<TimeSeriesDb> db;
+  SeriesId id;
+  size_t appended = 0;
+  auto reset_db = [&] {
+    db.emplace();
+    id = db->Intern("bench");
+    db->ReservePoints(id, kReserve + batch_size);
+    appended = 0;
+  };
+  reset_db();
+  std::vector<TimePoint> batch(batch_size);
+  int64_t t = 0;
+  for (auto _ : state) {
+    if (appended >= kReserve) {
+      state.PauseTiming();
+      reset_db();
+      t = 0;
+      state.ResumeTiming();
+    }
+    for (TimePoint& p : batch) {
+      p = TimePoint{SimTime::Micros(t++), 1.0};
+    }
+    if (batched) {
+      db->AppendBatch(id, batch);
+    } else {
+      for (const TimePoint& p : batch) {
+        db->Append(id, p.time, p.value);
+      }
+    }
+    appended += batch_size;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch_size));
+  state.SetLabel(batched ? "append_batch" : "append_per_point");
+}
+BENCHMARK(BM_TimeSeriesAppendBatch)
+    ->Args({64, 1})
+    ->Args({64, 0})
+    ->Args({420, 1})
+    ->Args({420, 0});
 
 // The map probe in isolation (Find by name), for decomposing the string-
 // minus-interned delta above.

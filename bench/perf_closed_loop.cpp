@@ -6,7 +6,8 @@
 // emits a machine-readable record (BENCH_perf_closed_loop.json) that CI
 // compares against the committed baseline.
 //
-// Phases, per topology (small 84 / paper 420 / fleet4x 1680 servers):
+// Phases, per topology (small 84 / paper 420 / fleet4x 1680 / hyperscale
+// 6720 servers; --huge adds a 26880-server tier):
 //   closed_loop  — a full ControlledExperiment (workload + scheduler +
 //                  monitor + controller + breaker) for several simulated
 //                  hours; reports steps/sec (sim events per wall second)
@@ -25,28 +26,51 @@
 // event — enforced whenever the committed baseline says
 // "require_zero_alloc": true (CI runs `--check=BENCH_perf_closed_loop.json`).
 //
-// Flags:
-//   --json=PATH    write the current numbers as JSON
-//   --check=PATH   compare against a committed baseline: fail (exit 1) on a
-//                  >25% steps/sec regression on any topology, or on any
-//                  steady-state allocation when the baseline requires zero
-//   --quick        quarter-length closed loops (for smoke use)
+// Thread scaling: when the host has >= 2 hardware threads (or --jobs forces
+// it), the hyperscale tier additionally measures the sharded sample pass
+// and the closed loop at several --jobs values. The serial (jobs=1)
+// numbers remain the baseline-checked ones — they are host-portable; the
+// parallel block is reported for scaling visibility and is byte-identical
+// in *results* to the serial run by construction (counter-based noise +
+// static partitions), only faster.
 //
-// The committed BENCH_perf_closed_loop.json also archives the pre-rebuild
-// numbers under "pre_change" so the speedup this PR documented stays
-// auditable; --check ignores that block.
+// Flags:
+//   --json=PATH        write the current numbers as JSON
+//   --check=PATH       compare against a committed baseline: fail (exit 1)
+//                      on a >25% steps/sec regression on any topology, or on
+//                      any steady-state allocation when the baseline
+//                      requires zero
+//   --quick            quarter-length closed loops (for smoke use)
+//   --jobs=N           force the parallel sweep up to N lanes (default:
+//                      hardware_concurrency; 1 disables the sweep)
+//   --huge             add the 64-row (26880-server) tier
+//   --trajectory=PATH  append a dated {date, commit, per-topology steps/s}
+//                      entry to the perf-trajectory JSON (commit read from
+//                      $AMPERE_COMMIT, "unknown" if unset)
+//
+// The committed bench/BENCH_perf_closed_loop.json also archives the
+// pre-rebuild numbers under "pre_change" so the speedup each PR documented
+// stays auditable; --check ignores that block. The repo-root
+// BENCH_perf_closed_loop.json is the longitudinal trajectory file that
+// --trajectory appends to.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
+#include <memory>
 #include <new>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/core/controller.h"
 #include "src/core/experiment.h"
 #include "src/obs/metrics.h"
@@ -144,6 +168,12 @@ struct TopologyResult {
   SampleStats sample;
   EventStats events;
   double tick_ns = 0.0;  // Paper topology only; 0 elsewhere.
+  // Thread-scaling sweep (hyperscale tier on multicore hosts only): the
+  // sharded sample pass at each jobs value, plus one parallel closed loop
+  // at the top jobs value. Empty/zero when the sweep did not run.
+  std::vector<std::pair<int, SampleStats>> sample_sweep;
+  int parallel_jobs = 0;
+  ClosedLoopStats closed_loop_parallel;
 };
 
 TopologyConfig MakeTopology(const TopologySpec& spec) {
@@ -159,9 +189,11 @@ TopologyConfig MakeTopology(const TopologySpec& spec) {
 
 // --- Phase: full closed loop --------------------------------------------
 
-ClosedLoopStats RunClosedLoop(const TopologySpec& spec, double hours) {
+ClosedLoopStats RunClosedLoop(const TopologySpec& spec, double hours,
+                              int jobs = 1) {
   ExperimentConfig config;
   config.seed = kSeed;
+  config.jobs = jobs;
   config.topology = MakeTopology(spec);
   config.over_provision_ratio = 0.25;
   config.workload.arrivals.base_rate_per_min = ArrivalRateForNormalizedPower(
@@ -190,11 +222,20 @@ ClosedLoopStats RunClosedLoop(const TopologySpec& spec, double hours) {
 // A loaded fleet whose monitor is sampled in a tight loop. obs is switched
 // off for the measured section so the numbers isolate the telemetry path
 // itself (the obs overhead has its own micro bench).
-SampleStats RunSamplePhase(const TopologySpec& spec) {
+SampleStats RunSamplePhase(const TopologySpec& spec, int jobs = 1) {
   Simulation sim;
   DataCenter dc(MakeTopology(spec), &sim);
   TimeSeriesDb db;
   PowerMonitor monitor(&dc, &db, PowerMonitorConfig{}, Rng(kSeed));
+  std::unique_ptr<ThreadPool> pool;
+  if (jobs >= 2) {
+    // jobs lanes total: this thread + jobs-1 workers, matching
+    // ExperimentConfig::jobs semantics. Pool creation allocates; it happens
+    // here, before the measured section, so steady-state allocs stay zero.
+    pool = std::make_unique<ThreadPool>(jobs - 1);
+    monitor.SetThreadPool(pool.get());
+    dc.SetThreadPool(pool.get());
+  }
   for (int32_t s = 0; s < dc.num_servers(); ++s) {
     dc.PlaceTask(ServerId(s), TaskSpec{JobId(s), Resources{8.0, 8.0},
                                        SimTime::Hours(100000)});
@@ -343,25 +384,101 @@ void AppendJson(std::ostringstream& out, const TopologyResult& r,
                 r.events.ns_per_event, r.events.allocs_per_event);
   out << buffer;
   if (r.tick_ns > 0.0) {
-    std::snprintf(buffer, sizeof(buffer), ",\n      \"tick_ns\": %.0f\n",
+    std::snprintf(buffer, sizeof(buffer), ",\n      \"tick_ns\": %.0f",
                   r.tick_ns);
     out << buffer;
-  } else {
-    out << "\n";
   }
-  out << "    }" << (last ? "\n" : ",\n");
+  if (!r.sample_sweep.empty()) {
+    // Parallel block last, so CheckAgainstBaseline's first-occurrence
+    // lookups keep resolving to the serial numbers above.
+    out << ",\n      \"parallel\": {";
+    for (size_t i = 0; i < r.sample_sweep.size(); ++i) {
+      std::snprintf(buffer, sizeof(buffer),
+                    "%s\"sample_jobs%d\": {\"ns_per_pass\": %.0f, "
+                    "\"allocs_per_pass\": %.3f}",
+                    i == 0 ? "" : ", ", r.sample_sweep[i].first,
+                    r.sample_sweep[i].second.ns_per_pass,
+                    r.sample_sweep[i].second.allocs_per_pass);
+      out << buffer;
+    }
+    if (r.parallel_jobs > 0) {
+      std::snprintf(buffer, sizeof(buffer),
+                    ", \"closed_loop_jobs\": %d, "
+                    "\"closed_loop_steps_per_sec\": %.0f",
+                    r.parallel_jobs,
+                    r.closed_loop_parallel.steps_per_sec);
+      out << buffer;
+    }
+    out << "}";
+  }
+  out << "\n    }" << (last ? "\n" : ",\n");
 }
 
 std::string ToJson(const std::vector<TopologyResult>& results) {
   std::ostringstream out;
-  out << "{\n  \"bench\": \"perf_closed_loop\",\n  \"schema\": 1,\n";
+  out << "{\n  \"bench\": \"perf_closed_loop\",\n  \"schema\": 2,\n";
   out << "  \"require_zero_alloc\": true,\n";
+  out << "  \"hw_threads\": " << std::thread::hardware_concurrency() << ",\n";
   out << "  \"topologies\": {\n";
   for (size_t i = 0; i < results.size(); ++i) {
     AppendJson(out, results[i], i + 1 == results.size());
   }
   out << "  }\n}\n";
   return out.str();
+}
+
+// --- Perf trajectory -------------------------------------------------------
+
+// Appends one dated entry to the longitudinal trajectory JSON:
+//   {"date": "...", "commit": "...", "steps_per_sec": {topo: N, ...}}
+// The file is this bench's own shape ({"entries": [ ... ]}); a missing or
+// unrecognized file is recreated fresh.
+void AppendTrajectory(const std::string& path,
+                      const std::vector<TopologyResult>& results) {
+  std::ostringstream entry;
+  const char* commit = std::getenv("AMPERE_COMMIT");
+  char date[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  if (std::tm* tm = std::gmtime(&now)) {
+    std::strftime(date, sizeof(date), "%Y-%m-%d", tm);
+  }
+  entry << "    {\"date\": \"" << date << "\", \"commit\": \""
+        << (commit != nullptr ? commit : "unknown")
+        << "\", \"steps_per_sec\": {";
+  for (size_t i = 0; i < results.size(); ++i) {
+    char buffer[96];
+    std::snprintf(buffer, sizeof(buffer), "%s\"%s\": %.0f",
+                  i == 0 ? "" : ", ", results[i].name.c_str(),
+                  results[i].closed_loop.steps_per_sec);
+    entry << buffer;
+  }
+  entry << "}}";
+
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      text = buffer.str();
+    }
+  }
+  const size_t close = text.rfind("\n  ]");
+  std::string out;
+  if (close == std::string::npos) {
+    out = "{\n  \"bench\": \"perf_closed_loop_trajectory\",\n"
+          "  \"schema\": 1,\n  \"entries\": [\n" +
+          entry.str() + "\n  ]\n}\n";
+  } else {
+    // Comma-join unless the entries array is still empty.
+    size_t tail = text.find_last_not_of(" \t\r\n", close);
+    const bool has_entries = tail != std::string::npos && text[tail] == '}';
+    out = text.substr(0, close) + (has_entries ? ",\n" : "\n") + entry.str() +
+          text.substr(close);
+  }
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  file << out;
+  std::printf("appended trajectory entry to %s\n", path.c_str());
 }
 
 // Minimal scanner for our own JSON shape: finds `"key": <number>` after the
@@ -437,30 +554,51 @@ bool CheckAgainstBaseline(const std::string& path,
 int Main(int argc, char** argv) {
   std::string json_path;
   std::string check_path;
+  std::string trajectory_path;
   bool quick = false;
+  bool huge = false;
+  int jobs_flag = 0;  // 0 = auto (hardware_concurrency).
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
     } else if (arg.rfind("--check=", 0) == 0) {
       check_path = arg.substr(8);
+    } else if (arg.rfind("--trajectory=", 0) == 0) {
+      trajectory_path = arg.substr(13);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs_flag = std::atoi(arg.c_str() + 7);
     } else if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--huge") {
+      huge = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
     }
   }
 
-  const std::vector<TopologySpec> specs = {
+  std::vector<TopologySpec> specs = {
       {"small", 1, 2, 96.0},
       {"paper", 1, 10, 72.0},
       {"fleet4x", 4, 10, 24.0},
+      {"hyperscale", 16, 10, 8.0},
   };
+  if (huge) {
+    specs.push_back({"huge", 64, 10, 2.0});
+  }
 
-  std::printf("perf_closed_loop: hot-path throughput (seed=%llu%s)\n",
+  // Parallel sweep lane count: explicit --jobs wins; otherwise the host's
+  // hardware threads. <= 1 (the 1-core CI container) disables the sweep —
+  // speedups are unmeasurable there, and the serial numbers are the
+  // baseline-checked contract anyway.
+  const int max_jobs =
+      jobs_flag > 0 ? jobs_flag
+                    : static_cast<int>(std::thread::hardware_concurrency());
+
+  std::printf("perf_closed_loop: hot-path throughput (seed=%llu%s%s)\n",
               static_cast<unsigned long long>(kSeed),
-              quick ? ", quick" : "");
+              quick ? ", quick" : "", max_jobs >= 2 ? ", parallel sweep" : "");
   std::vector<TopologyResult> results;
   for (const TopologySpec& spec : specs) {
     TopologyResult r;
@@ -475,7 +613,7 @@ int Main(int argc, char** argv) {
       r.tick_ns = RunTickPhase(spec);
     }
     std::printf(
-        "  [%7s] %4d servers | closed loop %5.2f sim-h in %6.2fs "
+        "  [%10s] %5d servers | closed loop %5.2f sim-h in %6.2fs "
         "(%8.0f steps/s, %6.1f sim-min/s) | sample %9.0f samples/s "
         "(%6.0f ns/pass, %.3f allocs/pass) | events %5.1f ns "
         "(%.3f allocs)%s\n",
@@ -485,7 +623,37 @@ int Main(int argc, char** argv) {
         r.sample.allocs_per_pass, r.events.ns_per_event,
         r.events.allocs_per_event, r.tick_ns > 0.0 ? " | tick" : "");
     if (r.tick_ns > 0.0) {
-      std::printf("  [%7s] controller tick: %.0f ns\n", spec.name, r.tick_ns);
+      std::printf("  [%10s] controller tick: %.0f ns\n", spec.name,
+                  r.tick_ns);
+    }
+    if (std::strcmp(spec.name, "hyperscale") == 0 && max_jobs >= 2) {
+      // Thread-scaling sweep on the largest default tier: sample pass at
+      // 2/4/8 lanes (clamped to max_jobs), closed loop at the top value.
+      std::vector<int> sweep;
+      for (int j : {2, 4, 8}) {
+        if (j <= max_jobs) {
+          sweep.push_back(j);
+        }
+      }
+      if (sweep.empty() || sweep.back() != max_jobs) {
+        sweep.push_back(std::min(max_jobs, 16));
+      }
+      for (int j : sweep) {
+        SampleStats s = RunSamplePhase(spec, j);
+        std::printf("  [%10s] sample x%d jobs: %6.0f ns/pass (%.2fx, "
+                    "%.3f allocs/pass)\n",
+                    spec.name, j, s.ns_per_pass,
+                    r.sample.ns_per_pass / s.ns_per_pass, s.allocs_per_pass);
+        r.sample_sweep.emplace_back(j, s);
+      }
+      r.parallel_jobs = sweep.back();
+      r.closed_loop_parallel =
+          RunClosedLoop(spec, hours, r.parallel_jobs);
+      std::printf("  [%10s] closed loop x%d jobs: %8.0f steps/s (%.2fx)\n",
+                  spec.name, r.parallel_jobs,
+                  r.closed_loop_parallel.steps_per_sec,
+                  r.closed_loop_parallel.steps_per_sec /
+                      r.closed_loop.steps_per_sec);
     }
     results.push_back(std::move(r));
   }
@@ -497,6 +665,10 @@ int Main(int argc, char** argv) {
     std::printf("wrote %s\n", json_path.c_str());
   } else {
     std::printf("%s", json.c_str());
+  }
+
+  if (!trajectory_path.empty()) {
+    AppendTrajectory(trajectory_path, results);
   }
 
   if (!check_path.empty()) {

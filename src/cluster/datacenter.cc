@@ -34,6 +34,11 @@ DataCenter::DataCenter(const TopologyConfig& config, Simulation* sim)
         << "sleep floor must be below every generation's idle power";
   }
 
+  const size_t total_servers = static_cast<size_t>(config.num_rows) *
+                               static_cast<size_t>(config.racks_per_row) *
+                               static_cast<size_t>(config.servers_per_rack);
+  servers_.reserve(total_servers);
+
   int32_t next_server = 0;
   int32_t next_rack = 0;
   double total_idle = 0.0;
@@ -41,6 +46,7 @@ DataCenter::DataCenter(const TopologyConfig& config, Simulation* sim)
     RowId row_id(r);
     RowState row;
     row.breaker = CircuitBreaker(config.breaker);
+    row.server_range.begin = static_cast<size_t>(next_server);
     double row_rated = 0.0;
     for (int k = 0; k < config.racks_per_row; ++k) {
       RackId rack_id(next_rack++);
@@ -49,6 +55,7 @@ DataCenter::DataCenter(const TopologyConfig& config, Simulation* sim)
           models_[static_cast<size_t>(rack_id.value()) % models_.size()];
       RackState rack;
       rack.row = row_id;
+      rack.server_range.begin = static_cast<size_t>(next_server);
       for (int s = 0; s < config.servers_per_rack; ++s) {
         ServerId server_id(next_server++);
         servers_.emplace_back(server_id, rack_id, row_id,
@@ -57,6 +64,7 @@ DataCenter::DataCenter(const TopologyConfig& config, Simulation* sim)
         rack.servers.push_back(server_id);
         row.servers.push_back(server_id);
       }
+      rack.server_range.end = static_cast<size_t>(next_server);
       double rack_rated = static_cast<double>(config.servers_per_rack) *
                           model.rated_watts();
       rack.budget_watts = config.rack_budget_watts > 0.0
@@ -69,6 +77,7 @@ DataCenter::DataCenter(const TopologyConfig& config, Simulation* sim)
       row.racks.push_back(rack_id);
       racks_.push_back(std::move(rack));
     }
+    row.server_range.end = static_cast<size_t>(next_server);
     row.budget_watts = config.row_budget_watts > 0.0
                            ? config.row_budget_watts
                            : row_rated;
@@ -79,6 +88,21 @@ DataCenter::DataCenter(const TopologyConfig& config, Simulation* sim)
     rows_.push_back(std::move(row));
   }
   total_power_watts_ = total_idle;
+
+  // Wire the SoA power core: size the arrays once (never resized again, so
+  // the slot pointers below stay valid for the DataCenter's lifetime), hand
+  // every server its slots, and seed the cached values at the initial
+  // operating point (idle, full frequency, awake).
+  AMPERE_CHECK(servers_.size() == total_servers);
+  soa_power_watts_.assign(total_servers, 0.0);
+  soa_dynamic_full_watts_.assign(total_servers, 0.0);
+  soa_utilization_.assign(total_servers, 0.0);
+  for (size_t i = 0; i < total_servers; ++i) {
+    servers_[i].AttachSoaSlots(&soa_power_watts_[i],
+                               &soa_dynamic_full_watts_[i],
+                               &soa_utilization_[i]);
+    servers_[i].RecomputePowerCache();
+  }
 }
 
 bool DataCenter::PlaceTask(ServerId id, const TaskSpec& spec) {
@@ -209,9 +233,14 @@ void DataCenter::RefreshServerPower(ServerId id, double old_power,
 }
 
 double DataCenter::ExactRackPowerWatts(RackId id) const {
+  // Linear scan of the SoA power array over the rack's contiguous index
+  // range — same elements in the same ascending order as the per-server
+  // walk this replaces (server ids are row-major), so the sum is
+  // bit-identical.
+  const RackState& rack = racks_[id.index()];
   double sum = 0.0;
-  for (ServerId sid : racks_[id.index()].servers) {
-    sum += servers_[sid.index()].power_watts();
+  for (size_t i = rack.server_range.begin; i < rack.server_range.end; ++i) {
+    sum += soa_power_watts_[i];
   }
   return sum;
 }
@@ -227,9 +256,10 @@ double DataCenter::ExactRowPowerWatts(RowId id) const {
 }
 
 double DataCenter::ExactRowDynamicFullWatts(RowId id) const {
+  const RowState& row = rows_[id.index()];
   double sum = 0.0;
-  for (ServerId sid : rows_[id.index()].servers) {
-    sum += servers_[sid.index()].dynamic_watts_at_full_freq();
+  for (size_t i = row.server_range.begin; i < row.server_range.end; ++i) {
+    sum += soa_dynamic_full_watts_[i];
   }
   return sum;
 }
@@ -243,25 +273,48 @@ double DataCenter::ExactTotalPowerWatts() const {
 }
 
 void DataCenter::ResummatePowerAggregates() {
+  // Streams the SoA arrays directly: server ids are assigned row-major, so
+  // each rack/row owns a contiguous index range and the per-rack inner loop
+  // is a linear scan over one cache-resident span instead of a pointer-chase
+  // across Server objects.
+  //
+  // The per-row phase shards across the thread pool (one row per shard —
+  // rows write disjoint RackState/RowState fields, so there is no sharing).
+  // Summation order inside a row is identical to the serial loop: servers in
+  // ascending id within each rack, racks in ascending order within the row.
+  // The cross-row total folds serially in row order AFTER the join, so the
+  // result is bit-identical at any thread count (including pool_ == nullptr,
+  // which takes the exact serial path through the ParallelFor guard).
+  const double* power = soa_power_watts_.data();
+  const double* dynamic_full = soa_dynamic_full_watts_.data();
+  ParallelFor(
+      pool_, 0, rows_.size(), /*grain=*/1,
+      [this, power, dynamic_full](size_t row_begin, size_t row_end) {
+        for (size_t r = row_begin; r < row_end; ++r) {
+          RowState& row = rows_[r];
+          double row_sum = 0.0;
+          for (RackId rid : row.racks) {
+            RackState& rack = racks_[rid.index()];
+            double rack_sum = 0.0;
+            for (size_t i = rack.server_range.begin;
+                 i < rack.server_range.end; ++i) {
+              rack_sum += power[i];
+            }
+            rack.power_watts = rack_sum;
+            row_sum += rack_sum;
+          }
+          row.power_watts = row_sum;
+          double dynamic_sum = 0.0;
+          for (size_t i = row.server_range.begin; i < row.server_range.end;
+               ++i) {
+            dynamic_sum += dynamic_full[i];
+          }
+          row.dynamic_full_sum_watts = dynamic_sum;
+        }
+      });
   double total = 0.0;
-  for (RowState& row : rows_) {
-    double row_sum = 0.0;
-    for (RackId rid : row.racks) {
-      RackState& rack = racks_[rid.index()];
-      double rack_sum = 0.0;
-      for (ServerId sid : rack.servers) {
-        rack_sum += servers_[sid.index()].power_watts();
-      }
-      rack.power_watts = rack_sum;
-      row_sum += rack_sum;
-    }
-    row.power_watts = row_sum;
-    double dynamic_sum = 0.0;
-    for (ServerId sid : row.servers) {
-      dynamic_sum += servers_[sid.index()].dynamic_watts_at_full_freq();
-    }
-    row.dynamic_full_sum_watts = dynamic_sum;
-    total += row_sum;
+  for (const RowState& row : rows_) {
+    total += row.power_watts;
   }
   total_power_watts_ = total;
   power_mutations_since_resum_ = 0;

@@ -19,6 +19,7 @@
 
 #include "src/cluster/server.h"
 #include "src/common/ids.h"
+#include "src/common/thread_pool.h"
 #include "src/power/breaker.h"
 #include "src/power/dvfs.h"
 #include "src/power/power_model.h"
@@ -87,6 +88,44 @@ class DataCenter {
     return rows_[row.index()].racks;
   }
   RowId row_of(ServerId id) const { return servers_[id.index()].row(); }
+
+  // --- SoA power core ---
+  // The per-server hot state (current draw, dynamic-at-full-frequency draw,
+  // utilization) lives in contiguous arrays indexed by server id; Server
+  // objects hold slot pointers into them (see Server::AttachSoaSlots).
+  // Topology construction assigns server ids row-major (row 0's racks, then
+  // row 1's, ...), so every row and every rack owns one CONTIGUOUS index
+  // range — a parallel shard over a row range touches cache lines no other
+  // shard writes. Batch consumers (the sharded telemetry sampler, the exact
+  // resummation pass) stream these spans instead of walking Server objects.
+  std::span<const double> server_power_soa() const { return soa_power_watts_; }
+  std::span<const double> server_dynamic_full_soa() const {
+    return soa_dynamic_full_watts_;
+  }
+  std::span<const double> server_utilization_soa() const {
+    return soa_utilization_;
+  }
+  // Half-open [begin, end) server-index ranges; CHECKed contiguous at
+  // construction.
+  struct IndexRange {
+    size_t begin = 0;
+    size_t end = 0;
+    size_t size() const { return end - begin; }
+  };
+  IndexRange server_range_of_row(RowId id) const {
+    return rows_[id.index()].server_range;
+  }
+  IndexRange server_range_of_rack(RackId id) const {
+    return racks_[id.index()].server_range;
+  }
+
+  // Attaches a thread pool for the batch passes (currently the periodic
+  // exact resummation); null (the default) or a single-threaded pool keeps
+  // the exact serial path. Results are bit-identical either way: shards
+  // compute per-row/per-rack sums in the same element order, and the final
+  // cross-row reduction stays serial in row order. `pool` must outlive the
+  // DataCenter or be detached first.
+  void SetThreadPool(ThreadPool* pool) { pool_ = pool; }
 
   // --- Task execution ---
   // Places a task; returns false (and does nothing) if it does not fit.
@@ -191,12 +230,14 @@ class DataCenter {
   struct RackState {
     std::vector<ServerId> servers;
     RowId row;
+    IndexRange server_range;  // Contiguous ids, ascending.
     double power_watts = 0.0;
     double budget_watts = 0.0;
   };
   struct RowState {
     std::vector<ServerId> servers;
     std::vector<RackId> racks;
+    IndexRange server_range;  // Contiguous ids, ascending.
     double power_watts = 0.0;
     double budget_watts = 0.0;           // Physical / provisioned.
     double capping_budget_watts = 0.0;   // Enforcement target for RAPL.
@@ -228,9 +269,15 @@ class DataCenter {
   }
 
   Simulation* sim_;
+  ThreadPool* pool_ = nullptr;  // Not owned; see SetThreadPool.
   // Owns one model per generation; servers point into this vector, which is
   // never resized after construction.
   std::vector<ServerPowerModel> models_;
+  // SoA power core (see the accessor block above). Sized once at
+  // construction; never resized, so Server slot pointers stay valid.
+  std::vector<double> soa_power_watts_;
+  std::vector<double> soa_dynamic_full_watts_;
+  std::vector<double> soa_utilization_;
   DvfsLadder ladder_;
   bool capping_enabled_;
   CappingMode capping_mode_;

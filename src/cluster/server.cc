@@ -6,7 +6,8 @@ Server::Server(ServerId id, RackId rack, RowId row, Resources capacity,
                const ServerPowerModel* power_model)
     : id_(id), rack_(rack), row_(row), capacity_(capacity),
       power_model_(power_model) {
-  RecomputePowerCache();
+  // Power-cache slots are not attached yet: the owning DataCenter calls
+  // AttachSoaSlots + RecomputePowerCache once its SoA arrays are sized.
 }
 
 }  // namespace ampere

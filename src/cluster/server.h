@@ -74,11 +74,19 @@ class Server {
   // mutation, so the telemetry monitor's per-server read is one load instead
   // of a power-model evaluation. The cached value is the same pure function
   // of (asleep, utilization, frequency) the model would return on demand.
-  double power_watts() const { return cached_power_watts_; }
+  //
+  // Storage is structure-of-arrays: the value lives in the owning
+  // DataCenter's contiguous per-server power array (indexed by server id),
+  // and the server holds a handle (slot pointer) into it. Batch consumers —
+  // the sharded telemetry sampler, the periodic exact resummation — stream
+  // the arrays directly instead of hopping across Server objects (which are
+  // large: the task table dominates); these accessors are the AoS-style
+  // view for everyone else.
+  double power_watts() const { return *soa_power_watts_; }
   // Dynamic (above-idle) draw the server would have at full frequency; row
   // capping decisions aggregate this. Cached alongside power_watts().
   double dynamic_watts_at_full_freq() const {
-    return cached_dynamic_full_watts_;
+    return *soa_dynamic_full_watts_;
   }
   double idle_watts() const { return power_model_->idle_watts(); }
   double rated_watts() const { return power_model_->rated_watts(); }
@@ -86,18 +94,30 @@ class Server {
  private:
   friend class DataCenter;
 
+  // Points this server's cached-power/dynamic/utilization reads at its
+  // slots in the owning DataCenter's SoA arrays. Called once after the
+  // DataCenter has sized the arrays (they never resize afterwards, so the
+  // pointers stay valid for the server's lifetime).
+  void AttachSoaSlots(double* power, double* dynamic_full,
+                      double* utilization) {
+    soa_power_watts_ = power;
+    soa_dynamic_full_watts_ = dynamic_full;
+    soa_utilization_ = utilization;
+  }
+
   // Re-evaluates the power model at the current operating point. Called by
   // DataCenter after every mutation of asleep_/waking_/sleep_watts_/
   // allocated_/frequency_ (all of which funnel through DataCenter).
   void RecomputePowerCache() {
+    const double u = utilization();
+    *soa_utilization_ = u;
     if (asleep_) {
-      cached_power_watts_ = sleep_watts_;
-      cached_dynamic_full_watts_ = 0.0;
+      *soa_power_watts_ = sleep_watts_;
+      *soa_dynamic_full_watts_ = 0.0;
       return;
     }
-    const double u = utilization();
-    cached_power_watts_ = power_model_->PowerAt(u, frequency_);
-    cached_dynamic_full_watts_ = power_model_->DynamicPowerAt(u, 1.0);
+    *soa_power_watts_ = power_model_->PowerAt(u, frequency_);
+    *soa_dynamic_full_watts_ = power_model_->DynamicPowerAt(u, 1.0);
   }
 
   struct RunningTask {
@@ -119,8 +139,12 @@ class Server {
   bool waking_ = false;
   double frequency_ = 1.0;
   double sleep_watts_ = 0.0;  // Set by the owning DataCenter.
-  double cached_power_watts_ = 0.0;
-  double cached_dynamic_full_watts_ = 0.0;
+  // Slots into the owning DataCenter's SoA arrays (set by AttachSoaSlots
+  // right after topology construction; never null once the DataCenter
+  // constructor returns).
+  double* soa_power_watts_ = nullptr;
+  double* soa_dynamic_full_watts_ = nullptr;
+  double* soa_utilization_ = nullptr;
   Simulation::EventHandle wake_completion_;
   // Task table nodes churn once per job; the pool allocator recycles them
   // through a per-server free list instead of malloc/free. The hashtable's

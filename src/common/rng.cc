@@ -96,6 +96,29 @@ double Rng::StandardNormal() {
   return r * std::cos(theta);
 }
 
+namespace counter_rng {
+
+NormalPair StandardNormalPair(uint64_t key) {
+  // Two independent uniforms from the key. The key is itself a Mix64
+  // finalizer output (fully avalanched), so it serves as the first word
+  // directly; the second is one further mix of a golden-ratio-offset copy
+  // (distinct bijections of the same key are independent enough for
+  // Box-Muller's purposes).
+  const uint64_t a = key;
+  const uint64_t b = Mix64(key ^ 0x9E3779B97F4A7C15ULL);
+  // u1 in (0, 1] so the log is finite; u2 in [0, 1).
+  const double u1 =
+      1.0 - static_cast<double>(a >> 11) * 0x1.0p-53;  // (0, 1].
+  const double u2 = static_cast<double>(b >> 11) * 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  return NormalPair{r * std::cos(theta), r * std::sin(theta)};
+}
+
+double StandardNormal(uint64_t key) { return StandardNormalPair(key).z0; }
+
+}  // namespace counter_rng
+
 int64_t Rng::Poisson(double mean) {
   if (mean <= 0.0) {
     return 0;

@@ -4,6 +4,15 @@
 // measurement noise, scheduler tie-breaking) owns its own Rng stream, forked
 // from a master seed via SplitMix64. Re-running any benchmark with the same
 // seed reproduces results bit-for-bit.
+//
+// Two flavours live here:
+//   * Rng — a sequential xoshiro256** stream. Draws depend on how many draws
+//     came before, so a consumer must always draw in the same order.
+//   * CounterRng (free functions) — counter-based ("stateless") streams: a
+//     variate is a pure function of (seed, stream, tick). Nothing is drawn
+//     "before" anything else, so values are independent of evaluation order
+//     and thread count — the property the sharded telemetry sampler needs
+//     for bit-identical output at any --jobs value.
 
 #ifndef SRC_COMMON_RNG_H_
 #define SRC_COMMON_RNG_H_
@@ -67,6 +76,72 @@ class Rng {
   uint64_t cached_range_ = 0;
   uint64_t cached_limit_ = 0;
 };
+
+// --- Counter-based (stateless) streams ------------------------------------
+//
+// counter_rng::At(seed, stream, tick) and friends are pure functions: the
+// same arguments always yield the same bits, no matter how many other
+// variates were evaluated, in what order, or on which thread. The mixer is
+// a SplitMix64-style finalizer over an FNV-1a-combined key, which passes
+// the usual avalanche checks and is cheap enough for per-reading use.
+namespace counter_rng {
+
+// SplitMix64 finalizer: bijective 64-bit avalanche mix.
+constexpr uint64_t Mix64(uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr uint64_t kFnvPrime = 0x100000001B3ULL;
+
+// Stage 1 of key derivation: folds (seed, tick) into a per-tick base. Batch
+// consumers evaluating many streams at one tick (the sampler: one stream
+// per server pair, one tick per minute) hoist this out of the per-stream
+// loop — it is the loop-invariant two thirds of the mixing work.
+constexpr uint64_t TickBase(uint64_t seed, uint64_t tick) {
+  uint64_t h = Mix64(seed ^ 0xCBF29CE484222325ULL);
+  return Mix64((h ^ tick) * kFnvPrime);
+}
+
+// Stage 2: folds the stream id into a tick base. One Mix64 per stream.
+constexpr uint64_t StreamKey(uint64_t base, uint64_t stream) {
+  return Mix64((base ^ stream) * kFnvPrime);
+}
+
+// Combines (seed, stream, tick) into one well-mixed 64-bit key — exactly
+// StreamKey(TickBase(seed, tick), stream), so one-off evaluations and
+// hoisted batch loops produce identical bits. FNV-1a-style folds between
+// Mix64 rounds keep distinct argument triples from colliding under simple
+// arithmetic relations (stream+1 vs tick-1, etc.).
+constexpr uint64_t Key(uint64_t seed, uint64_t stream, uint64_t tick) {
+  return StreamKey(TickBase(seed, tick), stream);
+}
+
+// Raw 64-bit variate for a key (a second independent word is Mix64(key^C)).
+constexpr uint64_t U64(uint64_t key) { return Mix64(key); }
+
+// Uniform double in [0, 1) from a key.
+inline double UniformDouble(uint64_t key) {
+  return static_cast<double>(U64(key) >> 11) * 0x1.0p-53;
+}
+
+// Two independent standard-normal variates from one key (one Box-Muller
+// evaluation: z0 = r cos theta, z1 = r sin theta). Callers that map one
+// variate per identity should derive the key from identity/2 and pick by
+// parity — that halves the log/sqrt/trig cost versus one evaluation per
+// identity while every variate stays a pure function of (key, lane).
+struct NormalPair {
+  double z0 = 0.0;
+  double z1 = 0.0;
+};
+NormalPair StandardNormalPair(uint64_t key);
+
+// Single standard normal as a pure function of a key (the z0 lane).
+double StandardNormal(uint64_t key);
+
+}  // namespace counter_rng
 
 }  // namespace ampere
 

@@ -63,6 +63,14 @@ ControlledExperiment::ControlledExperiment(const ExperimentConfig& config)
       dc_(config.topology, &sim_), db_(),
       scheduler_(&dc_, config.scheduler, rng_.Fork(1)),
       monitor_(&dc_, &db_, config.monitor, rng_.Fork(2)) {
+  if (config_.jobs >= 2) {
+    // jobs lanes total: this (simulation) thread plus jobs-1 pool workers.
+    // The pool is instance-owned, so concurrent experiments each get their
+    // own; attaching it never changes results (see ExperimentConfig::jobs).
+    pool_ = std::make_unique<ThreadPool>(config_.jobs - 1);
+    dc_.SetThreadPool(pool_.get());
+    monitor_.SetThreadPool(pool_.get());
+  }
   workload_ = std::make_unique<BatchWorkload>(config_.workload, &sim_,
                                               &scheduler_, &ids_,
                                               rng_.Fork(3));

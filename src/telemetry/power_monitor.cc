@@ -10,11 +10,13 @@ namespace ampere {
 
 PowerMonitor::PowerMonitor(DataCenter* dc, TimeSeriesDb* db,
                            const PowerMonitorConfig& config, Rng rng)
-    : dc_(dc), db_(db), config_(config), rng_(rng),
+    : dc_(dc), db_(db), config_(config), noise_seed_(rng.NextU64()),
       latest_server_watts_(static_cast<size_t>(dc->num_servers()), 0.0),
       latest_row_watts_(static_cast<size_t>(dc->num_rows()), 0.0),
       latest_row_stamp_(static_cast<size_t>(dc->num_rows()),
-                        SimTime::Micros(-1)) {
+                        SimTime::Micros(-1)),
+      scratch_rack_watts_(static_cast<size_t>(dc->num_racks()), 0.0),
+      scratch_row_watts_(static_cast<size_t>(dc->num_rows()), 0.0) {
   AMPERE_CHECK(dc != nullptr && db != nullptr);
   AMPERE_CHECK(config.interval > SimTime());
 
@@ -80,6 +82,12 @@ void PowerMonitor::RegisterGroup(const std::string& name,
   }
   group.servers = std::move(servers);
   group.series = db_->Intern(group.channel);
+  if (preallocated_points_ > 0) {
+    // PreallocateSamples already ran; reserve this series to match so the
+    // group's steady-state appends stay allocation-free too (previously a
+    // group registered after the prealloc pass kept growing its vector).
+    db_->ReservePoints(group.series, preallocated_points_);
+  }
   groups_.push_back(std::move(group));
 }
 
@@ -91,6 +99,7 @@ void PowerMonitor::Start(SimTime first_sample) {
 }
 
 void PowerMonitor::PreallocateSamples(size_t expected_samples) {
+  preallocated_points_ = expected_samples;
   for (SeriesId id : server_series_) {
     db_->ReservePoints(id, expected_samples);
   }
@@ -120,51 +129,177 @@ void PowerMonitor::SampleOnce(SimTime stamp) {
     AMPERE_COUNTER_ADD("faults.telemetry_stalls", 1);
     return;
   }
+  // Noise tick: the index of this non-stalled sample. A pure function of
+  // the sample sequence, so every reading's noise key is independent of
+  // wall-clock sharding AND of faults dropping other readings.
+  const uint64_t tick = samples_taken_;
   ++samples_taken_;
   AMPERE_COUNTER_ADD("telemetry.samples", 1);
   latest_sample_time_ = stamp;
 
+  if (injector_ == nullptr) {
+    SampleCleanPass(stamp, tick);
+  } else {
+    // Fault draws (drops, sensor garbage) are a sequential Rng stream, so
+    // the faulted pass stays serial regardless of the attached pool.
+    SampleFaultedPass(stamp, tick);
+  }
+}
+
+void PowerMonitor::ReadServersClean(size_t begin, size_t end, uint64_t tick) {
+  // True draw + counter-based sensor noise, then watt quantization. The
+  // pairwise loop evaluates one Box-Muller per two servers (the same pair
+  // NoiseAt would compute for either of them), so the values are
+  // bit-identical whichever helper produced them — and identical for any
+  // shard boundary, since each server's noise depends only on (server,
+  // tick).
+  std::span<const double> truth = dc_->server_power_soa();
+  const double sigma = config_.noise_sigma_watts;
+  const bool quantize = config_.quantize_to_watts;
+  // Hoist the loop-invariant (seed, tick) half of the key derivation; the
+  // per-pair remainder is one StreamKey mix. StreamKey(base, s) ==
+  // Key(noise_seed_, s, tick), so these values match NoiseAt exactly.
+  const uint64_t base = counter_rng::TickBase(noise_seed_, tick);
+  auto finish = [quantize](double reading) {
+    if (quantize) {
+      reading = std::round(reading);
+    }
+    return reading < 0.0 ? 0.0 : reading;
+  };
+  size_t i = begin;
+  if ((i & 1) != 0 && i < end) {
+    latest_server_watts_[i] = finish(truth[i] + NoiseAt(i, tick));
+    ++i;
+  }
+  for (; i + 1 < end; i += 2) {
+    const uint64_t key =
+        counter_rng::StreamKey(base, static_cast<uint64_t>(i >> 1));
+    const counter_rng::NormalPair pair = counter_rng::StandardNormalPair(key);
+    latest_server_watts_[i] = finish(truth[i] + sigma * pair.z0);
+    latest_server_watts_[i + 1] = finish(truth[i + 1] + sigma * pair.z1);
+  }
+  if (i < end) {
+    latest_server_watts_[i] = finish(truth[i] + NoiseAt(i, tick));
+  }
+}
+
+void PowerMonitor::SampleCleanPass(SimTime stamp, uint64_t tick) {
+  const size_t num_servers = static_cast<size_t>(dc_->num_servers());
+  const size_t num_rows = static_cast<size_t>(dc_->num_rows());
+
+  // Phase A: per-server readings. Shards write disjoint slots of
+  // latest_server_watts_; each value is a pure function of (server, tick),
+  // so the array contents are independent of the shard boundaries.
+  ParallelFor(pool_, 0, num_servers, /*grain=*/256,
+              [this, tick](size_t b, size_t e) {
+                ReadServersClean(b, e, tick);
+              });
+
+  // Phase B: per-row aggregation. One row per shard minimum; a row's racks
+  // and servers occupy contiguous index ranges, so each shard streams its
+  // own span of the readings array and writes its own scratch slots.
+  // Summation order inside each sum matches the serial loops exactly
+  // (servers ascending within rack; servers ascending within row).
+  const bool record_racks = config_.record_racks;
+  ParallelFor(
+      pool_, 0, num_rows, /*grain=*/1,
+      [this, record_racks](size_t row_begin, size_t row_end) {
+        for (size_t r = row_begin; r < row_end; ++r) {
+          const RowId row_id(static_cast<int32_t>(r));
+          if (record_racks) {
+            for (RackId rid : dc_->racks_in_row(row_id)) {
+              const DataCenter::IndexRange range =
+                  dc_->server_range_of_rack(rid);
+              double sum = 0.0;
+              for (size_t i = range.begin; i < range.end; ++i) {
+                sum += latest_server_watts_[i];
+              }
+              scratch_rack_watts_[static_cast<size_t>(rid.index())] = sum;
+            }
+          }
+          const DataCenter::IndexRange range = dc_->server_range_of_row(row_id);
+          double sum = 0.0;
+          for (size_t i = range.begin; i < range.end; ++i) {
+            sum += latest_server_watts_[i];
+          }
+          scratch_row_watts_[r] = sum;
+        }
+      });
+
+  // Serial flush in fixed order — servers, racks, rows, total, groups — so
+  // TimeSeriesDb contents are byte-identical at any job count.
+  if (config_.record_servers) {
+    for (size_t s = 0; s < num_servers; ++s) {
+      db_->Append(server_series_[s], stamp, latest_server_watts_[s]);
+    }
+  }
+  if (config_.record_racks) {
+    const size_t num_racks = static_cast<size_t>(dc_->num_racks());
+    for (size_t r = 0; r < num_racks; ++r) {
+      db_->Append(rack_series_[r], stamp, scratch_rack_watts_[r]);
+    }
+  }
+  double total = 0.0;
+  for (size_t r = 0; r < num_rows; ++r) {
+    const double sum = scratch_row_watts_[r];
+    latest_row_watts_[r] = sum;
+    latest_row_stamp_[r] = stamp;
+    total += sum;
+    if (config_.record_rows) {
+      db_->Append(row_series_[r], stamp, sum);
+    }
+  }
+  if (config_.record_total) {
+    db_->Append(total_series_, stamp, total);
+  }
+  for (Group& group : groups_) {
+    double sum = 0.0;
+    for (ServerId sid : group.servers) {
+      sum += latest_server_watts_[sid.index()];
+    }
+    group.latest_watts = sum;
+    group.latest_stamp = stamp;
+    db_->Append(group.series, stamp, sum);
+  }
+}
+
+void PowerMonitor::SampleFaultedPass(SimTime stamp, uint64_t tick) {
   // Which row feeds are dark this pass. A blacked-out row monitor returns
   // nothing: its servers' readings are not refreshed and no row point is
   // appended until the window ends.
   bool any_dark = false;
-  if (injector_ != nullptr) {
-    row_dark_.assign(static_cast<size_t>(dc_->num_rows()), 0);
-    for (int32_t r = 0; r < dc_->num_rows(); ++r) {
-      if (injector_->ChannelBlackedOut(row_channel_[static_cast<size_t>(r)],
-                                       stamp)) {
-        row_dark_[static_cast<size_t>(r)] = 1;
-        any_dark = true;
-        AMPERE_COUNTER_ADD("faults.blackout_rows", 1);
-      }
+  row_dark_.assign(static_cast<size_t>(dc_->num_rows()), 0);
+  for (int32_t r = 0; r < dc_->num_rows(); ++r) {
+    if (injector_->ChannelBlackedOut(row_channel_[static_cast<size_t>(r)],
+                                     stamp)) {
+      row_dark_[static_cast<size_t>(r)] = 1;
+      any_dark = true;
+      AMPERE_COUNTER_ADD("faults.blackout_rows", 1);
     }
   }
   auto dark_row = [&](RowId id) {
     return any_dark && row_dark_[static_cast<size_t>(id.index())] != 0;
   };
 
-  // Read every server once through "IPMI": true draw + sensor noise, then
-  // watt quantization. All aggregates sum these readings (not the true
-  // values), as the streaming aggregation pipeline would. Fault order per
-  // reading: the regular noise draw always happens first (keeps the sensor
-  // noise stream aligned with a fault-free run), then the injector decides
-  // whether the reading arrived and what garbage rode along with it.
+  // Read every surviving server once through "IPMI". All aggregates sum
+  // these readings (not the true values), as the streaming aggregation
+  // pipeline would. Counter-based noise keys off (server, tick), so a
+  // dropped reading consumes nothing from any stream — the next pass's
+  // noise is automatically aligned with a fault-free run's.
   for (int32_t s = 0; s < dc_->num_servers(); ++s) {
     ServerId id(s);
-    double reading = dc_->server_power_watts(id) +
-                     rng_.Normal(0.0, config_.noise_sigma_watts);
-    if (injector_ != nullptr) {
-      if (dark_row(dc_->row_of(id))) {
-        // The row's monitor feed is dark: no reading at all.
-        continue;
-      }
-      if (injector_->DropServerSample()) {
-        // Reading never arrived; the pipeline keeps the last-known value.
-        AMPERE_COUNTER_ADD("faults.dropped_samples", 1);
-        continue;
-      }
-      reading += injector_->SensorAdjustWatts();
+    if (dark_row(dc_->row_of(id))) {
+      // The row's monitor feed is dark: no reading at all.
+      continue;
     }
+    if (injector_->DropServerSample()) {
+      // Reading never arrived; the pipeline keeps the last-known value.
+      AMPERE_COUNTER_ADD("faults.dropped_samples", 1);
+      continue;
+    }
+    double reading = dc_->server_power_watts(id) +
+                     NoiseAt(static_cast<size_t>(s), tick) +
+                     injector_->SensorAdjustWatts();
     if (config_.quantize_to_watts) {
       reading = std::round(reading);
     }
@@ -214,8 +349,7 @@ void PowerMonitor::SampleOnce(SimTime stamp) {
   }
 
   for (Group& group : groups_) {
-    if (injector_ != nullptr &&
-        injector_->ChannelBlackedOut(group.channel, stamp)) {
+    if (injector_->ChannelBlackedOut(group.channel, stamp)) {
       // The group's own virtual feed is dark; value and stamp stay put.
       continue;
     }

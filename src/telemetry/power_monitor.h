@@ -17,16 +17,28 @@
 // TimeSeriesDb at construction / RegisterGroup time, so the steady-state
 // SampleOnce never hashes a string, never formats a name, and (after
 // PreallocateSamples) never allocates.
+//
+// Noise is counter-based: each per-server reading's measurement noise is a
+// pure function of (noise seed, server id, sample tick) — see
+// counter_rng in common/rng.h. That makes a reading independent of how many
+// other readings were produced before it and on which thread, which is what
+// lets the sample pass shard across a thread pool (SetThreadPool) while
+// staying byte-identical to the serial pass. The sharded pass reads the
+// DataCenter's SoA power array by contiguous row/rack index ranges and
+// flushes aggregates serially in fixed (server, rack, row, total, group)
+// order, so TimeSeriesDb contents do not depend on the job count.
 
 #ifndef SRC_TELEMETRY_POWER_MONITOR_H_
 #define SRC_TELEMETRY_POWER_MONITOR_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/cluster/datacenter.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/faults/fault_injector.h"
 #include "src/telemetry/timeseries_db.h"
 
@@ -67,11 +79,26 @@ class PowerMonitor {
  public:
   // `dc`, `db`, and the simulation behind them must outlive the monitor.
   // Interns every topology series (per config flags) into `db` up front.
+  // `rng` contributes exactly one draw: the seed of the counter-based noise
+  // streams (so distinct monitor forks still get distinct noise).
   PowerMonitor(DataCenter* dc, TimeSeriesDb* db, const PowerMonitorConfig& config,
                Rng rng);
 
-  // Adds a virtual aggregation group; must be called before Start.
+  // Adds a virtual aggregation group; must be called before Start. If
+  // PreallocateSamples already ran, the group's series is reserved to the
+  // same point count so late-registered groups do not reintroduce
+  // steady-state allocation.
   void RegisterGroup(const std::string& name, std::vector<ServerId> servers);
+
+  // Attaches a thread pool for the clean (fault-free) sample pass; null
+  // (the default) or a single-lane pool takes the exact serial path through
+  // the ParallelFor guard. Output is byte-identical either way: per-server
+  // noise is counter-based, shard-local sums follow the same element order
+  // as the serial loops, and the TimeSeriesDb flush stays serial in fixed
+  // order. Passes with a fault injector attached always run serially (the
+  // injector's fault draws are a sequential stream). `pool` must outlive
+  // the monitor or be detached first.
+  void SetThreadPool(ThreadPool* pool) { pool_ = pool; }
 
   // Attaches a fault injector (may be null to detach). Sampling then honors
   // the injector's telemetry faults: whole-pipeline stalls skip the sample
@@ -136,10 +163,33 @@ class PowerMonitor {
   bool FeedBlackedOut(std::string_view series, SimTime now) const;
   const Group& FindGroupOrDie(const std::string& name) const;
 
+  // Measurement noise for one server at one sample tick: sigma * z where z
+  // is the counter-based standard normal for (noise_seed_, server, tick).
+  // Servers share Box-Muller pairs two-by-two (key from server/2, lane from
+  // server&1); this helper evaluates the pair and picks the lane, so its
+  // value is bit-identical to the batched pairwise loop in the clean pass.
+  double NoiseAt(size_t server, uint64_t tick) const {
+    const uint64_t key = counter_rng::Key(
+        noise_seed_, static_cast<uint64_t>(server >> 1), tick);
+    const counter_rng::NormalPair pair = counter_rng::StandardNormalPair(key);
+    return config_.noise_sigma_watts *
+           ((server & 1) == 0 ? pair.z0 : pair.z1);
+  }
+
+  // Fault-free sample pass: sharded per-server reads (phase A) and per-row
+  // aggregation into scratch (phase B), then a serial flush in fixed order.
+  void SampleCleanPass(SimTime stamp, uint64_t tick);
+  // Phase A body: noisy quantized readings for servers [begin, end).
+  void ReadServersClean(size_t begin, size_t end, uint64_t tick);
+  // Fault-aware serial pass (injector attached).
+  void SampleFaultedPass(SimTime stamp, uint64_t tick);
+
   DataCenter* dc_;
   TimeSeriesDb* db_;
   PowerMonitorConfig config_;
-  Rng rng_;
+  // Seed of the counter-based noise streams (one draw from the ctor Rng).
+  uint64_t noise_seed_ = 0;
+  ThreadPool* pool_ = nullptr;  // Not owned; see SetThreadPool.
   faults::FaultInjector* injector_ = nullptr;
   std::vector<Group> groups_;
   // Interned handles, filled at construction per the config's record flags
@@ -158,6 +208,14 @@ class PowerMonitor {
   // Scratch for the per-pass dark-row bitmap (only touched with an injector
   // attached); member so faulted passes do not allocate either.
   std::vector<char> row_dark_;
+  // Phase-B scratch for the clean pass: per-rack and per-row sums, written
+  // by disjoint shards and flushed serially. Members (sized at
+  // construction) so the sharded pass allocates nothing.
+  std::vector<double> scratch_rack_watts_;
+  std::vector<double> scratch_row_watts_;
+  // Point count from the last PreallocateSamples, so late RegisterGroup
+  // calls can reserve their series to match.
+  size_t preallocated_points_ = 0;
   SimTime latest_sample_time_;
   uint64_t samples_taken_ = 0;
   uint64_t samples_stalled_ = 0;

@@ -88,6 +88,30 @@ class TimeSeriesDb {
     points.push_back(TimePoint{t, value});
   }
 
+  // Bulk append through a handle: one bounds/order check for the whole
+  // batch, then a single ranged insert. Semantically identical to calling
+  // Append once per element (points must be internally non-decreasing and
+  // start at or after the series' current tail); the batch form exists so
+  // flush-style producers (the sharded sampler draining its per-row scratch,
+  // ingest of a precomputed trace) pay one call and at most one growth
+  // per batch instead of per point. After ReservePoints it allocates
+  // nothing.
+  void AppendBatch(SeriesId id, std::span<const TimePoint> batch) {
+    if (batch.empty()) {
+      return;
+    }
+    AMPERE_CHECK(id.valid() && id.index() < points_.size())
+        << "batch append through invalid SeriesId";
+    std::vector<TimePoint>& points = points_[id.index()];
+    AMPERE_CHECK(points.empty() || points.back().time <= batch.front().time)
+        << "out-of-order batch append to series " << names_[id.index()];
+    for (size_t i = 1; i < batch.size(); ++i) {
+      AMPERE_CHECK(batch[i - 1].time <= batch[i].time)
+          << "unsorted batch for series " << names_[id.index()];
+    }
+    points.insert(points.end(), batch.begin(), batch.end());
+  }
+
   // Pre-sizes one series' storage for `expected_points` total points so the
   // steady-state Append never reallocates.
   void ReservePoints(SeriesId id, size_t expected_points);
