@@ -15,10 +15,18 @@
 //   sample       — the PowerMonitor minute pass in a tight loop on a loaded
 //                  fleet; reports samples/sec (server readings per wall
 //                  second), ns per pass, and heap allocations per pass.
+//   resummate    — the exact power re-aggregation sweep (servers -> racks ->
+//                  rows -> total) on a loaded fleet; reports ns per
+//                  resummation.
 //   events       — event-core schedule+fire pairs with a typical closure;
 //                  reports ns and heap allocations per event.
 // Plus, at paper scale only:
 //   tick         — the controller decision tick; reports ns per tick.
+//
+// --trajectory entries carry the per-topology "steps_per_sec" map (shape
+// unchanged since schema 1) plus a "phase_ns" map with the paper-scale
+// per-kernel timings {sample, resummate, tick, events}, so kernel-level
+// regressions are attributable across PRs, not just the composite.
 //
 // Allocation accounting: this binary replaces global operator new/delete
 // with counting forwarders. The steady-state contract after the interned-
@@ -166,6 +174,7 @@ struct TopologyResult {
   int servers = 0;
   ClosedLoopStats closed_loop;
   SampleStats sample;
+  double resummate_ns = 0.0;
   EventStats events;
   double tick_ns = 0.0;  // Paper topology only; 0 elsewhere.
   // Thread-scaling sweep (hyperscale tier on multicore hosts only): the
@@ -276,6 +285,35 @@ SampleStats RunSamplePhase(const TopologySpec& spec, int jobs = 1) {
   return stats;
 }
 
+// --- Phase: power resummation --------------------------------------------
+
+// The exact re-aggregation sweep the monitor triggers each minute and the
+// breaker check leans on: full servers -> racks -> rows -> total pairwise
+// sums on a loaded fleet.
+double RunResummatePhase(const TopologySpec& spec) {
+  Simulation sim;
+  DataCenter dc(MakeTopology(spec), &sim);
+  Rng rng(kSeed + 3);
+  for (int32_t s = 0; s < dc.num_servers(); ++s) {
+    if (rng.Bernoulli(0.8)) {
+      dc.PlaceTask(ServerId(s), TaskSpec{JobId(s), Resources{8.0, 8.0},
+                                         SimTime::Hours(100000)});
+    }
+  }
+  const uint64_t sweeps = 4096;
+  for (int i = 0; i < 16; ++i) {
+    dc.ResummatePowerAggregates();
+  }
+  obs::SetEnabled(false);
+  const double start = NowSeconds();
+  for (uint64_t i = 0; i < sweeps; ++i) {
+    dc.ResummatePowerAggregates();
+  }
+  const double wall = NowSeconds() - start;
+  obs::SetEnabled(true);
+  return wall * 1e9 / static_cast<double>(sweeps);
+}
+
 // --- Phase: event core ---------------------------------------------------
 
 EventStats RunEventPhase() {
@@ -379,6 +417,10 @@ void AppendJson(std::ostringstream& out, const TopologyResult& r,
                 r.sample.allocs_per_pass);
   out << buffer;
   std::snprintf(buffer, sizeof(buffer),
+                "      \"resummate\": {\"ns_per_sweep\": %.0f},\n",
+                r.resummate_ns);
+  out << buffer;
+  std::snprintf(buffer, sizeof(buffer),
                 "      \"events\": {\"ns_per_event\": %.1f, "
                 "\"allocs_per_event\": %.3f}",
                 r.events.ns_per_event, r.events.allocs_per_event);
@@ -452,7 +494,23 @@ void AppendTrajectory(const std::string& path,
                   results[i].closed_loop.steps_per_sec);
     entry << buffer;
   }
-  entry << "}}";
+  entry << "}";
+  // Per-kernel timings at paper scale — the tier where every phase
+  // (including the controller tick) is measured.
+  for (const TopologyResult& r : results) {
+    if (r.name != "paper") {
+      continue;
+    }
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer),
+                  ", \"phase_ns\": {\"sample\": %.0f, \"resummate\": %.0f, "
+                  "\"tick\": %.0f, \"events\": %.1f}",
+                  r.sample.ns_per_pass, r.resummate_ns, r.tick_ns,
+                  r.events.ns_per_event);
+    entry << buffer;
+    break;
+  }
+  entry << "}";
 
   std::string text;
   {
@@ -608,6 +666,7 @@ int Main(int argc, char** argv) {
         quick ? spec.closed_loop_hours / 4.0 : spec.closed_loop_hours;
     r.closed_loop = RunClosedLoop(spec, hours);
     r.sample = RunSamplePhase(spec);
+    r.resummate_ns = RunResummatePhase(spec);
     r.events = RunEventPhase();
     if (std::strcmp(spec.name, "paper") == 0) {
       r.tick_ns = RunTickPhase(spec);
@@ -615,12 +674,12 @@ int Main(int argc, char** argv) {
     std::printf(
         "  [%10s] %5d servers | closed loop %5.2f sim-h in %6.2fs "
         "(%8.0f steps/s, %6.1f sim-min/s) | sample %9.0f samples/s "
-        "(%6.0f ns/pass, %.3f allocs/pass) | events %5.1f ns "
-        "(%.3f allocs)%s\n",
+        "(%6.0f ns/pass, %.3f allocs/pass) | resummate %6.0f ns | "
+        "events %5.1f ns (%.3f allocs)%s\n",
         spec.name, r.servers, r.closed_loop.sim_hours, r.closed_loop.wall_s,
         r.closed_loop.steps_per_sec, r.closed_loop.sim_minutes_per_sec,
         r.sample.samples_per_sec, r.sample.ns_per_pass,
-        r.sample.allocs_per_pass, r.events.ns_per_event,
+        r.sample.allocs_per_pass, r.resummate_ns, r.events.ns_per_event,
         r.events.allocs_per_event, r.tick_ns > 0.0 ? " | tick" : "");
     if (r.tick_ns > 0.0) {
       std::printf("  [%10s] controller tick: %.0f ns\n", spec.name,

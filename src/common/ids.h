@@ -36,11 +36,15 @@ struct RackIdTag {};
 struct RowIdTag {};
 struct JobIdTag {};
 struct TaskIdTag {};
+struct DataCenterIdTag {};
 
 using ServerId = DenseId<ServerIdTag>;
 using RackId = DenseId<RackIdTag>;
 using RowId = DenseId<RowIdTag>;
 using JobId = DenseId<JobIdTag>;
+// Index of one data center within a campus (see cluster/campus.h). Ids are
+// dense per campus; single-DC code paths never mint one.
+using DataCenterId = DenseId<DataCenterIdTag>;
 
 }  // namespace ampere
 

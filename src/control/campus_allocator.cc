@@ -1,0 +1,88 @@
+#include "src/control/campus_allocator.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace ampere {
+
+// Deterministic water-fill: start every DC at its protective floor, then
+// pour the remaining campus watts proportionally to per-DC weights, clamping
+// at contracts and re-pouring what the clamps reject. Each pass either
+// exhausts the pool or saturates at least one DC, so <= n passes suffice.
+// Everything iterates in DC index order — no data-dependent ordering.
+static std::vector<double> WaterFill(double total,
+                                     std::span<const double> weights,
+                                     std::span<const double> floors,
+                                     std::span<const double> caps) {
+  const size_t n = weights.size();
+  std::vector<double> shares(floors.begin(), floors.end());
+  double pool = total;
+  for (double f : floors) {
+    pool -= f;
+  }
+  for (size_t pass = 0; pass <= n; ++pass) {
+    if (pool <= 1e-9) {
+      break;
+    }
+    double active_weight = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (shares[i] < caps[i]) {
+        active_weight += weights[i];
+      }
+    }
+    if (active_weight <= 0.0) {
+      break;
+    }
+    double granted = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (shares[i] >= caps[i]) {
+        continue;
+      }
+      const double give = pool * (weights[i] / active_weight);
+      const double next = std::min(shares[i] + give, caps[i]);
+      granted += next - shares[i];
+      shares[i] = next;
+    }
+    pool -= granted;
+    if (granted <= 1e-9) {
+      break;
+    }
+  }
+  return shares;
+}
+
+std::vector<double> AllocateCampusBudgets(
+    double campus_total_watts, std::span<const CampusDcObservation> dcs,
+    const CampusAllocatorConfig& config) {
+  const size_t n = dcs.size();
+  AMPERE_CHECK(n >= 1) << "campus allocation over zero data centers";
+  AMPERE_CHECK(campus_total_watts > 0.0);
+  AMPERE_CHECK(config.min_share >= 0.0 && config.min_share <= 1.0);
+  AMPERE_CHECK(config.et_margin >= 0.0);
+
+  const double equal = campus_total_watts / static_cast<double>(n);
+  std::vector<double> floors(n), caps(n), weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    AMPERE_CHECK(dcs[i].contract_watts > 0.0)
+        << "dc " << i << " has no resolved contract";
+    caps[i] = dcs[i].contract_watts;
+    floors[i] = std::min(config.min_share * equal, caps[i]);
+    switch (config.policy) {
+      case CampusAllocPolicy::kStatic:
+        // Equal weights: with uniform contracts this reduces to exactly the
+        // equal split (floor + pool/n == total/n).
+        weights[i] = 1.0;
+        break;
+      case CampusAllocPolicy::kHeadroom:
+        // Fund observed demand plus the E_t-style drift margin; never weight
+        // below the floor so an idle DC keeps a path back to demand.
+        weights[i] = std::max(
+            dcs[i].observed_watts * (1.0 + config.et_margin), floors[i]);
+        break;
+    }
+  }
+  return WaterFill(campus_total_watts, weights, floors, caps);
+}
+
+}  // namespace ampere

@@ -1,0 +1,77 @@
+// Hierarchical campus budget allocation: pure math, no topology types.
+//
+// A campus of N data centers shares one utility contract. Every re-plan
+// interval the campus allocator re-divides the campus cap across the per-DC
+// Ampere controllers from *observed* headroom: a DC whose experiment group
+// is pushing against its budget receives a larger share, a DC coasting far
+// below keeps a protective floor and lends the rest. This is the
+// CloudPowerCap move (see PAPERS.md) lifted to the campus level, with the
+// per-DC controllers unchanged in their inner loop — the allocator only
+// shifts the PM each controller normalizes against.
+//
+// Like the rest of src/control, this module is pure functions of plain
+// numbers: observations in, budgets out. Determinism is trivial (no RNG, no
+// iteration-order dependence) and the core is unit-testable without any
+// cluster machinery.
+
+#ifndef SRC_CONTROL_CAMPUS_ALLOCATOR_H_
+#define SRC_CONTROL_CAMPUS_ALLOCATOR_H_
+
+#include <span>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace ampere {
+
+enum class CampusAllocPolicy : int {
+  // Equal N-way split of the campus cap (clamped to contracts). The
+  // baseline a federation must beat.
+  kStatic = 0,
+  // Demand-proportional re-division from observed power with an E_t-style
+  // safety margin and a protective per-DC floor.
+  kHeadroom = 1,
+};
+
+struct CampusAllocatorConfig {
+  CampusAllocPolicy policy = CampusAllocPolicy::kHeadroom;
+  // How often the campus re-plans. Much slower than the per-DC control
+  // cadence (1/min): budgets should move on workload timescales, not noise.
+  SimTime replan_interval = SimTime::Minutes(15);
+  // Safety margin on observed demand, in the spirit of the paper's E_t: a
+  // DC's desired share is observed * (1 + et_margin) so the next interval's
+  // drift is already funded.
+  double et_margin = 0.025;
+  // No DC's share drops below this fraction of the equal split, however
+  // idle it looks — a starved DC could otherwise never demonstrate demand
+  // again (its controller would freeze everything).
+  double min_share = 0.10;
+  // Decision-journal ring capacity for the allocator (one record per DC per
+  // re-plan).
+  size_t journal_capacity = 1024;
+};
+
+// One DC's state as the allocator sees it at a re-plan instant.
+struct CampusDcObservation {
+  // Latest observed power of the controlled (experiment) domain, watts.
+  double observed_watts = 0.0;
+  // The budget the DC's controller currently runs against, watts.
+  double budget_watts = 0.0;
+  // Hard ceiling for this DC (its share of the physical feed), watts.
+  double contract_watts = 0.0;
+};
+
+// Divides `campus_total_watts` across the observed DCs per `config`.
+// Invariants, both policies:
+//   * every share is positive, >= min_share * equal_split (unless the
+//     contract is lower), and <= contract_watts;
+//   * the shares sum to <= campus_total_watts (equality whenever the
+//     contracts leave room).
+// Pure function: identical inputs yield bit-identical outputs.
+std::vector<double> AllocateCampusBudgets(
+    double campus_total_watts, std::span<const CampusDcObservation> dcs,
+    const CampusAllocatorConfig& config);
+
+}  // namespace ampere
+
+#endif  // SRC_CONTROL_CAMPUS_ALLOCATOR_H_

@@ -1,0 +1,391 @@
+#include "src/core/campus_experiment.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/obs/span.h"
+
+namespace ampere {
+
+CampusBudgetAllocator::CampusBudgetAllocator(
+    double campus_total_watts, const CampusAllocatorConfig& config)
+    : campus_total_watts_(campus_total_watts), config_(config),
+      journal_(config.journal_capacity > 0 ? config.journal_capacity : 1) {
+  AMPERE_CHECK(campus_total_watts > 0.0);
+}
+
+std::vector<double> CampusBudgetAllocator::Replan(
+    SimTime now, std::span<const CampusDcObservation> dcs) {
+  std::vector<double> shares =
+      AllocateCampusBudgets(campus_total_watts_, dcs, config_);
+  while (domain_names_.size() < dcs.size()) {
+    domain_names_.push_back("campus/dc" +
+                            std::to_string(domain_names_.size()));
+  }
+  for (size_t i = 0; i < dcs.size(); ++i) {
+    // One audit record per DC per re-plan, reusing the controller's record
+    // schema: the "decision" is the DC's new budget, u is its share
+    // fraction of the campus cap, E_t is the allocator's drift margin.
+    obs::DecisionRecord rec;
+    rec.time = now;
+    rec.domain = domain_names_[i];
+    rec.observed_watts = dcs[i].observed_watts;
+    rec.budget_watts = shares[i];
+    rec.normalized_power =
+        shares[i] > 0.0 ? dcs[i].observed_watts / shares[i] : 0.0;
+    rec.et = config_.et_margin;
+    rec.violation = rec.normalized_power > 1.0;
+    rec.predicted_next = shares[i];
+    rec.u = shares[i] / campus_total_watts_;
+    rec.n_servers = static_cast<uint32_t>(dcs.size());
+    journal_.Append(rec);
+  }
+  ++replans_;
+  return shares;
+}
+
+CampusResult RunCampusToResult(const ExperimentConfig& config) {
+  CampusExperiment experiment(config);
+  return experiment.Run();
+}
+
+std::string CampusExperiment::DcPrefix(DataCenterId id) {
+  return "campus/dc" + std::to_string(id.value()) + "/";
+}
+
+CampusConfig CampusExperiment::MakeCampusConfig(
+    const ExperimentConfig& config) {
+  CampusConfig campus;
+  campus.num_datacenters = config.campus.num_datacenters;
+  campus.datacenter = config.topology;
+  campus.dc_contract_watts = config.campus.dc_contract_watts;
+  campus.campus_contract_watts = config.campus.campus_contract_watts;
+  return campus;
+}
+
+CampusExperiment::CampusExperiment(const ExperimentConfig& config)
+    : config_(config), rng_(config.seed), sim_(),
+      campus_(MakeCampusConfig(config), &sim_) {
+  AMPERE_CHECK(config_.campus.enabled)
+      << "CampusExperiment requires config.campus.enabled";
+  AMPERE_CHECK(config_.enable_ampere)
+      << "campus federation needs the per-DC controllers";
+  AMPERE_CHECK(!config_.faults.any())
+      << "fault injection is not wired into campus runs yet";
+
+  if (config_.jobs >= 2) {
+    // One shared pool for every DC's batch passes. Only one sample pass or
+    // resummation runs at a time (the simulation is single-threaded), so
+    // sharing is safe and keeps the worker count at jobs-1 total.
+    pool_ = std::make_unique<ThreadPool>(config_.jobs - 1);
+    campus_.SetThreadPool(pool_.get());
+  }
+
+  dcs_.reserve(static_cast<size_t>(campus_.num_datacenters()));
+  for (int d = 0; d < campus_.num_datacenters(); ++d) {
+    BuildDc(DataCenterId(d));
+  }
+
+  // The campus experiment cap is the sum of the initial rO-scaled per-DC
+  // experiment budgets — the same total a static federation would carve up.
+  double campus_cap = 0.0;
+  for (const auto& dc : dcs_) {
+    campus_cap += dc->experiment_budget_watts;
+  }
+  allocator_ = std::make_unique<CampusBudgetAllocator>(
+      campus_cap, config_.campus.allocator);
+}
+
+void CampusExperiment::BuildDc(DataCenterId id) {
+  const size_t k = id.index();
+  DataCenter& dc = campus_.dc(id);
+  auto state = std::make_unique<DcState>();
+  state->id = id;
+
+  // Distinct forked streams per DC and per role, disjoint from the stream
+  // ids ControlledExperiment uses (1..3, 77), so a campus run's randomness
+  // is stable under adding components.
+  state->scheduler = std::make_unique<Scheduler>(
+      &dc, config_.scheduler, rng_.Fork(100 + static_cast<uint64_t>(k)));
+
+  PowerMonitorConfig monitor_config = config_.monitor;
+  monitor_config.series_prefix = DcPrefix(id);
+  state->monitor = std::make_unique<PowerMonitor>(
+      &dc, &db_, monitor_config, rng_.Fork(300 + static_cast<uint64_t>(k)));
+  if (pool_ != nullptr) {
+    state->monitor->SetThreadPool(pool_.get());
+  }
+
+  // §4.1.2 parity split within each DC, exactly as ControlledExperiment.
+  for (int32_t s = 0; s < dc.num_servers(); ++s) {
+    ServerId sid(s);
+    if (dc.server(sid).reserved()) {
+      continue;
+    }
+    if (s % 2 == 0) {
+      state->experiment_servers.push_back(sid);
+    } else {
+      state->control_servers.push_back(sid);
+    }
+  }
+  AMPERE_CHECK(!state->experiment_servers.empty() &&
+               !state->control_servers.empty());
+  state->monitor->RegisterGroup(ControlledExperiment::kExperimentGroup,
+                                state->experiment_servers);
+  state->monitor->RegisterGroup(ControlledExperiment::kControlGroup,
+                                state->control_servers);
+
+  const double rated = dc.power_model().rated_watts();
+  const double scale = 1.0 + config_.over_provision_ratio;
+  state->experiment_rated_watts =
+      static_cast<double>(state->experiment_servers.size()) * rated;
+  const double ctl_rated =
+      static_cast<double>(state->control_servers.size()) * rated;
+  state->experiment_budget_watts = config_.scale_experiment_budget
+                                       ? state->experiment_rated_watts / scale
+                                       : state->experiment_rated_watts;
+  state->control_budget_watts =
+      config_.scale_control_budget ? ctl_rated / scale : ctl_rated;
+
+  // Per-DC workload: same product mix, per-DC intensity. dc_target_power
+  // gives each DC its own normalized-power operating point (last value
+  // repeats); empty keeps the caller's arrival rate everywhere.
+  BatchWorkloadParams workload = config_.workload;
+  if (!config_.campus.dc_target_power.empty()) {
+    const size_t i =
+        std::min(k, config_.campus.dc_target_power.size() - 1);
+    workload.arrivals.base_rate_per_min = ArrivalRateForNormalizedPower(
+        config_.topology, config_.workload,
+        config_.campus.dc_target_power[i], config_.over_provision_ratio);
+  }
+  state->workload = std::make_unique<BatchWorkload>(
+      workload, &sim_, state->scheduler.get(), &ids_,
+      rng_.Fork(200 + static_cast<uint64_t>(k)));
+
+  state->controller = std::make_unique<AmpereController>(
+      state->scheduler.get(), state->monitor.get(), config_.controller);
+  ControlDomain domain;
+  domain.group = ControlledExperiment::kExperimentGroup;
+  domain.servers = state->experiment_servers;
+  domain.budget_watts = state->experiment_budget_watts;
+  state->controller->AddDomain(std::move(domain));
+
+  DcState* raw = state.get();
+  state->scheduler->SetPlacementListener(
+      [this, raw](const JobSpec&, ServerId server) {
+        if (!counting_) {
+          return;
+        }
+        if ((server.value() % 2) == 0) {
+          ++raw->window_thru_experiment;
+          ++raw->minute_thru_experiment;
+        } else {
+          ++raw->window_thru_control;
+          ++raw->minute_thru_control;
+        }
+      });
+
+  state->experiment_report.name =
+      DcPrefix(id) + ControlledExperiment::kExperimentGroup;
+  state->experiment_report.budget_watts = state->experiment_budget_watts;
+  state->control_report.name =
+      DcPrefix(id) + ControlledExperiment::kControlGroup;
+  state->control_report.budget_watts = state->control_budget_watts;
+
+  dcs_.push_back(std::move(state));
+}
+
+void CampusExperiment::InstallMetricsRecorder(DcState& dc, SimTime from,
+                                              SimTime to) {
+  // Same cadence and offset as ControlledExperiment: 2 s after the minute's
+  // monitor sample and the controller's +1 s tick. Normalization tracks the
+  // *current* allocator-assigned budget, so a re-plan is visible in the
+  // normalized series the very next minute.
+  DcState* state = &dc;
+  sim_.SchedulePeriodic(
+      from + SimTime::Seconds(2), SimTime::Minutes(1),
+      [this, state, to](SimTime t) {
+        if (t >= to) {
+          return;
+        }
+        const double exp_watts = state->monitor->LatestGroupWatts(
+            ControlledExperiment::kExperimentGroup);
+        const double ctl_watts = state->monitor->LatestGroupWatts(
+            ControlledExperiment::kControlGroup);
+        const double exp_budget = state->controller->domain_budget(0);
+
+        MinutePoint exp_point;
+        exp_point.time = t;
+        exp_point.power_watts = exp_watts;
+        exp_point.normalized_power = exp_watts / exp_budget;
+        exp_point.freeze_ratio = state->controller->freeze_ratio(0);
+        exp_point.violation = exp_point.normalized_power > 1.0;
+        exp_point.placements =
+            static_cast<uint32_t>(state->minute_thru_experiment);
+        state->experiment_report.minutes.push_back(exp_point);
+
+        MinutePoint ctl_point;
+        ctl_point.time = t;
+        ctl_point.power_watts = ctl_watts;
+        ctl_point.normalized_power = ctl_watts / state->control_budget_watts;
+        ctl_point.freeze_ratio = 0.0;
+        ctl_point.violation = ctl_point.normalized_power > 1.0;
+        ctl_point.placements =
+            static_cast<uint32_t>(state->minute_thru_control);
+        state->control_report.minutes.push_back(ctl_point);
+
+        state->minute_thru_experiment = 0;
+        state->minute_thru_control = 0;
+      });
+}
+
+void CampusExperiment::ReplanBudgets(SimTime now) {
+  std::vector<CampusDcObservation> observations;
+  observations.reserve(dcs_.size());
+  for (const auto& dc : dcs_) {
+    CampusDcObservation obs;
+    obs.observed_watts = dc->monitor->LatestGroupWatts(
+        ControlledExperiment::kExperimentGroup);
+    obs.budget_watts = dc->controller->domain_budget(0);
+    obs.contract_watts = dc->experiment_rated_watts;
+    observations.push_back(obs);
+  }
+  const std::vector<double> shares = allocator_->Replan(now, observations);
+  for (size_t k = 0; k < dcs_.size(); ++k) {
+    dcs_[k]->controller->SetDomainBudget(0, shares[k]);
+  }
+}
+
+void CampusExperiment::SpilloverPass(SimTime now) {
+  (void)now;
+  const size_t threshold = config_.campus.spillover_queue_threshold;
+  for (auto& source : dcs_) {
+    if (source->scheduler->queue_length() <= threshold ||
+        source->controller->freeze_ratio(0) <= 0.0) {
+      continue;
+    }
+    // Starved source: its queue is backed up while its controller holds
+    // capacity frozen. Pick the sibling with the most observed headroom
+    // against its *current* budget (ties break toward the lower DC id).
+    DcState* target = nullptr;
+    double best_headroom = 0.0;
+    for (auto& candidate : dcs_) {
+      if (candidate.get() == source.get() ||
+          candidate->scheduler->queue_length() > threshold) {
+        continue;
+      }
+      const double headroom =
+          candidate->controller->domain_budget(0) -
+          candidate->monitor->LatestGroupWatts(
+              ControlledExperiment::kExperimentGroup);
+      if (headroom > best_headroom) {
+        best_headroom = headroom;
+        target = candidate.get();
+      }
+    }
+    if (target == nullptr) {
+      continue;
+    }
+    const std::vector<JobSpec> moved = source->scheduler->TakePending(
+        config_.campus.spillover_max_jobs_per_pass);
+    for (const JobSpec& job : moved) {
+      target->scheduler->Submit(job);
+    }
+    target->jobs_spilled_in += moved.size();
+    spillover_jobs_ += moved.size();
+  }
+}
+
+CampusResult CampusExperiment::Run() {
+  AMPERE_SPAN("campus.run");
+  for (const auto& dc : dcs_) {
+    dc->workload->Start(SimTime());
+  }
+  // Monitors fire at the same instants; the event queue's FIFO seq order
+  // makes DC 0 sample first every minute, deterministically.
+  for (const auto& dc : dcs_) {
+    dc->monitor->Start(SimTime::Minutes(1));
+  }
+
+  const SimTime measure_start = config_.warmup;
+  const SimTime end = config_.warmup + config_.duration;
+
+  for (const auto& dc : dcs_) {
+    dc->controller->Start(&sim_, measure_start + SimTime::Seconds(1));
+  }
+  for (const auto& dc : dcs_) {
+    InstallMetricsRecorder(*dc, measure_start, end);
+  }
+  if (config_.campus.enable_spillover) {
+    sim_.SchedulePeriodic(measure_start + SimTime::Seconds(4),
+                          SimTime::Minutes(1), [this, end](SimTime t) {
+                            if (t >= end) {
+                              return;
+                            }
+                            SpilloverPass(t);
+                          });
+  }
+  sim_.SchedulePeriodic(measure_start + SimTime::Seconds(5),
+                        config_.campus.allocator.replan_interval,
+                        [this, end](SimTime t) {
+                          if (t >= end) {
+                            return;
+                          }
+                          ReplanBudgets(t);
+                        });
+  sim_.ScheduleAt(measure_start, [this] { counting_ = true; });
+
+  sim_.RunUntil(end);
+
+  CampusResult result;
+  result.dcs.reserve(dcs_.size());
+  uint64_t thru_experiment = 0;
+  uint64_t thru_control = 0;
+  for (const auto& dc : dcs_) {
+    dc->experiment_report.throughput_jobs = dc->window_thru_experiment;
+    dc->control_report.throughput_jobs = dc->window_thru_control;
+    // Report against the final allocator-assigned budget; minute points
+    // already normalized against the budget in force at their minute.
+    dc->experiment_report.budget_watts = dc->controller->domain_budget(0);
+    dc->experiment_report.Finalize();
+    dc->control_report.Finalize();
+
+    CampusDcResult out;
+    out.experiment = dc->experiment_report;
+    out.control = dc->control_report;
+    out.throughput_ratio =
+        dc->window_thru_control > 0
+            ? static_cast<double>(dc->window_thru_experiment) /
+                  static_cast<double>(dc->window_thru_control)
+            : 0.0;
+    out.gain_tpw =
+        GainInTpw(out.throughput_ratio, config_.over_provision_ratio);
+    out.jobs_submitted = dc->scheduler->jobs_submitted();
+    out.jobs_completed = dc->scheduler->jobs_completed();
+    out.final_queue_length = dc->scheduler->queue_length();
+    out.jobs_spilled_out = dc->scheduler->jobs_spilled_out();
+    out.jobs_spilled_in = dc->jobs_spilled_in;
+    out.final_budget_watts = dc->controller->domain_budget(0);
+    out.breaker_tripped = campus_.dc(dc->id).AnyBreakerTripped();
+    out.journal = dc->controller->journal().Summarize();
+    result.dcs.push_back(std::move(out));
+
+    thru_experiment += dc->window_thru_experiment;
+    thru_control += dc->window_thru_control;
+    result.jobs_submitted += dc->scheduler->jobs_submitted();
+    result.jobs_completed += dc->scheduler->jobs_completed();
+  }
+  result.throughput_ratio =
+      thru_control > 0 ? static_cast<double>(thru_experiment) /
+                             static_cast<double>(thru_control)
+                       : 0.0;
+  result.gain_tpw =
+      GainInTpw(result.throughput_ratio, config_.over_provision_ratio);
+  result.spillover_jobs = spillover_jobs_;
+  result.replans = allocator_->replans();
+  result.breaker_tripped = campus_.AnyBreakerTripped();
+  result.allocator_journal = allocator_->journal().Summarize();
+  return result;
+}
+
+}  // namespace ampere

@@ -79,6 +79,13 @@ void AmpereController::AddDomain(ControlDomain domain) {
   pending_realized_.emplace_back();
 }
 
+void AmpereController::SetDomainBudget(size_t domain_index,
+                                       double budget_watts) {
+  AMPERE_CHECK(domain_index < domains_.size());
+  AMPERE_CHECK(budget_watts > 0.0);
+  domains_[domain_index].budget_watts = budget_watts;
+}
+
 void AmpereController::Start(Simulation* sim, SimTime first_tick,
                              SimTime interval) {
   AMPERE_CHECK(sim != nullptr);

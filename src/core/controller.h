@@ -124,6 +124,17 @@ class AmpereController {
   void RebuildStateFromScheduler();
 
   size_t num_domains() const { return domains_.size(); }
+
+  // Re-targets one domain's power budget P_M mid-run, in watts. This is the
+  // campus-federation hook: the hierarchical allocator re-divides the campus
+  // contract across DCs and pushes each DC's share here between ticks. The
+  // inner control loop is untouched — the next tick simply normalizes
+  // against the new budget. Must be called from the simulation thread.
+  void SetDomainBudget(size_t domain_index, double budget_watts);
+  double domain_budget(size_t domain_index) const {
+    return domains_[domain_index].budget_watts;
+  }
+
   // Current freezing ratio |S_f| / n for one domain.
   double freeze_ratio(size_t domain_index) const;
   size_t frozen_count(size_t domain_index) const {

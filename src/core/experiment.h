@@ -29,6 +29,7 @@
 
 #include "src/cluster/datacenter.h"
 #include "src/common/rng.h"
+#include "src/control/campus_allocator.h"
 #include "src/core/controller.h"
 #include "src/core/metrics.h"
 #include "src/faults/fault_injector.h"
@@ -40,6 +41,32 @@
 #include "src/workload/batch_workload.h"
 
 namespace ampere {
+
+// Campus-federation section of ExperimentConfig (consumed by
+// CampusExperiment / RunCampusToResult in core/campus_experiment.h).
+// ControlledExperiment ignores it entirely, so single-DC configs are
+// bit-identical to the pre-federation harness.
+struct CampusSection {
+  bool enabled = false;
+  int num_datacenters = 4;
+  // Per-DC contract ceilings; CampusConfig semantics (last value repeats,
+  // empty / non-positive = rated provisioning).
+  std::vector<double> dc_contract_watts;
+  double campus_contract_watts = 0.0;  // 0 = sum of DC contracts.
+  CampusAllocatorConfig allocator;
+  // Per-DC workload intensity as target normalized power (the heterogeneity
+  // that makes dynamic allocation worth anything). Last value repeats;
+  // empty keeps ExperimentConfig::workload's arrival rate as-is for every
+  // DC.
+  std::vector<double> dc_target_power;
+  // Cross-DC batch spillover (off by default: single-DC-equivalent
+  // behavior). When a DC's queue exceeds the threshold while its controller
+  // is freezing, up to max_jobs_per_pass unpinned jobs per minute move to
+  // the sibling DC with the most observed headroom.
+  bool enable_spillover = false;
+  size_t spillover_queue_threshold = 32;
+  size_t spillover_max_jobs_per_pass = 16;
+};
 
 struct ExperimentConfig {
   uint64_t seed = 42;
@@ -74,6 +101,9 @@ struct ExperimentConfig {
   // FaultInjector to the monitor and the scheduler. Default: no faults —
   // bit-identical to the fault-free experiment.
   faults::FaultPlanConfig faults;
+  // Campus federation (multi-DC) section; see CampusSection above. Only
+  // RunCampusToResult reads it.
+  CampusSection campus;
 };
 
 struct ExperimentResult {

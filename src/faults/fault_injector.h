@@ -70,6 +70,18 @@ class FaultInjector {
   // Pure schedule lookup; counts one blackout read per positive answer.
   bool ChannelBlackedOut(std::string_view channel, SimTime now);
 
+  // True if no telemetry fault can touch a sample pass at `now`: zero
+  // dropout and spike probabilities, zero sensor bias, and no blackout
+  // window anywhere in the schedule covering `now`. Pure query — no draws,
+  // no counters — so the sampler may take its parallel clean path when this
+  // holds (the faulted pass would perform the identical arithmetic with no
+  // RNG advance and no fault events).
+  bool TelemetryQuiescentAt(SimTime now) const {
+    const FaultPlanConfig& c = plan_.config();
+    return c.sample_dropout_prob <= 0.0 && c.noise_spike_prob <= 0.0 &&
+           c.sensor_bias_watts == 0.0 && !plan_.AnyBlackoutAt(now);
+  }
+
   // --- Scheduler RPC faults ---
 
   // Draws one freeze/unfreeze RPC attempt: success/failure plus an

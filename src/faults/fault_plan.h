@@ -143,6 +143,15 @@ class FaultPlan {
     if (blackout_windows_.empty()) return false;
     return InBlackout(ChannelIndex(name, config_.blackout_channels), t);
   }
+  // True if *any* channel's blackout window contains `t` — the cheap
+  // all-clear the sampler needs to prove a pass cannot observe a blackout
+  // without hashing every feed name.
+  bool AnyBlackoutAt(SimTime t) const {
+    for (const FaultWindow& w : blackout_windows_) {
+      if (w.Contains(t)) return true;
+    }
+    return false;
+  }
 
   // Lossless text serialization (key=value lines + window lines).
   std::string Serialize() const;

@@ -28,6 +28,31 @@ void Scheduler::Submit(const JobSpec& job) {
   }
 }
 
+std::vector<JobSpec> Scheduler::TakePending(size_t max_jobs) {
+  std::vector<JobSpec> taken;
+  if (max_jobs == 0 || pending_.empty()) {
+    return taken;
+  }
+  taken.reserve(std::min(max_jobs, pending_.size()));
+  // One pass over the queue, oldest first: movable jobs are taken (up to the
+  // budget), row-pinned jobs and the post-budget tail are kept in their
+  // original relative order.
+  std::deque<JobSpec> kept;
+  while (!pending_.empty()) {
+    JobSpec job = pending_.front();
+    pending_.pop_front();
+    if (taken.size() < max_jobs && !job.row_affinity.has_value()) {
+      taken.push_back(job);
+      ++jobs_spilled_out_;
+      AMPERE_COUNTER_ADD("sched.jobs_spilled_out", 1);
+    } else {
+      kept.push_back(job);
+    }
+  }
+  pending_ = std::move(kept);
+  return taken;
+}
+
 void Scheduler::Freeze(ServerId id) { rm_.Freeze(id); }
 
 void Scheduler::Unfreeze(ServerId id) {

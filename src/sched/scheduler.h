@@ -86,6 +86,17 @@ class Scheduler : public JobSink {
   // --- Job intake (upper level) ---
   void Submit(const JobSpec& job) override;
 
+  // Removes and returns up to `max_jobs` pending jobs, oldest first — the
+  // campus spillover hook: when frozen capacity starves this DC's queue, a
+  // federation coordinator takes queued work and re-Submits it to a sibling
+  // DC's scheduler. Jobs with a row affinity are pinned to this DC's rows
+  // and are skipped (they stay queued in their original order). Counted in
+  // jobs_spilled_out(); a re-Submit elsewhere increments that scheduler's
+  // jobs_submitted(), so campus-level accounting reports spill counts
+  // alongside the per-DC submit totals.
+  std::vector<JobSpec> TakePending(size_t max_jobs);
+  uint64_t jobs_spilled_out() const { return jobs_spilled_out_; }
+
   // --- The power-control interface (the paper's two APIs) ---
   // Thin passthroughs to the low level (ResourceManager), which owns them;
   // Unfreeze additionally re-drains the pending queue since capacity
@@ -156,6 +167,7 @@ class Scheduler : public JobSink {
   uint64_t jobs_submitted_ = 0;
   uint64_t jobs_placed_ = 0;
   uint64_t jobs_completed_ = 0;
+  uint64_t jobs_spilled_out_ = 0;
   std::vector<uint64_t> row_placements_;
   std::function<void(const JobSpec&, ServerId)> placement_listener_;
   std::function<void(ServerId, JobId)> completion_listener_;

@@ -35,21 +35,23 @@ PowerMonitor::PowerMonitor(DataCenter* dc, TimeSeriesDb* db,
     expected += static_cast<size_t>(dc_->num_rows());
   }
   db_->Reserve(expected);
+  // All names carry the (usually empty) series prefix, interned once here.
+  const std::string& prefix = config_.series_prefix;
   if (config_.record_servers) {
     server_series_.reserve(static_cast<size_t>(dc_->num_servers()));
     for (int32_t s = 0; s < dc_->num_servers(); ++s) {
-      server_series_.push_back(db_->Intern(ServerSeries(ServerId(s))));
+      server_series_.push_back(db_->Intern(prefix + ServerSeries(ServerId(s))));
     }
   }
   if (config_.record_racks) {
     rack_series_.reserve(static_cast<size_t>(dc_->num_racks()));
     for (int32_t r = 0; r < dc_->num_racks(); ++r) {
-      rack_series_.push_back(db_->Intern(RackSeries(RackId(r))));
+      rack_series_.push_back(db_->Intern(prefix + RackSeries(RackId(r))));
     }
   }
   row_channel_.reserve(static_cast<size_t>(dc_->num_rows()));
   for (int32_t r = 0; r < dc_->num_rows(); ++r) {
-    row_channel_.push_back(RowSeries(RowId(r)));
+    row_channel_.push_back(prefix + RowSeries(RowId(r)));
   }
   if (config_.record_rows) {
     row_series_.reserve(static_cast<size_t>(dc_->num_rows()));
@@ -58,7 +60,7 @@ PowerMonitor::PowerMonitor(DataCenter* dc, TimeSeriesDb* db,
     }
   }
   if (config_.record_total) {
-    total_series_ = db_->Intern(kTotalSeries);
+    total_series_ = db_->Intern(prefix + kTotalSeries);
   }
 }
 
@@ -68,7 +70,7 @@ void PowerMonitor::RegisterGroup(const std::string& name,
   AMPERE_CHECK(!servers.empty());
   Group group;
   group.name = name;
-  group.channel = GroupSeries(name);
+  group.channel = config_.series_prefix + GroupSeries(name);
   // Precompute the rows this group spans with a seen-bitmap sized by
   // num_rows: O(servers + rows), not O(servers x rows).
   std::vector<char> seen(static_cast<size_t>(dc_->num_rows()), 0);
@@ -137,7 +139,13 @@ void PowerMonitor::SampleOnce(SimTime stamp) {
   AMPERE_COUNTER_ADD("telemetry.samples", 1);
   latest_sample_time_ = stamp;
 
-  if (injector_ == nullptr) {
+  if (injector_ == nullptr || injector_->TelemetryQuiescentAt(stamp)) {
+    // No injector, or the injector cannot touch this pass (zero per-reading
+    // fault probabilities and no blackout window covers `stamp`): take the
+    // sharded clean path. In the quiescent state the faulted pass performs
+    // the identical arithmetic with zero RNG draws and zero fault events,
+    // so the two are byte-identical — previously an attached injector
+    // forced the serial pass even on fault-free ticks.
     SampleCleanPass(stamp, tick);
   } else {
     // Fault draws (drops, sensor garbage) are a sequential Rng stream, so

@@ -73,6 +73,12 @@ struct PowerMonitorConfig {
   bool record_racks = true;
   bool record_rows = true;
   bool record_total = true;
+  // Prepended to every series (and fault-channel) name this monitor writes,
+  // e.g. "campus/dc2/". Empty (the default) keeps the historical single-DC
+  // names bit-identical. In a campus, per-DC prefixes keep the monitors'
+  // series disjoint in one shared TimeSeriesDb and give each DC's feeds
+  // independent blackout channel hashes.
+  std::string series_prefix;
 };
 
 class PowerMonitor {
@@ -95,9 +101,11 @@ class PowerMonitor {
   // the ParallelFor guard. Output is byte-identical either way: per-server
   // noise is counter-based, shard-local sums follow the same element order
   // as the serial loops, and the TimeSeriesDb flush stays serial in fixed
-  // order. Passes with a fault injector attached always run serially (the
-  // injector's fault draws are a sequential stream). `pool` must outlive
-  // the monitor or be detached first.
+  // order. Passes where the fault injector can actually interfere run
+  // serially (the injector's fault draws are a sequential stream); when the
+  // injector is quiescent for a tick (see FaultInjector::TelemetryQuiescentAt)
+  // the pass shards like the fault-free one. `pool` must outlive the monitor
+  // or be detached first.
   void SetThreadPool(ThreadPool* pool) { pool_ = pool; }
 
   // Attaches a fault injector (may be null to detach). Sampling then honors

@@ -1,0 +1,122 @@
+#include "src/control/campus_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace ampere {
+namespace {
+
+std::vector<CampusDcObservation> UniformDcs(size_t n, double observed,
+                                            double contract) {
+  std::vector<CampusDcObservation> dcs(n);
+  for (CampusDcObservation& dc : dcs) {
+    dc.observed_watts = observed;
+    dc.budget_watts = contract / 2.0;
+    dc.contract_watts = contract;
+  }
+  return dcs;
+}
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(CampusAllocatorTest, StaticPolicyIsEqualSplit) {
+  CampusAllocatorConfig config;
+  config.policy = CampusAllocPolicy::kStatic;
+  auto dcs = UniformDcs(4, 500.0, 100000.0);
+  // Demand heterogeneity must not matter for the static baseline.
+  dcs[0].observed_watts = 90000.0;
+  dcs[3].observed_watts = 10.0;
+  std::vector<double> shares = AllocateCampusBudgets(40000.0, dcs, config);
+  ASSERT_EQ(shares.size(), 4u);
+  for (double s : shares) {
+    EXPECT_NEAR(s, 10000.0, 1e-6);
+  }
+}
+
+TEST(CampusAllocatorTest, SharesConserveTheCampusTotal) {
+  CampusAllocatorConfig config;
+  for (CampusAllocPolicy policy :
+       {CampusAllocPolicy::kStatic, CampusAllocPolicy::kHeadroom}) {
+    config.policy = policy;
+    auto dcs = UniformDcs(4, 8000.0, 100000.0);
+    dcs[1].observed_watts = 30000.0;
+    dcs[2].observed_watts = 100.0;
+    std::vector<double> shares = AllocateCampusBudgets(60000.0, dcs, config);
+    EXPECT_NEAR(Sum(shares), 60000.0, 1e-6);
+  }
+}
+
+TEST(CampusAllocatorTest, HeadroomFollowsDemand) {
+  CampusAllocatorConfig config;
+  config.policy = CampusAllocPolicy::kHeadroom;
+  auto dcs = UniformDcs(4, 10000.0, 100000.0);
+  dcs[0].observed_watts = 30000.0;  // Hot DC.
+  dcs[3].observed_watts = 2000.0;   // Cold DC.
+  std::vector<double> shares = AllocateCampusBudgets(80000.0, dcs, config);
+  EXPECT_GT(shares[0], shares[1]);
+  EXPECT_GT(shares[1], shares[3]);
+  // The hot DC gets more than the equal split, funded by the cold DC.
+  EXPECT_GT(shares[0], 20000.0);
+  EXPECT_LT(shares[3], 20000.0);
+}
+
+TEST(CampusAllocatorTest, ContractsClampAndResidualRedistributes) {
+  CampusAllocatorConfig config;
+  config.policy = CampusAllocPolicy::kHeadroom;
+  auto dcs = UniformDcs(3, 10000.0, 100000.0);
+  dcs[0].observed_watts = 90000.0;
+  dcs[0].contract_watts = 15000.0;  // Tight contract on the hottest DC.
+  std::vector<double> shares = AllocateCampusBudgets(60000.0, dcs, config);
+  EXPECT_LE(shares[0], 15000.0 + 1e-9);
+  // The clamped watts flow to the siblings, not into the void.
+  EXPECT_NEAR(Sum(shares), 60000.0, 1e-6);
+}
+
+TEST(CampusAllocatorTest, FloorProtectsIdleDcs) {
+  CampusAllocatorConfig config;
+  config.policy = CampusAllocPolicy::kHeadroom;
+  config.min_share = 0.10;
+  auto dcs = UniformDcs(4, 20000.0, 100000.0);
+  dcs[2].observed_watts = 0.0;  // Fully idle.
+  std::vector<double> shares = AllocateCampusBudgets(40000.0, dcs, config);
+  // Equal split is 10k; the idle DC keeps at least 10% of it.
+  EXPECT_GE(shares[2], 0.10 * 10000.0 - 1e-9);
+}
+
+TEST(CampusAllocatorTest, UnallocatableResidualStaysWithinContracts) {
+  CampusAllocatorConfig config;
+  config.policy = CampusAllocPolicy::kHeadroom;
+  // Contracts sum below the campus total: shares saturate at contracts.
+  auto dcs = UniformDcs(2, 5000.0, 8000.0);
+  std::vector<double> shares = AllocateCampusBudgets(60000.0, dcs, config);
+  EXPECT_NEAR(shares[0], 8000.0, 1e-9);
+  EXPECT_NEAR(shares[1], 8000.0, 1e-9);
+}
+
+TEST(CampusAllocatorTest, DeterministicAcrossCalls) {
+  CampusAllocatorConfig config;
+  config.policy = CampusAllocPolicy::kHeadroom;
+  auto dcs = UniformDcs(4, 12345.678, 98765.4);
+  dcs[1].observed_watts = 23456.7;
+  std::vector<double> a = AllocateCampusBudgets(70000.0, dcs, config);
+  std::vector<double> b = AllocateCampusBudgets(70000.0, dcs, config);
+  EXPECT_EQ(a, b);  // Bit-identical, not approximately equal.
+}
+
+TEST(CampusAllocatorTest, RejectsInvalidInputs) {
+  CampusAllocatorConfig config;
+  auto dcs = UniformDcs(2, 100.0, 1000.0);
+  EXPECT_THROW(AllocateCampusBudgets(0.0, dcs, config), CheckFailure);
+  EXPECT_THROW(AllocateCampusBudgets(1000.0, {}, config), CheckFailure);
+  dcs[0].contract_watts = 0.0;
+  EXPECT_THROW(AllocateCampusBudgets(1000.0, dcs, config), CheckFailure);
+}
+
+}  // namespace
+}  // namespace ampere

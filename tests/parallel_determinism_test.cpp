@@ -33,6 +33,7 @@
 #include "src/cluster/datacenter.h"
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
+#include "src/core/campus_experiment.h"
 #include "src/core/controller.h"
 #include "src/core/experiment.h"
 #include "src/harness/grid.h"
@@ -387,6 +388,117 @@ TEST(JobsMatrixTest, GridResultTableBytesIdenticalAcrossInnerJobs) {
   for (int jobs : {2, 8}) {
     EXPECT_EQ(run_grid(jobs), reference)
         << "ResultTable CSV diverged at inner jobs=" << jobs;
+  }
+}
+
+// --- 5. Campus federation jobs matrix ------------------------------------
+//
+// The campus layer multiplies every parallel surface by the DC count: four
+// monitors shard sample passes on one shared pool, the allocator re-plans
+// from their outputs, and spillover moves jobs across schedulers. The same
+// contract must hold: byte-identical artifacts at jobs in {1, 2, 8}.
+
+ExperimentConfig CampusMatrixConfig(int jobs) {
+  ExperimentConfig config = MatrixConfig(jobs);
+  config.duration = SimTime::Hours(1);
+  config.campus.enabled = true;
+  config.campus.num_datacenters = 4;  // 4 x 48 = 192 servers.
+  // Heterogeneous operating points so the headroom allocator actually moves
+  // budget (a uniform campus would make the re-plans near-no-ops).
+  // All above the ~0.81 idle floor (idle_fraction 0.65 at rO = 0.25).
+  config.campus.dc_target_power = {0.99, 0.95, 0.90, 0.85};
+  config.campus.enable_spillover = true;
+  config.campus.spillover_queue_threshold = 4;
+  config.campus.spillover_max_jobs_per_pass = 8;
+  return config;
+}
+
+struct CampusArtifacts {
+  std::string allocator_csv;
+  std::string controllers_csv;  // Per-DC controller journals, DC order.
+  std::string db_csv;
+};
+
+void RunCampusMatrixInto(int jobs, CampusArtifacts* artifacts) {
+  CampusExperiment experiment(CampusMatrixConfig(jobs));
+  experiment.Run();
+  artifacts->allocator_csv = experiment.allocator().journal().ToCsv();
+  artifacts->controllers_csv.clear();
+  for (int d = 0; d < experiment.campus().num_datacenters(); ++d) {
+    artifacts->controllers_csv +=
+        experiment.controller(DataCenterId(d)).journal().ToCsv();
+  }
+  const std::vector<std::string> names = experiment.db().SeriesNames();
+  std::ostringstream out;
+  ExportCsv(experiment.db(), names, out);
+  artifacts->db_csv = out.str();
+}
+
+TEST(CampusJobsMatrixTest, AllArtifactBytesIdenticalAtJobs128) {
+  CampusArtifacts reference;
+  RunCampusMatrixInto(1, &reference);
+  // Not vacuous: the 1 h window re-plans 4 times x 4 DCs = 16 audit rows
+  // past the header, and every DC's controller ticks every minute.
+  ASSERT_GE(std::count(reference.allocator_csv.begin(),
+                       reference.allocator_csv.end(), '\n'),
+            17);
+  ASSERT_GE(std::count(reference.controllers_csv.begin(),
+                       reference.controllers_csv.end(), '\n'),
+            4 * 60);
+  // Per-server series under the last DC's prefix must be present, or the db
+  // comparison could pass on a partially built campus.
+  ASSERT_NE(reference.db_csv.find("campus/dc3/server/"), std::string::npos);
+  for (int jobs : {2, 8}) {
+    CampusArtifacts parallel;
+    RunCampusMatrixInto(jobs, &parallel);
+    EXPECT_EQ(parallel.allocator_csv, reference.allocator_csv)
+        << "allocator journal CSV diverged at jobs=" << jobs;
+    EXPECT_EQ(parallel.controllers_csv, reference.controllers_csv)
+        << "per-DC controller journals diverged at jobs=" << jobs;
+    EXPECT_EQ(parallel.db_csv, reference.db_csv)
+        << "TimeSeriesDb contents diverged at jobs=" << jobs;
+  }
+}
+
+TEST(CampusJobsMatrixTest, GridResultTableBytesIdenticalAcrossInnerJobs) {
+  struct Arm {
+    const char* name;
+    CampusAllocPolicy policy;
+  };
+  const std::vector<Arm> arms = {{"static", CampusAllocPolicy::kStatic},
+                                 {"headroom", CampusAllocPolicy::kHeadroom}};
+  auto run_grid = [&arms](int inner_jobs) {
+    harness::RunnerOptions options;
+    options.jobs = 2;
+    auto grid = harness::RunGridOver(
+        arms,
+        [](const Arm& arm, size_t i) {
+          return harness::GridMeta{arm.name, kSeed + i};
+        },
+        [inner_jobs](const Arm& arm, harness::RunContext& context) {
+          ExperimentConfig config = CampusMatrixConfig(inner_jobs);
+          config.monitor.record_servers = false;  // Keep the runs lean.
+          config.campus.allocator.policy = arm.policy;
+          CampusResult result = RunCampusToResult(config);
+          context.Metric("gain_tpw", result.gain_tpw);
+          context.Metric("throughput_ratio", result.throughput_ratio);
+          context.Metric("replans", static_cast<double>(result.replans));
+          context.Metric("spillover_jobs",
+                         static_cast<double>(result.spillover_jobs));
+          context.Metric("dc0_budget", result.dcs[0].final_budget_watts);
+          return result;
+        },
+        options);
+    for (const harness::ResultRow& row : grid.table.rows()) {
+      EXPECT_TRUE(row.ok) << row.scenario << ": " << row.error;
+    }
+    return grid.table.ToCsv();
+  };
+  const std::string reference = run_grid(1);
+  ASSERT_FALSE(reference.empty());
+  for (int jobs : {2, 8}) {
+    EXPECT_EQ(run_grid(jobs), reference)
+        << "campus ResultTable CSV diverged at inner jobs=" << jobs;
   }
 }
 

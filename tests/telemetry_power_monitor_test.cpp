@@ -5,6 +5,7 @@
 #include <string>
 
 #include "src/common/check.h"
+#include "src/common/thread_pool.h"
 #include "src/faults/fault_injector.h"
 #include "src/faults/fault_plan.h"
 
@@ -139,6 +140,35 @@ TEST(PowerMonitorTest, RackSeriesSumToRowSeries) {
       db.Latest(PowerMonitor::RackSeries(RackId(1)))->value;
   double row = db.Latest(PowerMonitor::RowSeries(RowId(0)))->value;
   EXPECT_NEAR(rack_sum, row, 1e-9);
+}
+
+TEST(PowerMonitorTest, SeriesPrefixNamespacesEverything) {
+  Simulation sim;
+  DataCenter dc(SmallTopology(), &sim);
+  TimeSeriesDb db;
+  PowerMonitorConfig config = NoiselessConfig();
+  config.series_prefix = "campus/dc7/";
+  config.record_servers = true;
+  PowerMonitor monitor(&dc, &db, config, Rng(1));
+  monitor.RegisterGroup("evens", {ServerId(0), ServerId(2)});
+  monitor.SampleOnce(SimTime::Minutes(1));
+  EXPECT_EQ(db.Series("campus/dc7/" + PowerMonitor::RowSeries(RowId(0))).size(),
+            1u);
+  EXPECT_EQ(
+      db.Series("campus/dc7/" + PowerMonitor::ServerSeries(ServerId(3))).size(),
+      1u);
+  EXPECT_EQ(
+      db.Series("campus/dc7/" + PowerMonitor::GroupSeries("evens")).size(), 1u);
+  EXPECT_EQ(db.Series(std::string("campus/dc7/") + PowerMonitor::kTotalSeries)
+                .size(),
+            1u);
+  // Nothing escapes the namespace — two prefixed monitors can share one db.
+  for (const std::string& name : db.SeriesNames()) {
+    EXPECT_EQ(name.rfind("campus/dc7/", 0), 0u) << name;
+  }
+  // In-memory accessors are prefix-agnostic; readings still match truth.
+  EXPECT_NEAR(monitor.LatestRowWatts(RowId(0)), dc.row_power_watts(RowId(0)),
+              1e-9);
 }
 
 // --- Degraded-path behavior with a fault injector attached ---
@@ -321,6 +351,44 @@ TEST(PowerMonitorFaultTest, QuiescentInjectorIsBitIdenticalToNoInjector) {
     ASSERT_EQ(with.LatestRowWatts(RowId(0)), without.LatestRowWatts(RowId(0)));
   }
   EXPECT_EQ(injector.counts(), faults::FaultCounts{});
+}
+
+TEST(PowerMonitorFaultTest, QuiescentPassTakesTheShardedPath) {
+  // Regression for the faulted-pass fix: an attached-but-quiescent injector
+  // must not force the serial pass. With a pool attached, the quiescent
+  // monitor's readings stay bit-identical to an injector-free serial one —
+  // which holds precisely because both run the same sharded clean pass.
+  Simulation sim;
+  DataCenter dc(SmallTopology(), &sim);
+  TimeSeriesDb db_a, db_b;
+  PowerMonitorConfig config;
+  config.noise_sigma_watts = 3.0;
+  config.quantize_to_watts = false;
+  PowerMonitor with(&dc, &db_a, config, Rng(9));
+  PowerMonitor without(&dc, &db_b, config, Rng(9));
+  // Faults exist in the plan but only outside the sampled window.
+  const uint32_t row0 = faults::FaultPlan::ChannelIndex(
+      PowerMonitor::RowSeries(RowId(0)), kManyChannels);
+  faults::FaultInjector injector(PlanFromText(
+      ChannelLine(row0, SimTime::Hours(2), SimTime::Hours(3))));
+  with.AttachFaultInjector(&injector);
+  ThreadPool pool(3);
+  with.SetThreadPool(&pool);
+
+  for (int m = 1; m <= 5; ++m) {
+    with.SampleOnce(SimTime::Minutes(m));
+    without.SampleOnce(SimTime::Minutes(m));
+    for (int32_t s = 0; s < dc.num_servers(); ++s) {
+      ASSERT_EQ(with.LatestServerWatts(ServerId(s)),
+                without.LatestServerWatts(ServerId(s)));
+    }
+  }
+  EXPECT_EQ(injector.counts(), faults::FaultCounts{});
+
+  // Once the blackout window opens, the same monitor degrades again: the
+  // quiescence check is per-tick, not per-attach.
+  with.SampleOnce(SimTime::Hours(2));
+  EXPECT_TRUE(with.LatestRowReading(RowId(0), SimTime::Hours(2)).blacked_out);
 }
 
 TEST(PowerMonitorFaultTest, PowerReadingValidityAndAge) {
