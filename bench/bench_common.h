@@ -104,6 +104,35 @@ inline void Section(const std::string& name) {
   std::printf("\n--- %s ---\n", name.c_str());
 }
 
+// Copies the harness --trace / --postmortem-dir destinations into one run's
+// ExperimentConfig::obs, turning the flight recorder on for that run. The
+// trace path is run-suffixed (ArtifactPathForRun) so parallel grids never
+// clobber one file; `run_label` names the run inside the artifacts. No-op
+// when neither flag was given, keeping flag-free output byte-identical.
+inline void ApplyObsArgs(ExperimentConfig& config,
+                         const harness::HarnessArgs& args,
+                         const std::string& run_label, size_t run_index,
+                         size_t total_runs) {
+  if (args.trace_path.empty() && args.postmortem_dir.empty()) {
+    return;
+  }
+  config.obs.flight_recorder = true;
+  config.obs.run_label = run_label;
+  if (!args.trace_path.empty()) {
+    config.obs.trace_path =
+        harness::ArtifactPathForRun(args.trace_path, run_index, total_runs);
+  }
+  config.obs.postmortem_dir = args.postmortem_dir;
+}
+
+// Reports every artifact path a run wrote into its ResultRow.
+inline void ReportArtifacts(harness::RunContext& context,
+                            std::span<const std::string> artifacts) {
+  for (const std::string& path : artifacts) {
+    context.Artifact(path);
+  }
+}
+
 // Prints (x, y) pairs as two columns.
 inline void PrintXy(const std::string& x_label, const std::string& y_label,
                     std::span<const std::pair<double, double>> points) {

@@ -66,8 +66,17 @@ ExperimentConfig CellConfig(const CellSpec& cell,
 }
 
 ExperimentResult RunCell(const CellSpec& cell, const FreezeEffectModel& effect,
+                         const harness::HarnessArgs& args, size_t total_runs,
                          harness::RunContext& context) {
-  ExperimentResult result = RunExperimentToResult(CellConfig(cell, effect));
+  ExperimentConfig config = CellConfig(cell, effect);
+  // --trace / --postmortem-dir: record the run's timeline and dump
+  // postmortems on anomalies. Observation-only — all metrics below are
+  // bit-identical with or without the recorder.
+  bench::ApplyObsArgs(config, args,
+                      std::string(cell.arm.name) + "/" + cell.preset,
+                      context.index(), total_runs);
+  ExperimentResult result = RunExperimentToResult(config);
+  bench::ReportArtifacts(context, result.artifacts);
 
   context.Metric("violations", result.experiment.violations);
   context.Metric("ctl_violations", result.control.violations);
@@ -156,8 +165,9 @@ void Main(const harness::HarnessArgs& args) {
             std::string(cell.arm.name) + "/" + cell.preset,
             cell.workload_seed};
       },
-      [&effect](const CellSpec& cell, harness::RunContext& context) {
-        return RunCell(cell, effect, context);
+      [&effect, &args, total = cells.size()](const CellSpec& cell,
+                                             harness::RunContext& context) {
+        return RunCell(cell, effect, args, total, context);
       });
   if (!bench::EmitResults(grid.table, args)) {
     return;

@@ -93,11 +93,16 @@ void RunGridMode(const harness::HarnessArgs& args, bool quick) {
       [](const Arm& arm, size_t) {
         return harness::GridMeta{arm.name, kSeed};
       },
-      [quick](const Arm& arm, harness::RunContext& context) {
+      [quick, &args, total = arms.size()](const Arm& arm,
+                                          harness::RunContext& context) {
         ExperimentConfig config = CampusConfigFor(quick, false);
         config.campus.allocator.policy = arm.policy;
         config.campus.enable_spillover = arm.spillover;
+        // --trace / --postmortem-dir: per-arm flight-recorder artifacts
+        // (one track per DC in the trace). Observation-only.
+        bench::ApplyObsArgs(config, args, arm.name, context.index(), total);
         CampusResult result = RunCampusToResult(config);
+        bench::ReportArtifacts(context, result.artifacts);
         context.Metric("gain_tpw", result.gain_tpw);
         context.Metric("rT", result.throughput_ratio);
         context.Metric("replans", static_cast<double>(result.replans));

@@ -32,6 +32,7 @@
 #include "src/control/spcp.h"
 #include "src/faults/fault_injector.h"
 #include "src/faults/fault_plan.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/sched/scheduler.h"
@@ -289,6 +290,82 @@ void BM_ObsOverheadControllerTick(benchmark::State& state) {
   state.SetLabel(instrumented ? "instrumented" : "obs_disabled");
 }
 BENCHMARK(BM_ObsOverheadControllerTick)->Arg(1)->Arg(0);
+
+// Flight-recorder append in steady state. The ring is preallocated at
+// construction and a slot write is a fixed-size POD copy, so after a short
+// warmup the case hard-asserts a ZERO allocation delta across 4096 appends
+// (eviction included — the ring is 1024 slots, so the assert loop wraps it
+// four times). A regression that puts an allocation on the append path
+// fails the run loudly instead of shifting a number.
+void BM_FlightRecorderAppend(benchmark::State& state) {
+  obs::FlightRecorder recorder(1024);
+  int64_t t = 0;
+  auto append = [&] {
+    recorder.Append(SimTime::Micros(t++), obs::TimelineEventType::kTickBegin,
+                    1.0, 2.0, 3);
+  };
+  for (int i = 0; i < 64; ++i) {
+    append();  // Warmup: fault the ring's pages.
+  }
+  const uint64_t allocs_before = AllocCount();
+  for (int i = 0; i < 4096; ++i) {
+    append();
+  }
+  AMPERE_CHECK(AllocCount() == allocs_before)
+      << "flight-recorder append allocated in steady state";
+  for (auto _ : state) {
+    append();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("steady_state_zero_alloc");
+}
+BENCHMARK(BM_FlightRecorderAppend);
+
+// The AMPERE_TIMELINE dispatch cost by mode: recording (Arg 2) pays the
+// ring write; armed-but-no-recorder (Arg 1) is the usual production state —
+// one thread_local load and a branch; kill switch off (Arg 0) is one relaxed
+// atomic load — the runtime stand-in for -DAMPERE_OBS_DISABLED=ON, where the
+// macro compiles to ((void)0). Acceptance wants the Arg 0 / Arg 1 residuals
+// at effectively zero next to any real work.
+void BM_TimelineMacroDispatch(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  obs::FlightRecorder recorder(1024);
+  std::optional<obs::ScopedFlightRecorder> scoped;
+  if (mode == 2) scoped.emplace(&recorder);
+  if (mode == 0) obs::SetEnabled(false);
+  int64_t t = 0;
+  for (auto _ : state) {
+    AMPERE_TIMELINE(SimTime::Micros(t++),
+                    obs::TimelineEventType::kTickBegin, 1.0, 2.0, 3);
+  }
+  obs::SetEnabled(true);
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(mode == 2   ? "recording"
+                 : mode == 1 ? "no_recorder"
+                             : "obs_disabled");
+}
+BENCHMARK(BM_TimelineMacroDispatch)->Arg(2)->Arg(1)->Arg(0);
+
+// recorder_overhead: the identical controller decision path with a flight
+// recorder in scope (Arg 1) vs without one (Arg 0). Both arms keep metrics
+// instrumentation on, so the delta isolates what RECORDING timeline events
+// adds on top — a tick_begin/tick_end pair plus one event per freeze RPC.
+// Acceptance wants the recording arm within 5 % of the recorder-less arm.
+void BM_RecorderOverheadControllerTick(benchmark::State& state) {
+  const bool recording = state.range(0) == 1;
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRegistry scope(&registry);
+  obs::FlightRecorder recorder(16384);
+  std::optional<obs::ScopedFlightRecorder> scoped;
+  if (recording) scoped.emplace(&recorder);
+  ControllerTickRig rig;
+  for (auto _ : state) {
+    rig.Tick();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(recording ? "recording" : "no_recorder");
+}
+BENCHMARK(BM_RecorderOverheadControllerTick)->Arg(1)->Arg(0);
 
 // The raw cost of the obs primitives themselves, for when the per-path
 // numbers above need explaining.

@@ -5,12 +5,18 @@
 //
 // Runs a 4-row fleet with distinct per-row products for N simulated days
 // with an Ampere controller deployed on every row, advancing the simulation
-// one frame (default 6 h) at a time. After each frame it renders what a
-// fleet operator's terminal would show:
+// one frame (default 6 h) at a time. Each row's controller is scoped under
+// its own obs domain ("row0/".."row3/"), exactly how a campus scopes its
+// DCs, so the registry splits into per-row metric columns and the flight
+// recorder labels every timeline event with the row it came from. After
+// each frame the dashboard renders what a fleet operator's terminal would
+// show:
 //
 //   - per-row power against the control budget and the frozen-server count,
-//   - the obs metrics registry snapshot (counters, gauges, span profile),
-//   - the tail of the controller's DecisionJournal (the audit log),
+//   - per-row metric columns (one column per control domain) plus the
+//     unscoped fleet-wide counters and the span profile,
+//   - the recent-events panel: the tail of the flight recorder's ring,
+//   - the tail of each controller's DecisionJournal (the audit log),
 //   - the journal-fed model-drift gauges (rolling RMSE, E_t utilization).
 //
 // The final frame also prints the closing §2.2-style measurement study
@@ -22,8 +28,10 @@
 // environment, overridden by --log-level (both parsed by ParseHarnessArgs,
 // mirroring --jobs / AMPERE_JOBS).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +40,7 @@
 #include "src/core/controller.h"
 #include "src/core/fleet.h"
 #include "src/harness/runner.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/stats/descriptive.h"
@@ -40,7 +49,9 @@ using namespace ampere;  // NOLINT: example brevity.
 
 namespace {
 
-void RenderPowerPanel(Fleet& fleet, const AmpereController& controller,
+using Controllers = std::vector<std::unique_ptr<AmpereController>>;
+
+void RenderPowerPanel(Fleet& fleet, const Controllers& controllers,
                       const std::vector<double>& domain_budgets) {
   std::printf("  %-6s %10s %10s %8s %8s %8s\n", "row", "watts", "budget",
               "P_norm", "frozen", "u");
@@ -49,50 +60,130 @@ void RenderPowerPanel(Fleet& fleet, const AmpereController& controller,
     double watts = fleet.monitor().LatestRowWatts(RowId(r));
     double budget = domain_budgets[d];
     std::printf("  row%-3d %10.0f %10.0f %8.3f %8zu %8.3f\n", r, watts,
-                budget, watts / budget, controller.frozen_count(d),
-                controller.freeze_ratio(d));
+                budget, watts / budget, controllers[d]->frozen_count(0),
+                controllers[d]->freeze_ratio(0));
   }
 }
 
-void RenderRegistryPanel(const obs::MetricsSnapshot& snapshot) {
-  std::printf("  counters:");
-  for (const obs::CounterValue& c : snapshot.counters) {
-    std::printf("  %s=%llu", c.name.c_str(),
-                static_cast<unsigned long long>(c.value));
+// Per-domain metric columns: every "rowK/" counter and gauge becomes one
+// row of the table with one column per control domain — the same split a
+// campus gets per DC. Fleet-wide (unscoped) counters follow on one line.
+void RenderPerRowMetricColumns(const obs::MetricsSnapshot& snapshot,
+                               int num_rows) {
+  std::vector<std::string> prefixes;
+  for (int r = 0; r < num_rows; ++r) {
+    prefixes.push_back("row" + std::to_string(r) + "/");
   }
-  std::printf("\n  gauges:  ");
+  auto scoped_base = [&prefixes](const std::string& name) -> std::string {
+    for (const std::string& p : prefixes) {
+      if (name.rfind(p, 0) == 0) return name.substr(p.size());
+    }
+    return "";
+  };
+
+  std::vector<std::string> counter_names;
+  for (const obs::CounterValue& c : snapshot.counters) {
+    std::string base = scoped_base(c.name);
+    if (!base.empty() && std::find(counter_names.begin(), counter_names.end(),
+                                   base) == counter_names.end()) {
+      counter_names.push_back(base);
+    }
+  }
+  std::sort(counter_names.begin(), counter_names.end());
+
+  std::printf("  %-26s", "counter");
+  for (int r = 0; r < num_rows; ++r) {
+    std::printf(" %10s", ("row" + std::to_string(r)).c_str());
+  }
+  std::printf("\n");
+  for (const std::string& base : counter_names) {
+    std::printf("  %-26s", base.c_str());
+    for (const std::string& p : prefixes) {
+      const uint64_t* value = snapshot.FindCounter(p + base);
+      if (value != nullptr) {
+        std::printf(" %10llu", static_cast<unsigned long long>(*value));
+      } else {
+        std::printf(" %10s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::vector<std::string> gauge_names;
   for (const obs::GaugeValue& g : snapshot.gauges) {
-    std::printf("  %s=%.4g", g.name.c_str(), g.value);
+    std::string base = scoped_base(g.name);
+    if (!base.empty() && std::find(gauge_names.begin(), gauge_names.end(),
+                                   base) == gauge_names.end()) {
+      gauge_names.push_back(base);
+    }
+  }
+  std::sort(gauge_names.begin(), gauge_names.end());
+  for (const std::string& base : gauge_names) {
+    std::printf("  %-26s", base.c_str());
+    for (const std::string& p : prefixes) {
+      const double* value = snapshot.FindGauge(p + base);
+      if (value != nullptr) {
+        std::printf(" %10.4g", *value);
+      } else {
+        std::printf(" %10s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("  fleet-wide:");
+  for (const obs::CounterValue& c : snapshot.counters) {
+    if (scoped_base(c.name).empty()) {
+      std::printf("  %s=%llu", c.name.c_str(),
+                  static_cast<unsigned long long>(c.value));
+    }
   }
   std::printf("\n  spans:\n");
-  std::printf("  %-22s %10s %12s %12s %12s\n", "span", "count", "mean_us",
+  std::printf("  %-28s %10s %12s %12s %12s\n", "span", "count", "mean_us",
               "p50_us", "p99_us");
   for (const obs::SpanStats& s : snapshot.spans) {
-    std::printf("  %-22s %10llu %12.2f %12.2f %12.2f\n", s.name.c_str(),
+    std::printf("  %-28s %10llu %12.2f %12.2f %12.2f\n", s.name.c_str(),
                 static_cast<unsigned long long>(s.count), s.mean_ns() / 1e3,
                 s.p50_ns() / 1e3, s.p99_ns() / 1e3);
   }
 }
 
-void RenderJournalTail(const obs::DecisionJournal& journal, size_t n) {
-  std::printf("  %-6s %8s %6s %8s %8s %6s %6s %6s %6s\n", "seq", "hour",
-              "row", "P_norm", "u", "nf", "frz", "thaw", "cap");
-  for (const obs::DecisionRecord& r : journal.Tail(n)) {
-    std::printf("  %-6llu %8.2f %6s %8.3f %8.3f %6u %6u %6u %6s\n",
-                static_cast<unsigned long long>(r.seq), r.time.hours(),
-                r.domain.c_str(), r.normalized_power, r.u, r.n_freeze,
-                r.freeze_ops, r.unfreeze_ops, r.cap_engaged ? "yes" : "no");
+// The flight recorder's ring, newest-last: what just happened, per track.
+void RenderRecentEvents(const obs::FlightRecorder& recorder, size_t n) {
+  std::printf("  %-6s %8s %-20s %-16s %11s %11s %8s\n", "seq", "hour",
+              "event", "track", "a", "b", "c");
+  for (const obs::TimelineEvent& e : recorder.Tail(n)) {
+    const std::string track = std::string(obs::DomainPrefix(e.domain)) +
+                              std::string(obs::TimelineEventSource(e.type));
+    std::printf("  %-6llu %8.2f %-20s %-16s %11.4g %11.4g %8llu\n",
+                static_cast<unsigned long long>(e.seq), e.time.hours(),
+                std::string(obs::TimelineEventTypeName(e.type)).c_str(),
+                track.c_str(), e.a, e.b,
+                static_cast<unsigned long long>(e.c));
   }
 }
 
-void RenderDriftPanel(const obs::DecisionJournal& journal, int num_rows,
-                      size_t window) {
+void RenderJournalTails(const Controllers& controllers, size_t n_per_row) {
+  std::printf("  %-6s %8s %6s %8s %8s %6s %6s %6s %6s\n", "seq", "hour",
+              "row", "P_norm", "u", "nf", "frz", "thaw", "cap");
+  for (const auto& controller : controllers) {
+    for (const obs::DecisionRecord& r : controller->journal().Tail(n_per_row)) {
+      std::printf("  %-6llu %8.2f %6s %8.3f %8.3f %6u %6u %6u %6s\n",
+                  static_cast<unsigned long long>(r.seq), r.time.hours(),
+                  r.domain.c_str(), r.normalized_power, r.u, r.n_freeze,
+                  r.freeze_ops, r.unfreeze_ops, r.cap_engaged ? "yes" : "no");
+    }
+  }
+}
+
+void RenderDriftPanel(const Controllers& controllers, size_t window) {
   std::printf("  %-6s %14s %16s\n", "row", "model_rmse", "et_margin_util");
-  for (int32_t r = 0; r < num_rows; ++r) {
+  for (size_t r = 0; r < controllers.size(); ++r) {
     std::string domain = "row" + std::to_string(r);
-    auto rmse = journal.RollingModelRmse(window, domain);
-    auto util = journal.RollingEtMarginUtilization(window, domain);
-    std::printf("  row%-3d %14s %16s\n", r,
+    auto rmse = controllers[r]->journal().RollingModelRmse(window, domain);
+    auto util =
+        controllers[r]->journal().RollingEtMarginUtilization(window, domain);
+    std::printf("  row%-3zu %14s %16s\n", r,
                 rmse ? std::to_string(*rmse).c_str() : "-",
                 util ? std::to_string(*util).c_str() : "-");
   }
@@ -116,9 +207,12 @@ int main(int argc, char** argv) {
   if (days <= 0) days = 2;
   if (frame_hours <= 0.0) frame_hours = 6.0;
 
-  // The dashboard's own registry: every instrumented path below lands here.
+  // The dashboard's own registry and flight recorder: every instrumented
+  // path below lands here, and every timeline event lands in the ring.
   obs::MetricsRegistry registry;
   obs::ScopedMetricsRegistry scope(&registry);
+  obs::FlightRecorder recorder(4096);
+  obs::ScopedFlightRecorder recorder_scope(&recorder);
 
   FleetConfig config;
   config.seed = 31;
@@ -132,8 +226,9 @@ int main(int argc, char** argv) {
   Fleet fleet(config);
 
   // Deploy an Ampere controller on every row, as production would (§3.2):
-  // one control domain per row, budget set below the rated row budget so
-  // the diurnal peaks actually engage the controller now and then.
+  // one controller per row, scoped under its own obs domain ("rowK/", the
+  // campus "dcK/" convention), budget set below the rated row budget so the
+  // diurnal peaks actually engage the controller now and then.
   AmpereControllerConfig controller_config;
   controller_config.effect = FreezeEffectModel(0.05);
   controller_config.et = EtEstimator::Constant(0.02);
@@ -144,20 +239,23 @@ int main(int argc, char** argv) {
     RowId row = fleet.dc().row_of(ServerId(s));
     row_servers[static_cast<size_t>(row.index())].push_back(ServerId(s));
   }
-  AmpereController controller(&fleet.scheduler(), &fleet.monitor(),
-                              controller_config);
+  Controllers controllers;
   for (int32_t r = 0; r < fleet.dc().num_rows(); ++r) {
     std::string group = "row" + std::to_string(r);
     fleet.monitor().RegisterGroup(group,
                                   row_servers[static_cast<size_t>(r)]);
     double budget = 0.85 * fleet.dc().row_budget_watts(RowId(r));
     domain_budgets.push_back(budget);
-    controller.AddDomain({group, row_servers[static_cast<size_t>(r)],
-                          budget});
+    auto controller = std::make_unique<AmpereController>(
+        &fleet.scheduler(), &fleet.monitor(), controller_config);
+    controller->SetObsDomain(obs::InternDomain(group + "/"));
+    controller->AddDomain({group, row_servers[static_cast<size_t>(r)],
+                           budget});
+    // Tick 1 s after the monitor's minute samples, the production offset.
+    controller->Start(&fleet.sim(),
+                      SimTime::Minutes(1) + SimTime::Seconds(1));
+    controllers.push_back(std::move(controller));
   }
-  // Tick 1 s after the monitor's minute samples, the production offset.
-  controller.Start(&fleet.sim(),
-                   SimTime::Minutes(1) + SimTime::Seconds(1));
 
   const SimTime end = SimTime::Hours(24.0 * days + 2);
   std::printf("fleet observatory: %d rows, %d day(s), one frame every %.1f h "
@@ -171,20 +269,27 @@ int main(int argc, char** argv) {
     fleet.Run(now);
     ++frame;
 
+    uint64_t decisions = 0;
+    for (const auto& controller : controllers) {
+      decisions += controller->journal().total_appended();
+    }
+
     std::printf("\n========================= frame %d — t = %.1f h "
                 "=========================\n", frame, now.hours());
     std::printf("\n[power]\n");
-    RenderPowerPanel(fleet, controller, domain_budgets);
-    std::printf("\n[registry]\n");
-    RenderRegistryPanel(registry.Snapshot());
-    std::printf("\n[journal tail] (%llu decisions total)\n",
-                static_cast<unsigned long long>(
-                    controller.journal().total_appended()));
-    RenderJournalTail(controller.journal(), 6);
+    RenderPowerPanel(fleet, controllers, domain_budgets);
+    std::printf("\n[metrics by domain]\n");
+    RenderPerRowMetricColumns(registry.Snapshot(), fleet.dc().num_rows());
+    std::printf("\n[recent events] (%llu recorded, ring keeps %zu)\n",
+                static_cast<unsigned long long>(recorder.total_appended()),
+                recorder.capacity());
+    RenderRecentEvents(recorder, 10);
+    std::printf("\n[journal tails] (%llu decisions total)\n",
+                static_cast<unsigned long long>(decisions));
+    RenderJournalTails(controllers, 2);
     std::printf("\n[model drift] (window=%zu ticks/row)\n",
                 controller_config.drift_window);
-    RenderDriftPanel(controller.journal(), fleet.dc().num_rows(),
-                     controller_config.drift_window);
+    RenderDriftPanel(controllers, controller_config.drift_window);
   }
 
   // Closing measurement study (§2.2), as before the dashboard upgrade.

@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/common/log.h"
+#include "src/obs/flight_recorder.h"
 
 namespace ampere {
 
@@ -367,7 +368,11 @@ void DataCenter::EnforceRowCap(RowId row_id) {
   RowState& row = rows_[row_id.index()];
   SimTime now = sim_->now();
   // Breaker sees the true (post-capping) draw.
-  row.breaker.Observe(now, row.power_watts, row.budget_watts);
+  if (row.breaker.Observe(now, row.power_watts, row.budget_watts)) {
+    AMPERE_TIMELINE_D(obs_domain_, now, obs::TimelineEventType::kBreakerTrip,
+                      row.power_watts, row.budget_watts,
+                      static_cast<uint64_t>(row_id.value()));
+  }
   if (!capping_enabled_ || capping_mode_ != CappingMode::kRowUniform) {
     return;
   }
@@ -383,7 +388,11 @@ void DataCenter::EnforceRowCap(RowId row_id) {
   for (ServerId id : row.servers) {
     SetServerFrequency(id, decision.throttle);
   }
-  row.breaker.Observe(now, row.power_watts, row.budget_watts);
+  if (row.breaker.Observe(now, row.power_watts, row.budget_watts)) {
+    AMPERE_TIMELINE_D(obs_domain_, now, obs::TimelineEventType::kBreakerTrip,
+                      row.power_watts, row.budget_watts,
+                      static_cast<uint64_t>(row_id.value()));
+  }
 }
 
 void DataCenter::EnforceServerCap(ServerId id) {

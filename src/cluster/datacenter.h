@@ -20,6 +20,7 @@
 #include "src/cluster/server.h"
 #include "src/common/ids.h"
 #include "src/common/thread_pool.h"
+#include "src/obs/metrics.h"
 #include "src/power/breaker.h"
 #include "src/power/dvfs.h"
 #include "src/power/power_model.h"
@@ -220,6 +221,12 @@ class DataCenter {
   // off or insufficient).
   bool AnyBreakerTripped() const;
 
+  // Metrics/timeline domain for this DC's instrumentation ("dc1/" in a
+  // campus; root, 0, standalone). Observation-only: it labels flight
+  // recorder breaker events, never alters simulation behaviour.
+  void SetObsDomain(obs::DomainId domain) { obs_domain_ = domain; }
+  obs::DomainId obs_domain() const { return obs_domain_; }
+
   Simulation* sim() const { return sim_; }
   // The primary (first-generation) power model. Heterogeneous fleets have
   // per-server models; use server(id) accessors for those.
@@ -288,6 +295,7 @@ class DataCenter {
   std::vector<RowState> rows_;
   double total_power_watts_ = 0.0;
   uint64_t power_mutations_since_resum_ = 0;
+  obs::DomainId obs_domain_ = 0;
   std::function<void(ServerId, JobId)> completion_listener_;
 };
 

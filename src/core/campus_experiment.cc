@@ -1,9 +1,14 @@
 #include "src/core/campus_experiment.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 
 #include "src/common/check.h"
+#include "src/common/log.h"
+#include "src/obs/metrics.h"
 #include "src/obs/span.h"
+#include "src/obs/trace_export.h"
 
 namespace ampere {
 
@@ -94,6 +99,18 @@ CampusExperiment::CampusExperiment(const ExperimentConfig& config)
   }
   allocator_ = std::make_unique<CampusBudgetAllocator>(
       campus_cap, config_.campus.allocator);
+
+  if (config_.obs.enabled()) {
+    recorder_ =
+        std::make_unique<obs::FlightRecorder>(config_.obs.recorder_capacity);
+    recorder_->SetAnomalyPolicy(config_.obs.anomaly);
+    if (!config_.obs.postmortem_dir.empty()) {
+      recorder_->SetAnomalySink(
+          [this](const obs::TimelineEvent& trigger) {
+            WritePostmortem(trigger);
+          });
+    }
+  }
 }
 
 void CampusExperiment::BuildDc(DataCenterId id) {
@@ -164,6 +181,17 @@ void CampusExperiment::BuildDc(DataCenterId id) {
 
   state->controller = std::make_unique<AmpereController>(
       state->scheduler.get(), state->monitor.get(), config_.controller);
+
+  // Per-DC observability scope: metrics land under "dcK/..." and timeline
+  // events carry the DC's domain id, so one shared registry/recorder keeps
+  // the federated DCs' signals separate. Observation-only.
+  const obs::DomainId obs_dom =
+      obs::InternDomain("dc" + std::to_string(k) + "/");
+  dc.SetObsDomain(obs_dom);
+  state->scheduler->SetObsDomain(obs_dom);
+  state->monitor->SetObsDomain(obs_dom);
+  state->controller->SetObsDomain(obs_dom);
+
   ControlDomain domain;
   domain.group = ControlledExperiment::kExperimentGroup;
   domain.servers = state->experiment_servers;
@@ -253,11 +281,13 @@ void CampusExperiment::ReplanBudgets(SimTime now) {
   const std::vector<double> shares = allocator_->Replan(now, observations);
   for (size_t k = 0; k < dcs_.size(); ++k) {
     dcs_[k]->controller->SetDomainBudget(0, shares[k]);
+    AMPERE_TIMELINE(now, obs::TimelineEventType::kCampusReplan, shares[k],
+                    observations[k].observed_watts,
+                    static_cast<uint64_t>(k));
   }
 }
 
 void CampusExperiment::SpilloverPass(SimTime now) {
-  (void)now;
   const size_t threshold = config_.campus.spillover_queue_threshold;
   for (auto& source : dcs_) {
     if (source->scheduler->queue_length() <= threshold ||
@@ -293,11 +323,21 @@ void CampusExperiment::SpilloverPass(SimTime now) {
     }
     target->jobs_spilled_in += moved.size();
     spillover_jobs_ += moved.size();
+    if (!moved.empty()) {
+      AMPERE_TIMELINE(now, obs::TimelineEventType::kSpillover,
+                      static_cast<double>(moved.size()), best_headroom,
+                      (static_cast<uint64_t>(source->id.value()) << 32) |
+                          static_cast<uint64_t>(target->id.value()));
+    }
   }
 }
 
 CampusResult CampusExperiment::Run() {
   AMPERE_SPAN("campus.run");
+  // Install the flight recorder (if configured) for the whole federated
+  // loop. Recording is passive — nothing downstream reads the recorder
+  // during the run — so results are bit-identical with or without it.
+  obs::ScopedFlightRecorder scoped_recorder(recorder_.get());
   for (const auto& dc : dcs_) {
     dc->workload->Start(SimTime());
   }
@@ -385,7 +425,56 @@ CampusResult CampusExperiment::Run() {
   result.replans = allocator_->replans();
   result.breaker_tripped = campus_.AnyBreakerTripped();
   result.allocator_journal = allocator_->journal().Summarize();
+
+  if (recorder_ != nullptr) {
+    result.timeline_events = recorder_->total_appended();
+    if (!config_.obs.trace_path.empty()) {
+      const std::string label =
+          config_.obs.run_label.empty() ? "campus" : config_.obs.run_label;
+      if (obs::WriteChromeTraceFile(*recorder_, config_.obs.trace_path,
+                                    label)) {
+        result.artifacts.push_back(config_.obs.trace_path);
+      } else {
+        AMPERE_LOG(kWarning) << "failed to write trace artifact "
+                             << config_.obs.trace_path;
+      }
+    }
+    result.artifacts.insert(result.artifacts.end(), artifacts_.begin(),
+                            artifacts_.end());
+  }
   return result;
+}
+
+void CampusExperiment::WritePostmortem(const obs::TimelineEvent& trigger) {
+  const std::string label =
+      config_.obs.run_label.empty() ? "campus" : config_.obs.run_label;
+  std::string safe_label = label;
+  for (char& c : safe_label) {
+    if (c == '/' || c == '\\' || c == ' ') c = '-';
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(config_.obs.postmortem_dir, ec);
+  const std::string path = config_.obs.postmortem_dir + "/postmortem_" +
+                           safe_label + "_" +
+                           std::to_string(recorder_->anomalies_fired()) +
+                           ".json";
+  const std::string json = BuildPostmortemJson(
+      trigger, *recorder_, obs::CurrentMetrics()->Snapshot(),
+      allocator_ != nullptr ? &allocator_->journal() : nullptr,
+      config_.obs.postmortem, label);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    AMPERE_LOG(kWarning) << "failed to open postmortem artifact " << path;
+    return;
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (ok) {
+    artifacts_.push_back(path);
+    AMPERE_LOG(kInfo) << "campus postmortem ("
+                      << obs::TimelineEventTypeName(trigger.type) << " @ "
+                      << trigger.time.minutes() << " min) -> " << path;
+  }
 }
 
 }  // namespace ampere

@@ -95,6 +95,11 @@ struct CampusResult {
   uint64_t replans = 0;
   bool breaker_tripped = false;
   obs::JournalSummary allocator_journal;
+  // Observability artifacts written during the run (trace first, then
+  // postmortems in trigger order) and the flight-recorder event total.
+  // Empty/zero unless config.obs enabled recording.
+  std::vector<std::string> artifacts;
+  uint64_t timeline_events = 0;
 };
 
 // Pure entry point mirroring RunExperimentToResult: builds a fresh
@@ -123,6 +128,8 @@ class CampusExperiment {
     return *dcs_[id.index()]->controller;
   }
   const ExperimentConfig& config() const { return config_; }
+  // Null unless config.obs requested recording.
+  obs::FlightRecorder* flight_recorder() { return recorder_.get(); }
 
  private:
   // Everything one DC owns. Construction order within the struct follows
@@ -153,6 +160,9 @@ class CampusExperiment {
   void InstallMetricsRecorder(DcState& dc, SimTime from, SimTime to);
   void SpilloverPass(SimTime now);
   void ReplanBudgets(SimTime now);
+  // Anomaly sink: dumps the recorder window + metrics + the allocator's
+  // journal tail (the campus-level audit log) into config.obs.postmortem_dir.
+  void WritePostmortem(const obs::TimelineEvent& trigger);
 
   ExperimentConfig config_;
   Rng rng_;
@@ -165,6 +175,8 @@ class CampusExperiment {
   JobIdAllocator ids_;  // Shared: JobIds are campus-unique.
   std::vector<std::unique_ptr<DcState>> dcs_;
   std::unique_ptr<CampusBudgetAllocator> allocator_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::vector<std::string> artifacts_;  // Postmortems, in trigger order.
   uint64_t spillover_jobs_ = 0;
   bool counting_ = false;
 };

@@ -7,6 +7,7 @@
 #include "src/common/log.h"
 #include "src/control/pcp.h"
 #include "src/control/spcp.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 
@@ -76,6 +77,7 @@ void AmpereController::AddDomain(ControlDomain domain) {
   domains_.push_back(std::move(domain));
   frozen_.emplace_back();
   predictors_.emplace_back(config_.predictor);
+  prev_mode_.push_back(obs::DegradedMode::kNone);
   pending_realized_.emplace_back();
 }
 
@@ -100,8 +102,10 @@ void AmpereController::Start(Simulation* sim, SimTime first_tick,
 }
 
 void AmpereController::Tick(SimTime now) {
+  AMPERE_METRICS_DOMAIN(obs_domain_);
   AMPERE_SPAN("controller.tick");
   ++ticks_;
+  tick_now_ = now;
   AMPERE_COUNTER_ADD("controller.ticks", 1);
   for (size_t d = 0; d < domains_.size(); ++d) {
     TickDomain(d, now);
@@ -132,6 +136,24 @@ void AmpereController::TickDomain(size_t domain_index, SimTime now) {
 
   double power = reading.watts;
   double p = power / domain.budget_watts;
+
+  AMPERE_TIMELINE(now, obs::TimelineEventType::kTickBegin, power,
+                  domain.budget_watts, domain_index);
+  // Degraded-mode edges: one enter event when a domain leaves kNone, one
+  // exit when it recovers — not one event per degraded tick.
+  if (mode != prev_mode_[domain_index]) {
+    if (prev_mode_[domain_index] == obs::DegradedMode::kNone) {
+      AMPERE_TIMELINE(now, obs::TimelineEventType::kDegradedEnter,
+                      static_cast<double>(static_cast<uint32_t>(mode)),
+                      reading.valid() ? age.minutes() : -1.0, domain_index);
+    } else if (mode == obs::DegradedMode::kNone) {
+      AMPERE_TIMELINE(
+          now, obs::TimelineEventType::kDegradedExit,
+          static_cast<double>(static_cast<uint32_t>(prev_mode_[domain_index])),
+          0.0, domain_index);
+    }
+    prev_mode_[domain_index] = mode;
+  }
 
   // Resolve the previous tick's prediction: this minute's observed power is
   // the "realized next-minute power" of the record written one tick ago.
@@ -341,6 +363,15 @@ void AmpereController::TickDomain(size_t domain_index, SimTime now) {
     }
   }
 
+  // Timeline events come AFTER the journal append so a violation-triggered
+  // postmortem (the anomaly sink fires synchronously inside the recorder)
+  // tails a journal that already ends with the triggering decision.
+  if (violation) {
+    AMPERE_TIMELINE(now, obs::TimelineEventType::kCapacityViolation, p,
+                    domain.budget_watts, domain_index);
+  }
+  AMPERE_TIMELINE(now, obs::TimelineEventType::kTickEnd, et_eff, u, n_freeze);
+
   // Degradation bookkeeping (run totals + faults.* registry counters).
   if (mode != obs::DegradedMode::kNone) {
     ++degraded_ticks_;
@@ -399,12 +430,18 @@ void AmpereController::UnfreezeAll(size_t domain_index) {
 bool AmpereController::RpcFreeze(ServerId id) {
   const RpcResult result = scheduler_->TryFreeze(id);
   AccountRpc(result);
+  AMPERE_TIMELINE(tick_now_, obs::TimelineEventType::kFreezeRpc,
+                  result.attempts, result.ok ? 1.0 : 0.0,
+                  static_cast<uint64_t>(id.value()));
   return result.ok;
 }
 
 bool AmpereController::RpcUnfreeze(ServerId id) {
   const RpcResult result = scheduler_->TryUnfreeze(id);
   AccountRpc(result);
+  AMPERE_TIMELINE(tick_now_, obs::TimelineEventType::kUnfreezeRpc,
+                  result.attempts, result.ok ? 1.0 : 0.0,
+                  static_cast<uint64_t>(id.value()));
   return result.ok;
 }
 

@@ -30,6 +30,7 @@
 #include "src/control/freeze_effect.h"
 #include "src/control/online_predictor.h"
 #include "src/obs/journal.h"
+#include "src/obs/metrics.h"
 #include "src/sched/scheduler.h"
 #include "src/telemetry/power_monitor.h"
 
@@ -159,6 +160,13 @@ class AmpereController {
   // (predicted, realized) pair for the f(u) = kr·u model.
   const obs::DecisionJournal& journal() const { return journal_; }
 
+  // Metrics/timeline domain this controller's instrumentation is scoped
+  // under ("dc2/" in a campus; the root domain, 0, standalone). Purely
+  // observational: prefixes metric names and labels flight-recorder events,
+  // never feeds back into control.
+  void SetObsDomain(obs::DomainId domain) { obs_domain_ = domain; }
+  obs::DomainId obs_domain() const { return obs_domain_; }
+
  private:
   void TickDomain(size_t domain_index, SimTime now);
   void UnfreezeAll(size_t domain_index);
@@ -181,6 +189,12 @@ class AmpereController {
   std::vector<std::unordered_set<ServerId>> frozen_;
   std::vector<OnlineEtPredictor> predictors_;  // One per domain if enabled.
   obs::DecisionJournal journal_;
+  obs::DomainId obs_domain_ = 0;
+  // Previous tick's degradation mode per domain, for flight-recorder
+  // degraded-mode edge events (enter/exit fire on transitions only).
+  std::vector<obs::DegradedMode> prev_mode_;
+  // Tick timestamp in flight, so RPC helpers can stamp timeline events.
+  SimTime tick_now_;
   // Last journal seq per domain, awaiting realized-power backfill.
   std::vector<std::optional<uint64_t>> pending_realized_;
   uint64_t freeze_ops_ = 0;

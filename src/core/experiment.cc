@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <unordered_set>
 
 #include "src/common/check.h"
 #include "src/common/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
+#include "src/obs/trace_export.h"
 
 namespace ampere {
 
@@ -88,6 +91,18 @@ ControlledExperiment::ControlledExperiment(const ExperimentConfig& config)
         faults::FaultPlan::Generate(config_.faults, horizon));
     monitor_.AttachFaultInjector(injector_.get());
     scheduler_.AttachFaultInjector(injector_.get());
+  }
+
+  if (config_.obs.enabled()) {
+    recorder_ =
+        std::make_unique<obs::FlightRecorder>(config_.obs.recorder_capacity);
+    recorder_->SetAnomalyPolicy(config_.obs.anomaly);
+    if (!config_.obs.postmortem_dir.empty()) {
+      recorder_->SetAnomalySink(
+          [this](const obs::TimelineEvent& trigger) {
+            WritePostmortem(trigger);
+          });
+    }
   }
 
   if (config_.enable_ampere) {
@@ -195,6 +210,10 @@ void ControlledExperiment::InstallMetricsRecorder(SimTime from, SimTime to) {
 
 ExperimentResult ControlledExperiment::Run() {
   AMPERE_SPAN("experiment.run");
+  // Install the flight recorder (if configured) for the whole closed loop.
+  // Recording is passive — nothing downstream reads the recorder during the
+  // run — so results are bit-identical with or without it.
+  obs::ScopedFlightRecorder scoped_recorder(recorder_.get());
   StartBaseline();
   SimTime measure_start = config_.warmup;
   SimTime end = config_.warmup + config_.duration;
@@ -259,7 +278,59 @@ ExperimentResult ControlledExperiment::Run() {
       }
     }
   }
+
+  if (recorder_ != nullptr) {
+    result.timeline_events = recorder_->total_appended();
+    if (!config_.obs.trace_path.empty()) {
+      const std::string label =
+          config_.obs.run_label.empty() ? "run" : config_.obs.run_label;
+      if (obs::WriteChromeTraceFile(*recorder_, config_.obs.trace_path,
+                                    label)) {
+        // The trace leads the artifact list; postmortems follow in trigger
+        // order (artifacts_ collected them as the sink fired).
+        result.artifacts.push_back(config_.obs.trace_path);
+      } else {
+        AMPERE_LOG(kWarning) << "failed to write trace artifact "
+                          << config_.obs.trace_path;
+      }
+    }
+    result.artifacts.insert(result.artifacts.end(), artifacts_.begin(),
+                            artifacts_.end());
+  }
   return result;
+}
+
+void ControlledExperiment::WritePostmortem(const obs::TimelineEvent& trigger) {
+  const std::string label =
+      config_.obs.run_label.empty() ? "run" : config_.obs.run_label;
+  std::string safe_label = label;
+  for (char& c : safe_label) {
+    if (c == '/' || c == '\\' || c == ' ') c = '-';
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(config_.obs.postmortem_dir, ec);
+  const std::string path = config_.obs.postmortem_dir + "/postmortem_" +
+                           safe_label + "_" +
+                           std::to_string(recorder_->anomalies_fired()) +
+                           ".json";
+  const std::string json = BuildPostmortemJson(
+      trigger, *recorder_, obs::CurrentMetrics()->Snapshot(),
+      controller_ != nullptr ? &controller_->journal() : nullptr,
+      config_.obs.postmortem, label);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    AMPERE_LOG(kWarning) << "failed to open postmortem artifact " << path;
+    return;
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (ok) {
+    artifacts_.push_back(path);
+    AMPERE_LOG(kInfo) << "postmortem (" << obs::TimelineEventTypeName(
+                             trigger.type)
+                      << " @ " << trigger.time.minutes() << " min) -> "
+                      << path;
+  }
 }
 
 std::vector<FuSample> ControlledExperiment::RunFuCalibration(

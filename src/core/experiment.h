@@ -34,6 +34,7 @@
 #include "src/core/metrics.h"
 #include "src/faults/fault_injector.h"
 #include "src/faults/fault_plan.h"
+#include "src/obs/flight_recorder.h"
 #include "src/sched/scheduler.h"
 #include "src/sim/simulation.h"
 #include "src/telemetry/power_monitor.h"
@@ -66,6 +67,32 @@ struct CampusSection {
   bool enable_spillover = false;
   size_t spillover_queue_threshold = 32;
   size_t spillover_max_jobs_per_pass = 16;
+};
+
+// Flight-recorder / artifact section of ExperimentConfig. Everything here is
+// observation-only: the recorder never schedules simulation events or feeds
+// into control decisions, so simulation results are bit-identical with any
+// combination of these settings (the perf-identity goldens pin this).
+struct ObsSection {
+  // Attach a flight recorder for the run. Implied by a non-empty trace_path
+  // or postmortem_dir; set it alone to query the recorder programmatically.
+  bool flight_recorder = false;
+  size_t recorder_capacity = 16384;
+  // Write the run's timeline as Chrome/Perfetto trace_event JSON here after
+  // the run ("" = no trace artifact).
+  std::string trace_path;
+  // Write anomaly postmortem JSON artifacts into this directory ("" = no
+  // postmortems). Created if missing.
+  std::string postmortem_dir;
+  // Label embedded in artifacts and postmortem file names (scenario name
+  // under the harness). Empty = "run".
+  std::string run_label;
+  obs::AnomalyPolicy anomaly;
+  obs::PostmortemConfig postmortem;
+
+  bool enabled() const {
+    return flight_recorder || !trace_path.empty() || !postmortem_dir.empty();
+  }
 };
 
 struct ExperimentConfig {
@@ -104,6 +131,8 @@ struct ExperimentConfig {
   // Campus federation (multi-DC) section; see CampusSection above. Only
   // RunCampusToResult reads it.
   CampusSection campus;
+  // Flight recorder / trace / postmortem artifacts; see ObsSection above.
+  ObsSection obs;
 };
 
 struct ExperimentResult {
@@ -131,6 +160,10 @@ struct ExperimentResult {
   uint64_t blackout_skips = 0;
   uint64_t stale_fallbacks = 0;
   uint64_t rpc_giveups = 0;
+  // Artifact files this run wrote (trace export first, then postmortems in
+  // trigger order). Empty unless ExperimentConfig::obs asked for them.
+  std::vector<std::string> artifacts;
+  uint64_t timeline_events = 0;  // Recorder total_appended (0 = no recorder).
 };
 
 // Calibration helper: the arrival rate (jobs/minute) that drives the
@@ -191,6 +224,9 @@ class ControlledExperiment {
   BatchWorkload& workload() { return *workload_; }
   // Null unless config.faults has an active dimension.
   faults::FaultInjector* fault_injector() { return injector_.get(); }
+  // Null unless config.obs.enabled(). Installed as the thread's current
+  // recorder only while Run() executes.
+  obs::FlightRecorder* flight_recorder() { return recorder_.get(); }
   const std::vector<ServerId>& experiment_servers() const {
     return experiment_servers_;
   }
@@ -206,6 +242,9 @@ class ControlledExperiment {
   void StartBaseline();  // Workload + monitor.
   // Installs the per-minute metrics recorder for [from, to).
   void InstallMetricsRecorder(SimTime from, SimTime to);
+  // Anomaly sink: snapshots the recorder window + metrics + journal tail
+  // into config.obs.postmortem_dir. Appends the path to artifacts_.
+  void WritePostmortem(const obs::TimelineEvent& trigger);
 
   ExperimentConfig config_;
   Rng rng_;
@@ -221,6 +260,8 @@ class ControlledExperiment {
   std::unique_ptr<BatchWorkload> workload_;
   std::unique_ptr<AmpereController> controller_;
   std::unique_ptr<faults::FaultInjector> injector_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::vector<std::string> artifacts_;
 
   std::vector<ServerId> experiment_servers_;
   std::vector<ServerId> control_servers_;

@@ -203,6 +203,16 @@ std::string ResultTable::ToJson() const {
       out += r.obs_json;
       out += ",\n";
     }
+    if (!r.artifacts.empty()) {
+      out += "      \"artifacts\": [";
+      for (size_t a = 0; a < r.artifacts.size(); ++a) {
+        if (a > 0) {
+          out += ", ";
+        }
+        out += "\"" + JsonEscape(r.artifacts[a]) + "\"";
+      }
+      out += "],\n";
+    }
     out += "      \"log\": \"" + JsonEscape(r.log) + "\"\n";
     out += (i + 1 < rows_.size()) ? "    },\n" : "    }\n";
   }

@@ -49,6 +49,11 @@ struct ResultRow {
   // like `log` and `wall_ms` — is excluded from CSV and SameData: the
   // determinism contract covers metrics/notes only.
   std::string obs_json;
+  // Paths of artifacts the run wrote to disk (trace files, postmortem
+  // dumps), reported via RunContext::Artifact. Emitted as the "artifacts"
+  // JSON array when non-empty; excluded from CSV and SameData (paths embed
+  // run-scoped names, not metric content).
+  std::vector<std::string> artifacts;
 
   // Value of a named metric; CHECK-fails when absent.
   double Metric(std::string_view name) const;

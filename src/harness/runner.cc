@@ -103,6 +103,7 @@ ResultTable ScenarioRunner::Run(std::span<const Scenario> scenarios) const {
         }
         row->metrics = std::move(context.metrics());
         row->notes = std::move(context.notes());
+        row->artifacts = std::move(context.artifacts());
       });
     }
     pool.Wait();
@@ -162,6 +163,10 @@ HarnessArgs ParseHarnessArgs(int argc, char** argv) {
       }
       args.faults_preset = preset;
       args.faults = *config;
+    } else if (const char* trace = value_of(arg, "--trace", i)) {
+      args.trace_path = trace;
+    } else if (const char* dir = value_of(arg, "--postmortem-dir", i)) {
+      args.postmortem_dir = dir;
     } else if (arg == "--obs") {
       args.runner.capture_obs = true;
     } else if (arg == "--no-notes") {
@@ -171,6 +176,26 @@ HarnessArgs ParseHarnessArgs(int argc, char** argv) {
     }
   }
   return args;
+}
+
+std::string ArtifactPathForRun(const std::string& base, size_t run_index,
+                               size_t total_runs) {
+  if (total_runs <= 1) {
+    return base;
+  }
+  const std::string suffix = "_run" + std::to_string(run_index);
+  const size_t slash = base.find_last_of('/');
+  const size_t dot = base.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return base + suffix;  // No extension (or a dot only in a directory).
+  }
+  std::string out;
+  out.reserve(base.size() + suffix.size());
+  out.append(base, 0, dot);
+  out += suffix;
+  out.append(base, dot, std::string::npos);
+  return out;
 }
 
 }  // namespace harness

@@ -76,6 +76,13 @@ ResultTable RunScenarios(std::span<const Scenario> scenarios,
 //   --faults=PRESET         named chaos preset (none|light|moderate|heavy,
 //                           src/faults/presets.h) applied by fault-aware
 //                           benches to every run's ExperimentConfig::faults
+//   --trace=PATH            obs-aware benches install a flight recorder per
+//                           run and export its Chrome/Perfetto trace; PATH
+//                           is run-suffixed (ArtifactPathForRun) when the
+//                           bench runs more than one scenario, so --jobs>1
+//                           grids never clobber one file
+//   --postmortem-dir=DIR    obs-aware benches enable anomaly-triggered
+//                           postmortem dumps into DIR (one JSON per trigger)
 struct HarnessArgs {
   RunnerOptions runner;
   std::string csv_path;
@@ -87,6 +94,12 @@ struct HarnessArgs {
   // unaffected. Defaults to "none" (all-zero config, any() == false).
   std::string faults_preset = "none";
   faults::FaultPlanConfig faults;
+  // --trace / --postmortem-dir: observability artifact destinations (empty
+  // = off). Benches that support them copy these into each scenario's
+  // ExperimentConfig::obs, deriving the per-run trace path with
+  // ArtifactPathForRun and reporting written files via RunContext::Artifact.
+  std::string trace_path;
+  std::string postmortem_dir;
   std::vector<std::string> positional;
 };
 
@@ -94,6 +107,14 @@ struct HarnessArgs {
 // then --log-level on top (flag beats environment) — mirroring how
 // ResolveJobs treats --jobs/AMPERE_JOBS.
 HarnessArgs ParseHarnessArgs(int argc, char** argv);
+
+// Derives a collision-free per-run artifact path from a base path: run 0 of
+// a single-scenario grid keeps `base` unchanged; otherwise "_run<N>" is
+// inserted before the extension ("out/t.json" -> "out/t_run3.json", no
+// extension appends). Deterministic in (base, run_index, total_runs), so
+// the same grid names the same files at any job count.
+std::string ArtifactPathForRun(const std::string& base, size_t run_index,
+                               size_t total_runs);
 
 }  // namespace harness
 }  // namespace ampere

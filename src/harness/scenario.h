@@ -50,14 +50,24 @@ class RunContext {
     notes_ += '\n';
   }
 
+  // Records the path of an artifact this run wrote to disk (a trace file, a
+  // postmortem dump). Lands in ResultRow::artifacts and the JSON record's
+  // "artifacts" array, so consumers can find per-run output files without
+  // globbing.
+  void Artifact(std::string_view path) {
+    artifacts_.emplace_back(path);
+  }
+
   std::vector<MetricValue>& metrics() { return metrics_; }
   std::string& notes() { return notes_; }
+  std::vector<std::string>& artifacts() { return artifacts_; }
 
  private:
   size_t index_;
   uint64_t seed_;
   std::vector<MetricValue> metrics_;
   std::string notes_;
+  std::vector<std::string> artifacts_;
 };
 
 struct Scenario {

@@ -375,12 +375,14 @@ std::string DecisionJournal::ToCsv() const {
   return out;
 }
 
-std::string DecisionJournal::ToJson() const {
-  std::string out = "[";
-  const size_t n = records_.size();
-  for (size_t i = 0; i < n; ++i) {
-    const DecisionRecord& r = records_[(head_ + i) % capacity_];
-    if (i > 0) out += ",";
+std::string DecisionRecordToJson(const DecisionRecord& r) {
+  std::string out;
+  AppendDecisionRecordJson(out, r);
+  return out;
+}
+
+void AppendDecisionRecordJson(std::string& out, const DecisionRecord& r) {
+  {
     out += "{\"seq\":";
     out += std::to_string(r.seq);
     out += ",\"time_us\":";
@@ -430,6 +432,15 @@ std::string DecisionJournal::ToJson() const {
     out += ",\"rpc_giveups\":";
     out += std::to_string(r.rpc_giveups);
     out += "}";
+  }
+}
+
+std::string DecisionJournal::ToJson() const {
+  std::string out = "[";
+  const size_t n = records_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) out += ",";
+    AppendDecisionRecordJson(out, records_[(head_ + i) % capacity_]);
   }
   out += "]";
   return out;

@@ -196,6 +196,13 @@ class DecisionJournal {
   std::vector<DecisionRecord> records_;  // Ring storage, size <= capacity_.
 };
 
+// One record as a compact JSON object, field-for-field identical to an
+// element of DecisionJournal::ToJson() — shared with the flight recorder's
+// postmortem artifacts so journal tails parse the same everywhere.
+std::string DecisionRecordToJson(const DecisionRecord& record);
+// Appends the same object to `out` without intermediate allocation.
+void AppendDecisionRecordJson(std::string& out, const DecisionRecord& record);
+
 }  // namespace obs
 }  // namespace ampere
 

@@ -20,6 +20,74 @@ void SetEnabled(bool enabled) {
   internal::g_enabled.store(enabled, std::memory_order_relaxed);
 }
 
+// --- Metric-name domains -------------------------------------------------
+
+namespace internal {
+thread_local DomainId t_current_domain = 0;
+}  // namespace internal
+
+namespace {
+
+// Append-only intern table of domain prefixes. Slot 0 is the root (empty
+// prefix). Strings live in immortal node storage so DomainPrefix() views
+// stay valid forever; the table itself is never freed.
+struct DomainTable {
+  std::mutex mu;
+  std::vector<std::unique_ptr<std::string>> prefixes;
+
+  DomainTable() { prefixes.push_back(std::make_unique<std::string>()); }
+};
+
+DomainTable& Domains() {
+  static DomainTable* table = new DomainTable();  // Never freed.
+  return *table;
+}
+
+}  // namespace
+
+DomainId InternDomain(std::string_view prefix) {
+  if (prefix.empty()) return 0;
+  DomainTable& table = Domains();
+  std::lock_guard<std::mutex> lock(table.mu);
+  for (size_t i = 0; i < table.prefixes.size(); ++i) {
+    if (*table.prefixes[i] == prefix) {
+      return static_cast<DomainId>(i);
+    }
+  }
+  table.prefixes.push_back(std::make_unique<std::string>(prefix));
+  return static_cast<DomainId>(table.prefixes.size() - 1);
+}
+
+std::string_view DomainPrefix(DomainId id) {
+  DomainTable& table = Domains();
+  std::lock_guard<std::mutex> lock(table.mu);
+  AMPERE_CHECK(id < table.prefixes.size()) << "unknown metrics domain " << id;
+  return *table.prefixes[id];
+}
+
+namespace {
+
+// Thread-local scratch for domain-prefixed names: assigning into a warm
+// std::string re-uses its buffer, so prefixing is allocation-free in steady
+// state. Leaked (one per thread) so it stays usable during thread teardown.
+std::string& DomainScratch() {
+  static thread_local std::string* scratch = new std::string();
+  return *scratch;
+}
+
+// The current domain's prefix applied to `name` — `name` itself for the
+// root domain, a view of the thread-local scratch otherwise.
+std::string_view ApplyDomain(std::string_view name) {
+  const DomainId domain = internal::t_current_domain;
+  if (domain == 0) return name;
+  std::string& scratch = DomainScratch();
+  scratch.assign(DomainPrefix(domain));
+  scratch.append(name);
+  return scratch;
+}
+
+}  // namespace
+
 namespace {
 
 // Shortest round-trip formatting for doubles, matching the harness result
@@ -467,10 +535,15 @@ void CounterSite::Rebind(MetricsRegistry& registry) {
   // Read the epoch before resolving the cell: if a Reset() lands in
   // between, the cached epoch is already stale and the next Add() simply
   // rebinds again — the site can cache an old cell for at most one call.
+  // The cell is resolved under the *current domain's* prefixed name; the
+  // registry copies the name into its map, so no prefixed storage needs to
+  // outlive this call.
   const uint64_t epoch = registry.epoch();
-  cell_ = registry.CounterCell(name_);
+  const DomainId domain = internal::t_current_domain;
+  cell_ = registry.CounterCell(ApplyDomain(name_));
   registry_id_ = registry.id();
   epoch_ = epoch;
+  domain_ = domain;
 }
 
 void MetricsRegistry::GaugeSet(std::string_view name, double value) {
@@ -603,6 +676,29 @@ ScopedMetricsRegistry::ScopedMetricsRegistry(MetricsRegistry* registry)
 
 ScopedMetricsRegistry::~ScopedMetricsRegistry() {
   t_current_registry = previous_;
+}
+
+// --- Domain-aware free functions -----------------------------------------
+
+void CounterAdd(std::string_view name, uint64_t delta) {
+  CurrentMetrics()->CounterAdd(ApplyDomain(name), delta);
+}
+
+void GaugeSet(std::string_view name, double value) {
+  CurrentMetrics()->GaugeSet(ApplyDomain(name), value);
+}
+
+void HistogramObserve(std::string_view name, double value) {
+  CurrentMetrics()->HistogramObserve(ApplyDomain(name), value);
+}
+
+void HistogramObserve(std::string_view name, double value,
+                      std::span<const double> bounds) {
+  CurrentMetrics()->HistogramObserve(ApplyDomain(name), value, bounds);
+}
+
+void SpanRecord(std::string_view name, double duration_ns) {
+  CurrentMetrics()->SpanRecord(ApplyDomain(name), duration_ns);
 }
 
 }  // namespace obs

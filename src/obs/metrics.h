@@ -60,6 +60,58 @@ inline bool Enabled() {
 }
 void SetEnabled(bool enabled);
 
+// --- Metric-name domains -------------------------------------------------
+//
+// A domain is an interned metric-name prefix ("dc0/") applied to every
+// write that goes through the free functions / macros below while it is
+// current on the calling thread. It mirrors the TimeSeriesDb "campus/dcK/"
+// series convention: a campus run installs one domain per data center
+// around each DC component's work, so four controllers' "controller.ticks"
+// land as dc0/controller.ticks .. dc3/controller.ticks instead of merging
+// into one indistinguishable counter. The registry itself stays
+// domain-unaware — its direct methods never prefix — so single-DC runs
+// (domain 0, the root) are byte-identical to the pre-domain behavior.
+//
+// Prefixes are interned process-wide into immortal storage: a DomainId is a
+// cheap POD handle, comparisons are integer compares, and the hot-path cost
+// of domain awareness is one thread-local load per instrumented write.
+
+using DomainId = uint32_t;  // 0 = root: no prefix.
+
+namespace internal {
+extern thread_local DomainId t_current_domain;
+}  // namespace internal
+
+// Interns `prefix` (e.g. "dc0/") and returns its handle; repeated calls
+// with the same string return the same id. The empty prefix is id 0.
+// Thread-safe; interned strings are never freed.
+DomainId InternDomain(std::string_view prefix);
+
+// The prefix string for a handle ("" for the root). The returned view
+// points into immortal interned storage.
+std::string_view DomainPrefix(DomainId id);
+
+// The calling thread's current domain (root unless a ScopedMetricsDomain
+// is live).
+inline DomainId CurrentDomainId() { return internal::t_current_domain; }
+
+// Installs `domain` as the calling thread's current domain for the scope's
+// lifetime. Scopes nest; strictly thread-local, like ScopedMetricsRegistry.
+class ScopedMetricsDomain {
+ public:
+  explicit ScopedMetricsDomain(DomainId domain)
+      : previous_(internal::t_current_domain) {
+    internal::t_current_domain = domain;
+  }
+  ~ScopedMetricsDomain() { internal::t_current_domain = previous_; }
+
+  ScopedMetricsDomain(const ScopedMetricsDomain&) = delete;
+  ScopedMetricsDomain& operator=(const ScopedMetricsDomain&) = delete;
+
+ private:
+  DomainId previous_;
+};
+
 // --- Snapshot types ------------------------------------------------------
 
 struct CounterValue {
@@ -223,25 +275,16 @@ class ScopedMetricsRegistry {
   MetricsRegistry* previous_;
 };
 
-// Convenience free functions routing to CurrentMetrics(). Prefer the macros
-// below at instrumentation sites (they honour AMPERE_OBS_DISABLED and the
-// runtime switch).
-inline void CounterAdd(std::string_view name, uint64_t delta = 1) {
-  CurrentMetrics()->CounterAdd(name, delta);
-}
-inline void GaugeSet(std::string_view name, double value) {
-  CurrentMetrics()->GaugeSet(name, value);
-}
-inline void HistogramObserve(std::string_view name, double value) {
-  CurrentMetrics()->HistogramObserve(name, value);
-}
-inline void HistogramObserve(std::string_view name, double value,
-                             std::span<const double> bounds) {
-  CurrentMetrics()->HistogramObserve(name, value, bounds);
-}
-inline void SpanRecord(std::string_view name, double duration_ns) {
-  CurrentMetrics()->SpanRecord(name, duration_ns);
-}
+// Convenience free functions routing to CurrentMetrics(), with the current
+// domain's prefix applied to the name (via a thread-local scratch buffer,
+// allocation-free once warm). Prefer the macros below at instrumentation
+// sites (they honour AMPERE_OBS_DISABLED and the runtime switch).
+void CounterAdd(std::string_view name, uint64_t delta = 1);
+void GaugeSet(std::string_view name, double value);
+void HistogramObserve(std::string_view name, double value);
+void HistogramObserve(std::string_view name, double value,
+                      std::span<const double> bounds);
+void SpanRecord(std::string_view name, double duration_ns);
 
 // --- Counter call-site cache ---------------------------------------------
 //
@@ -256,9 +299,12 @@ inline void SpanRecord(std::string_view name, double duration_ns) {
 // Correctness: shards are single-writer (the owning thread), so the
 // unlocked increment cannot lose updates; Snapshot() on another thread
 // reads the cell through std::atomic_ref, making the unlocked write/read
-// pair race-free. A registry switch (ScopedMetricsRegistry) or Reset() is
-// detected by comparing the cached registry id and epoch, after which the
-// site rebinds through the normal locked path.
+// pair race-free. A registry switch (ScopedMetricsRegistry), a Reset(), or
+// a domain switch (ScopedMetricsDomain) is detected by comparing the cached
+// registry id, epoch, and domain, after which the site rebinds through the
+// normal locked path — a site caches the cell of its *domain-prefixed*
+// name, so "controller.ticks" emitted under domain "dc0/" lands in
+// dc0/controller.ticks.
 //
 // `name` must point at storage that outlives the site (string literals at
 // the macro sites).
@@ -268,8 +314,8 @@ class CounterSite {
 
   void Add(uint64_t delta) {
     MetricsRegistry* registry = CurrentMetrics();
-    if (registry->id() != registry_id_ || registry->epoch() != epoch_)
-        [[unlikely]] {
+    if (registry->id() != registry_id_ || registry->epoch() != epoch_ ||
+        internal::t_current_domain != domain_) [[unlikely]] {
       Rebind(*registry);
     }
     std::atomic_ref<uint64_t> cell(*cell_);
@@ -284,6 +330,7 @@ class CounterSite {
   uint64_t* cell_ = nullptr;
   uint64_t registry_id_ = 0;  // 0 is never a live registry id.
   uint64_t epoch_ = 0;
+  DomainId domain_ = 0;
 };
 
 }  // namespace obs
@@ -319,11 +366,23 @@ class CounterSite {
     }                                                      \
   } while (0)
 
+#define AMPERE_OBS_DOMAIN_CONCAT_INNER(a, b) a##b
+#define AMPERE_OBS_DOMAIN_CONCAT(a, b) AMPERE_OBS_DOMAIN_CONCAT_INNER(a, b)
+// Installs `domain_id` (an ::ampere::obs::DomainId) as the current metrics
+// domain for the rest of the enclosing scope. Compiles away with
+// AMPERE_OBS_DISABLED, so instrumented components can scope their work
+// unconditionally.
+#define AMPERE_METRICS_DOMAIN(domain_id)           \
+  ::ampere::obs::ScopedMetricsDomain               \
+      AMPERE_OBS_DOMAIN_CONCAT(ampere_obs_domain_, \
+                               __LINE__)(domain_id)
+
 #else  // AMPERE_OBS_DISABLED
 
 #define AMPERE_COUNTER_ADD(name, delta) ((void)0)
 #define AMPERE_GAUGE_SET(name, value) ((void)0)
 #define AMPERE_HISTOGRAM_OBSERVE(name, value) ((void)0)
+#define AMPERE_METRICS_DOMAIN(domain_id) ((void)0)
 
 #endif  // AMPERE_OBS_DISABLED
 

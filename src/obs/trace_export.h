@@ -1,0 +1,51 @@
+// Chrome/Perfetto trace_event export for the flight recorder.
+//
+// Converts a FlightRecorder's timeline into the Chrome trace_event JSON
+// object format ({"traceEvents":[...]}) that Perfetto's UI
+// (https://ui.perfetto.dev) and chrome://tracing load directly. Mapping:
+//
+//   - Track = one (metrics domain, source component) pair — e.g. a 4-DC
+//     campus run gets "dc0/controller", "dc0/monitor", ..., "dc3/power",
+//     plus a root "campus" track for re-plans and spillover. Tracks are
+//     emitted as thread_name metadata records on pid 1, with tids assigned
+//     in order of first appearance (stable for a deterministic run).
+//   - Controller ticks (kTickBegin / kTickEnd) become "B"/"E" duration
+//     slices named "tick", so tick latency-in-sim-time renders as a span.
+//   - Every other event becomes a thread-scoped instant ("ph":"i","s":"t").
+//   - Timestamps are the events' *simulation* micros, so the rendered
+//     timeline is the simulated day, not wall clock. Events are emitted in
+//     ring order (global append order), which makes per-track timestamps
+//     monotonic by construction.
+//   - The (a, b, c) payload and the event type name ride in "args".
+
+#ifndef SRC_OBS_TRACE_EXPORT_H_
+#define SRC_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/obs/flight_recorder.h"
+
+namespace ampere {
+namespace obs {
+
+// Full track name ("dc2/controller") for one event: the event's interned
+// domain prefix + TimelineEventSource. Exposed for tests and dashboards.
+std::string TrackNameFor(const TimelineEvent& event);
+
+// Renders the recorder's live events as a Chrome trace_event JSON object.
+// Pure; deterministic byte output for a deterministic run.
+std::string BuildChromeTraceJson(const FlightRecorder& recorder,
+                                 std::string_view run_label = {});
+
+// BuildChromeTraceJson + atomic-enough file write (write then close; no
+// temp-rename dance — trace files are per-run artifacts, not shared state).
+// Returns false if the file could not be opened or fully written.
+bool WriteChromeTraceFile(const FlightRecorder& recorder,
+                          const std::string& path,
+                          std::string_view run_label = {});
+
+}  // namespace obs
+}  // namespace ampere
+
+#endif  // SRC_OBS_TRACE_EXPORT_H_

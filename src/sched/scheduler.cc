@@ -20,6 +20,7 @@ Scheduler::Scheduler(DataCenter* dc, const SchedulerConfig& config, Rng rng)
 }
 
 void Scheduler::Submit(const JobSpec& job) {
+  AMPERE_METRICS_DOMAIN(obs_domain_);
   ++jobs_submitted_;
   AMPERE_COUNTER_ADD("sched.jobs_submitted", 1);
   if (!TryPlace(job)) {
@@ -29,6 +30,7 @@ void Scheduler::Submit(const JobSpec& job) {
 }
 
 std::vector<JobSpec> Scheduler::TakePending(size_t max_jobs) {
+  AMPERE_METRICS_DOMAIN(obs_domain_);
   std::vector<JobSpec> taken;
   if (max_jobs == 0 || pending_.empty()) {
     return taken;
@@ -263,6 +265,7 @@ void Scheduler::DrainQueue() {
 }
 
 void Scheduler::OnTaskCompleted(ServerId server, JobId job) {
+  AMPERE_METRICS_DOMAIN(obs_domain_);
   // Resident service tasks carry negative ids and are not scheduler jobs.
   if (job.value() >= 0) {
     ++jobs_completed_;

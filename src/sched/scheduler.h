@@ -97,6 +97,12 @@ class Scheduler : public JobSink {
   std::vector<JobSpec> TakePending(size_t max_jobs);
   uint64_t jobs_spilled_out() const { return jobs_spilled_out_; }
 
+  // Metrics domain this scheduler's counters are scoped under ("dc0/" in a
+  // campus; root, 0, standalone). Controller-driven freeze/unfreeze RPCs
+  // inherit the controller's scope instead. Observation-only.
+  void SetObsDomain(obs::DomainId domain) { obs_domain_ = domain; }
+  obs::DomainId obs_domain() const { return obs_domain_; }
+
   // --- The power-control interface (the paper's two APIs) ---
   // Thin passthroughs to the low level (ResourceManager), which owns them;
   // Unfreeze additionally re-drains the pending queue since capacity
@@ -162,6 +168,7 @@ class Scheduler : public JobSink {
   SchedulerConfig config_;
   Rng rng_;
   faults::FaultInjector* injector_ = nullptr;
+  obs::DomainId obs_domain_ = 0;
   std::deque<JobSpec> pending_;
   size_t rotate_cursor_ = 0;
   uint64_t jobs_submitted_ = 0;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 
@@ -16,7 +17,9 @@ PowerMonitor::PowerMonitor(DataCenter* dc, TimeSeriesDb* db,
       latest_row_stamp_(static_cast<size_t>(dc->num_rows()),
                         SimTime::Micros(-1)),
       scratch_rack_watts_(static_cast<size_t>(dc->num_racks()), 0.0),
-      scratch_row_watts_(static_cast<size_t>(dc->num_rows()), 0.0) {
+      scratch_row_watts_(static_cast<size_t>(dc->num_rows()), 0.0),
+      row_in_margin_(static_cast<size_t>(dc->num_rows()), 0),
+      row_was_dark_(static_cast<size_t>(dc->num_rows()), 0) {
   AMPERE_CHECK(dc != nullptr && db != nullptr);
   AMPERE_CHECK(config.interval > SimTime());
 
@@ -121,6 +124,7 @@ void PowerMonitor::PreallocateSamples(size_t expected_samples) {
 }
 
 void PowerMonitor::SampleOnce(SimTime stamp) {
+  AMPERE_METRICS_DOMAIN(obs_domain_);
   // Covers the whole ingest + aggregate pass: per-server "IPMI" reads,
   // rack/row/group rollups, and the TimeSeriesDb appends.
   AMPERE_SPAN("telemetry.sample");
@@ -129,6 +133,9 @@ void PowerMonitor::SampleOnce(SimTime stamp) {
     // consumer keeps aging data. latest_sample_time_ deliberately stays old.
     ++samples_stalled_;
     AMPERE_COUNTER_ADD("faults.telemetry_stalls", 1);
+    AMPERE_TIMELINE_D(obs_domain_, stamp,
+                      obs::TimelineEventType::kTelemetryStall,
+                      static_cast<double>(samples_stalled_));
     return;
   }
   // Noise tick: the index of this non-stalled sample. A pure function of
@@ -269,6 +276,8 @@ void PowerMonitor::SampleCleanPass(SimTime stamp, uint64_t tick) {
     group.latest_stamp = stamp;
     db_->Append(group.series, stamp, sum);
   }
+
+  RecordRowTimeline(stamp, /*faulted=*/false);
 }
 
 void PowerMonitor::SampleFaultedPass(SimTime stamp, uint64_t tick) {
@@ -368,6 +377,45 @@ void PowerMonitor::SampleFaultedPass(SimTime stamp, uint64_t tick) {
     group.latest_watts = sum;
     group.latest_stamp = stamp;
     db_->Append(group.series, stamp, sum);
+  }
+
+  RecordRowTimeline(stamp, /*faulted=*/true);
+}
+
+void PowerMonitor::RecordRowTimeline(SimTime stamp, bool faulted) {
+  if (obs::CurrentRecorder() == nullptr || !obs::Enabled()) {
+    return;
+  }
+  const size_t num_rows = static_cast<size_t>(dc_->num_rows());
+  const double fraction = config_.breaker_margin_fraction;
+  for (size_t r = 0; r < num_rows; ++r) {
+    const RowId row_id(static_cast<int32_t>(r));
+    // Fault-window edges: a row feed going dark / recovering. Clean passes
+    // refresh every feed, so any previously-dark row has recovered.
+    const bool dark = faulted && row_dark_[r] != 0;
+    if (dark != (row_was_dark_[r] != 0)) {
+      AMPERE_TIMELINE_D(obs_domain_, stamp,
+                        dark ? obs::TimelineEventType::kFaultWindowBegin
+                             : obs::TimelineEventType::kFaultWindowEnd,
+                        0.0, 0.0, static_cast<uint64_t>(r));
+      row_was_dark_[r] = dark ? 1 : 0;
+    }
+    // Breaker-margin crossings on the sampled (noisy) row draw — the same
+    // value every consumer of this monitor sees. Dark rows keep their
+    // last-known margin state: a stale value says nothing new.
+    if (dark) continue;
+    const double budget = dc_->row_budget_watts(row_id);
+    if (budget <= 0.0) continue;
+    const double watts = latest_row_watts_[r];
+    const bool in_margin = watts >= fraction * budget;
+    if (in_margin != (row_in_margin_[r] != 0)) {
+      AMPERE_TIMELINE_D(obs_domain_, stamp,
+                        in_margin
+                            ? obs::TimelineEventType::kBreakerMarginEnter
+                            : obs::TimelineEventType::kBreakerMarginExit,
+                        watts, budget, static_cast<uint64_t>(r));
+      row_in_margin_[r] = in_margin ? 1 : 0;
+    }
   }
 }
 

@@ -79,6 +79,11 @@ struct PowerMonitorConfig {
   // series disjoint in one shared TimeSeriesDb and give each DC's feeds
   // independent blackout channel hashes.
   std::string series_prefix;
+  // Flight-recorder threshold: a row whose sampled draw crosses this
+  // fraction of its breaker budget emits a breaker_margin_enter/exit
+  // timeline event pair. Observation-only (the breaker itself still trips
+  // at its own tolerance); only evaluated while a recorder is installed.
+  double breaker_margin_fraction = 0.95;
 };
 
 class PowerMonitor {
@@ -120,6 +125,11 @@ class PowerMonitor {
 
   // Begins sampling at `first_sample`, then every interval.
   void Start(SimTime first_sample);
+
+  // Metrics/timeline domain for this monitor's instrumentation ("dc3/" in a
+  // campus; root, 0, standalone). Observation-only.
+  void SetObsDomain(obs::DomainId domain) { obs_domain_ = domain; }
+  obs::DomainId obs_domain() const { return obs_domain_; }
 
   // Capacity hint: reserves storage in the TimeSeriesDb for
   // `expected_samples` points on every series this monitor records, so the
@@ -191,6 +201,12 @@ class PowerMonitor {
   void ReadServersClean(size_t begin, size_t end, uint64_t tick);
   // Fault-aware serial pass (injector attached).
   void SampleFaultedPass(SimTime stamp, uint64_t tick);
+  // Flight-recorder edge detection over per-row state, run at the end of
+  // both sample passes: breaker-margin crossings (latest row draw vs
+  // breaker_margin_fraction x row budget) and fault-window begin/end (row
+  // feed went dark / recovered; clean passes see every feed lit). No-op —
+  // a single null check — unless a recorder is installed on this thread.
+  void RecordRowTimeline(SimTime stamp, bool faulted);
 
   DataCenter* dc_;
   TimeSeriesDb* db_;
@@ -221,6 +237,11 @@ class PowerMonitor {
   // construction) so the sharded pass allocates nothing.
   std::vector<double> scratch_rack_watts_;
   std::vector<double> scratch_row_watts_;
+  // Flight-recorder edge state (see RecordRowTimeline): whether each row was
+  // inside the breaker margin / dark at the last recorded pass.
+  std::vector<char> row_in_margin_;
+  std::vector<char> row_was_dark_;
+  obs::DomainId obs_domain_ = 0;
   // Point count from the last PreallocateSamples, so late RegisterGroup
   // calls can reserve their series to match.
   size_t preallocated_points_ = 0;

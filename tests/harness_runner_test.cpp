@@ -382,6 +382,38 @@ TEST(JsonEscapeTest, EscapesControlAndQuotes) {
   EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
 }
 
+TEST(ArtifactPathTest, SuffixesRunIndexOnlyUnderMultipleRuns) {
+  // A single run keeps the user's path verbatim; a multi-run grid splices
+  // _runN before the extension so parallel scenarios never clobber.
+  EXPECT_EQ(ArtifactPathForRun("out/trace.json", 0, 1), "out/trace.json");
+  EXPECT_EQ(ArtifactPathForRun("out/trace.json", 2, 4), "out/trace_run2.json");
+  EXPECT_EQ(ArtifactPathForRun("trace", 1, 3), "trace_run1");
+  // A dot inside a directory name is not an extension.
+  EXPECT_EQ(ArtifactPathForRun("out.d/trace", 1, 3), "out.d/trace_run1");
+}
+
+TEST(ArtifactRowTest, ArtifactsReachJsonButNotCsvOrSameData) {
+  Scenario scenarios[] = {
+      {"with-artifact", 1,
+       [](RunContext& context) { context.Artifact("/tmp/a.trace.json"); }},
+      {"without", 2, [](RunContext&) {}},
+  };
+  RunnerOptions options;
+  options.jobs = 1;
+  ResultTable table = RunScenarios(scenarios, options);
+
+  const std::string json = table.ToJson();
+  EXPECT_NE(json.find("\"artifacts\": [\"/tmp/a.trace.json\"]"),
+            std::string::npos);
+  EXPECT_EQ(table.ToCsv().find("a.trace.json"), std::string::npos);
+
+  // Artifact paths are run metadata (host-dependent), so SameData ignores
+  // them like timing.
+  ResultTable other = RunScenarios(scenarios, options);
+  other.row(0).artifacts.clear();
+  EXPECT_TRUE(ResultTable::SameData(table, other));
+}
+
 }  // namespace
 }  // namespace harness
 }  // namespace ampere

@@ -133,6 +133,9 @@ TEST(MetricsRegistryTest, SpanProfileAggregates) {
 }
 
 TEST(MetricsRegistryTest, ScopedSpanRecordsIntoCurrentRegistry) {
+#ifdef AMPERE_OBS_DISABLED
+  GTEST_SKIP() << "instrumentation macros compiled out";
+#endif
   MetricsRegistry registry;
   ScopedMetricsRegistry scope(&registry);
   {
@@ -267,6 +270,131 @@ TEST(MetricsHarnessTest, PerRunSnapshotsAreIsolatedAcrossJobs) {
     EXPECT_NE(t1.row(i).obs_json.find(expected_counter), std::string::npos)
         << t1.row(i).obs_json;
   }
+}
+
+// --- Exposition edge cases -----------------------------------------------
+
+TEST(MetricsExpositionTest, PrometheusNamesEscapeNonAlphanumerics) {
+  // Domain-prefixed and dotted names carry '/', '.', and '-' — all illegal
+  // in a Prometheus metric name and sanitized to '_'. JSON keeps the raw
+  // (escaped) name.
+  MetricsRegistry registry;
+  registry.CounterAdd("dc0/controller.ticks", 2);
+  registry.GaugeSet("weird name\"with\\quote", 1.0);
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  std::string prom = snapshot.ToPrometheusText();
+  EXPECT_NE(prom.find("ampere_dc0_controller_ticks 2"), std::string::npos);
+  EXPECT_EQ(prom.find("dc0/controller"), std::string::npos);
+  EXPECT_NE(prom.find("ampere_weird_name_with_quote 1"), std::string::npos);
+
+  std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"dc0/controller.ticks\":2"), std::string::npos);
+  EXPECT_NE(json.find("\\\"with\\\\quote"), std::string::npos);
+}
+
+TEST(MetricsExpositionTest, EmptyRegistrySnapshotExposesCleanly) {
+  MetricsRegistry registry;
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_TRUE(snapshot.empty());
+  // Both formats still produce well-formed output with zero metrics.
+  EXPECT_EQ(snapshot.ToPrometheusText(), "");
+  std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"counters\":{}"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{}"), std::string::npos);
+}
+
+TEST(MetricsExpositionTest, HistogramOverflowAndUnderflowBuckets) {
+  MetricsRegistry registry;
+  std::vector<double> bounds{12.5, 99.5};
+  registry.HistogramObserve("h", -5.0, bounds);     // Below every bound.
+  registry.HistogramObserve("h", 12.5, bounds);     // On the boundary (<=).
+  registry.HistogramObserve("h", 1e18, bounds);     // +Inf bucket.
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramValue* h = snapshot.FindHistogram("h");
+  ASSERT_NE(h, nullptr);
+  ASSERT_EQ(h->counts.size(), 3u);
+  EXPECT_EQ(h->counts[0], 2u);  // -5 and the boundary 12.5 both land here.
+  EXPECT_EQ(h->counts[1], 0u);
+  EXPECT_EQ(h->counts[2], 1u);  // The implicit +Inf overflow bucket.
+
+  std::string prom = snapshot.ToPrometheusText();
+  // Cumulative le buckets: 2 at le=12.5, 2 at le=99.5, all 3 at +Inf; the
+  // +Inf bucket always equals _count.
+  EXPECT_NE(prom.find("ampere_h_bucket{le=\"12.5\"} 2"), std::string::npos);
+  EXPECT_NE(prom.find("ampere_h_bucket{le=\"99.5\"} 2"), std::string::npos);
+  EXPECT_NE(prom.find("ampere_h_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(prom.find("ampere_h_count 3"), std::string::npos);
+}
+
+TEST(MetricsExpositionTest, DisjointShardKeySetsMergeToTheUnion) {
+  // Two threads write non-overlapping key sets into their own shards; the
+  // merged snapshot is the union, name-sorted, with no cross-talk.
+  MetricsRegistry registry;
+  registry.CounterAdd("main.only", 1);
+  registry.HistogramObserve("main.hist", 1.0);
+  std::thread other([&registry] {
+    registry.CounterAdd("thread.only", 7);
+    registry.GaugeSet("thread.gauge", 3.5);
+  });
+  other.join();
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(*snapshot.FindCounter("main.only"), 1u);
+  EXPECT_EQ(*snapshot.FindCounter("thread.only"), 7u);
+  EXPECT_DOUBLE_EQ(*snapshot.FindGauge("thread.gauge"), 3.5);
+  EXPECT_EQ(snapshot.FindHistogram("main.hist")->count, 1u);
+  // Name-sorted exposition regardless of which shard held which key.
+  EXPECT_LT(snapshot.counters[0].name, snapshot.counters[1].name);
+}
+
+// --- Domain scoping -------------------------------------------------------
+
+TEST(MetricsDomainTest, ScopedDomainPrefixesInstrumentation) {
+#ifdef AMPERE_OBS_DISABLED
+  GTEST_SKIP() << "instrumentation macros compiled out";
+#endif
+  MetricsRegistry registry;
+  ScopedMetricsRegistry scope(&registry);
+  const DomainId dc1 = InternDomain("dc1/");
+  AMPERE_COUNTER_ADD("controller.ticks", 1);  // Root domain: bare name.
+  {
+    ScopedMetricsDomain domain(dc1);
+    AMPERE_COUNTER_ADD("controller.ticks", 1);  // Same site, rebinds.
+    AMPERE_GAUGE_SET("queue", 4.0);
+    AMPERE_HISTOGRAM_OBSERVE("watts", 2.0);
+  }
+  AMPERE_COUNTER_ADD("controller.ticks", 1);  // Back to root.
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(*snapshot.FindCounter("controller.ticks"), 2u);
+  EXPECT_EQ(*snapshot.FindCounter("dc1/controller.ticks"), 1u);
+  EXPECT_DOUBLE_EQ(*snapshot.FindGauge("dc1/queue"), 4.0);
+  EXPECT_EQ(snapshot.FindHistogram("dc1/watts")->count, 1u);
+  EXPECT_EQ(snapshot.FindGauge("queue"), nullptr);
+}
+
+TEST(MetricsDomainTest, InternDomainIsIdempotentAndRootIsUnprefixed) {
+#ifdef AMPERE_OBS_DISABLED
+  GTEST_SKIP() << "instrumentation macros compiled out";
+#endif
+  EXPECT_EQ(InternDomain(""), 0u);
+  EXPECT_EQ(DomainPrefix(0), "");
+  const DomainId a = InternDomain("dcX/");
+  const DomainId b = InternDomain("dcX/");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, 0u);
+  EXPECT_EQ(DomainPrefix(a), "dcX/");
+  // The macro with domain 0 writes bare names.
+  MetricsRegistry registry;
+  ScopedMetricsRegistry scope(&registry);
+  {
+    AMPERE_METRICS_DOMAIN(0);
+    AMPERE_COUNTER_ADD("root.counter", 1);
+  }
+  EXPECT_NE(registry.Snapshot().FindCounter("root.counter"), nullptr);
 }
 
 }  // namespace
