@@ -125,6 +125,42 @@ inline void ApplyObsArgs(ExperimentConfig& config,
   config.obs.postmortem_dir = args.postmortem_dir;
 }
 
+// Copies the harness --budget-schedule spec into one run's
+// ExperimentConfig::budget_schedule. No-op when the flag was absent (the
+// schedule stays constant and adds no simulation events); a malformed spec
+// aborts the bench up front with the parser's message.
+inline void ApplyBudgetScheduleArg(ExperimentConfig& config,
+                                   const harness::HarnessArgs& args) {
+  if (args.budget_schedule_spec.empty()) {
+    return;
+  }
+  std::string error;
+  BudgetSchedule schedule;
+  AMPERE_CHECK(
+      ParseBudgetSchedule(args.budget_schedule_spec, &schedule, &error))
+      << "--budget-schedule: " << error;
+  config.budget_schedule = schedule;
+}
+
+// Copies the harness --replay / --record workload-trace destinations into
+// one run's ExperimentConfig::trace, plus the --budget-schedule spec. The
+// record path is run-suffixed (ArtifactPathForRun) so parallel grids never
+// clobber one file. No-op when none of the flags were given, keeping
+// flag-free output byte-identical.
+inline void ApplyTraceArgs(ExperimentConfig& config,
+                           const harness::HarnessArgs& args, size_t run_index,
+                           size_t total_runs) {
+  ApplyBudgetScheduleArg(config, args);
+  if (!args.replay_trace_path.empty()) {
+    config.trace.replay_path = args.replay_trace_path;
+  }
+  if (!args.record_trace_path.empty()) {
+    config.trace.record = true;
+    config.trace.record_path = harness::ArtifactPathForRun(
+        args.record_trace_path, run_index, total_runs);
+  }
+}
+
 // Reports every artifact path a run wrote into its ResultRow.
 inline void ReportArtifacts(harness::RunContext& context,
                             std::span<const std::string> artifacts) {

@@ -75,6 +75,10 @@ ExperimentResult RunCell(const CellSpec& cell, const FreezeEffectModel& effect,
   bench::ApplyObsArgs(config, args,
                       std::string(cell.arm.name) + "/" + cell.preset,
                       context.index(), total_runs);
+  // --replay / --record / --budget-schedule: optional trace arm and P(t).
+  // Recording is a pass-through decorator, so all metrics stay
+  // bit-identical with or without it.
+  bench::ApplyTraceArgs(config, args, context.index(), total_runs);
   ExperimentResult result = RunExperimentToResult(config);
   bench::ReportArtifacts(context, result.artifacts);
 
@@ -271,8 +275,13 @@ void Main(const harness::HarnessArgs& args) {
   // journal summary and every fault counter to reproduce exactly.
   CellSpec replay_cell{arms[1], "heavy", kSeed + 1,
                        kFaultSeed + faults::PresetNames().size() - 1};
-  ExperimentResult replay = RunExperimentToResult(CellConfig(replay_cell,
-                                                             effect));
+  ExperimentConfig replay_config = CellConfig(replay_cell, effect);
+  // Mirror the grid's workload source and P(t) (but not --record: the
+  // cross-check must not clobber the grid cell's artifact) so the
+  // bit-identical claim holds under --replay / --budget-schedule too.
+  bench::ApplyBudgetScheduleArg(replay_config, args);
+  replay_config.trace.replay_path = args.replay_trace_path;
+  ExperimentResult replay = RunExperimentToResult(replay_config);
   bench::ShapeCheck(SameChaosOutcome(heavy_heavy, replay),
                     "heavy/heavy cell replays bit-identically (journal "
                     "summary + fault counts + outcomes)");

@@ -101,6 +101,9 @@ void RunGridMode(const harness::HarnessArgs& args, bool quick) {
         // --trace / --postmortem-dir: per-arm flight-recorder artifacts
         // (one track per DC in the trace). Observation-only.
         bench::ApplyObsArgs(config, args, arm.name, context.index(), total);
+        // --budget-schedule: time-varying campus cap P(t). Workload trace
+        // record/replay stays single-DC, so only the schedule applies here.
+        bench::ApplyBudgetScheduleArg(config, args);
         CampusResult result = RunCampusToResult(config);
         bench::ReportArtifacts(context, result.artifacts);
         context.Metric("gain_tpw", result.gain_tpw);

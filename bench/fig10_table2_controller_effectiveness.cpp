@@ -29,6 +29,8 @@ struct ArmSpec {
 
 ExperimentResult RunScenario(const ArmSpec& arm,
                              const FreezeEffectModel& effect,
+                             const harness::HarnessArgs& args,
+                             size_t total_runs,
                              harness::RunContext& context) {
   ExperimentConfig config = bench::PaperExperimentConfig(
       kSeed + (arm.target_power > 0.95 ? 1 : 2), arm.target_power, 0.25);
@@ -40,7 +42,15 @@ ExperimentResult RunScenario(const ArmSpec& arm,
   config.workload.arrivals.ar_sigma = arm.ar_sigma;
   config.workload.arrivals.burst_prob = 0.012;
   config.workload.arrivals.burst_factor = 2.2;
+  // --replay / --record / --budget-schedule: optional trace arm and P(t).
+  bench::ApplyTraceArgs(config, args, context.index(), total_runs);
   ExperimentResult result = RunExperimentToResult(config);
+  if (result.trace_jobs_recorded > 0 || result.trace_jobs_replayed > 0) {
+    bench::NoteF(context, "%s: trace recorded=%llu replayed=%llu\n", arm.name,
+                 static_cast<unsigned long long>(result.trace_jobs_recorded),
+                 static_cast<unsigned long long>(result.trace_jobs_replayed));
+  }
+  bench::ReportArtifacts(context, result.artifacts);
 
   bench::NoteF(context, "%s: 24-hour trace (one row per 30 min)\n",
                arm.name);
@@ -106,8 +116,9 @@ void Main(const harness::HarnessArgs& args) {
         return harness::GridMeta{
             arm.name, kSeed + (arm.target_power > 0.95 ? 1 : 2)};
       },
-      [&effect](const ArmSpec& arm, harness::RunContext& context) {
-        return RunScenario(arm, effect, context);
+      [&effect, &args, total = arms.size()](const ArmSpec& arm,
+                                            harness::RunContext& context) {
+        return RunScenario(arm, effect, args, total, context);
       });
   if (!bench::EmitResults(grid.table, args)) {
     return;

@@ -1,0 +1,160 @@
+#include "src/control/budget_schedule.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <numbers>
+#include <string>
+
+#include "src/common/check.h"
+
+namespace ampere {
+
+void BudgetSchedule::AddStep(SimTime start, SimTime end, double scale) {
+  AMPERE_CHECK(end > start) << "budget step window is empty";
+  AMPERE_CHECK(scale > 0.0) << "budget scale must stay positive";
+  phases_.push_back(BudgetPhase{start, end, scale, scale});
+}
+
+void BudgetSchedule::AddRamp(SimTime start, SimTime end, double from,
+                             double to) {
+  AMPERE_CHECK(end > start) << "budget ramp window is empty";
+  AMPERE_CHECK(from > 0.0 && to > 0.0) << "budget scale must stay positive";
+  phases_.push_back(BudgetPhase{start, end, from, to});
+}
+
+void BudgetSchedule::SetDiurnal(double depth, double peak_hour) {
+  AMPERE_CHECK(depth >= 0.0 && depth < 1.0)
+      << "diurnal depth must be in [0, 1)";
+  diurnal_depth_ = depth;
+  diurnal_peak_hour_ = peak_hour;
+}
+
+double BudgetSchedule::ScaleAt(SimTime t) const {
+  double scale = 1.0;
+  for (const BudgetPhase& phase : phases_) {
+    if (t < phase.start || t >= phase.end) {
+      continue;
+    }
+    if (phase.scale_begin == phase.scale_end) {
+      scale *= phase.scale_begin;
+    } else {
+      const double f = static_cast<double>((t - phase.start).micros()) /
+                       static_cast<double>((phase.end - phase.start).micros());
+      scale *= phase.scale_begin + (phase.scale_end - phase.scale_begin) * f;
+    }
+  }
+  if (diurnal_depth_ > 0.0) {
+    const double hours = std::fmod(t.hours(), 24.0);
+    // cos(0) = 1 at the peak hour -> the deepest dip (1 - depth).
+    const double phase = 2.0 * std::numbers::pi *
+                         (hours - diurnal_peak_hour_) / 24.0;
+    scale *= 1.0 - diurnal_depth_ * 0.5 * (1.0 + std::cos(phase));
+  }
+  return scale;
+}
+
+double BudgetSchedule::MinScaleOver(SimTime horizon) const {
+  double lowest = 1.0;
+  for (SimTime t; t < horizon; t += SimTime::Minutes(1)) {
+    const double s = ScaleAt(t);
+    if (s < lowest) {
+      lowest = s;
+    }
+  }
+  return lowest;
+}
+
+namespace {
+
+bool ParseFields(std::string_view body, std::vector<double>* out) {
+  size_t pos = 0;
+  while (pos <= body.size()) {
+    const size_t colon = body.find(':', pos);
+    const std::string field(
+        body.substr(pos, colon == std::string_view::npos ? colon
+                                                         : colon - pos));
+    if (field.empty()) {
+      return false;
+    }
+    char* end = nullptr;
+    const double value = std::strtod(field.c_str(), &end);
+    if (end == field.c_str() || *end != '\0' || !std::isfinite(value)) {
+      return false;
+    }
+    out->push_back(value);
+    if (colon == std::string_view::npos) {
+      return true;
+    }
+    pos = colon + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ParseBudgetSchedule(std::string_view spec, BudgetSchedule* out,
+                         std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return false;
+  };
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t semi = spec.find(';', pos);
+    if (semi == std::string_view::npos) {
+      semi = spec.size();
+    }
+    const std::string_view segment = spec.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (segment.empty()) {
+      continue;
+    }
+    const size_t colon = segment.find(':');
+    if (colon == std::string_view::npos) {
+      return fail("segment '" + std::string(segment) +
+                  "' has no arguments (want kind:args)");
+    }
+    const std::string_view kind = segment.substr(0, colon);
+    std::vector<double> fields;
+    if (!ParseFields(segment.substr(colon + 1), &fields)) {
+      return fail("segment '" + std::string(segment) +
+                  "' has a non-numeric field");
+    }
+    if (kind == "step") {
+      if (fields.size() != 3) {
+        return fail("step wants start_min:end_min:scale");
+      }
+      if (fields[1] <= fields[0] || fields[0] < 0.0 || fields[2] <= 0.0) {
+        return fail("step '" + std::string(segment) + "' out of range");
+      }
+      out->AddStep(SimTime::Minutes(fields[0]), SimTime::Minutes(fields[1]),
+                   fields[2]);
+    } else if (kind == "ramp") {
+      if (fields.size() != 4) {
+        return fail("ramp wants start_min:end_min:from:to");
+      }
+      if (fields[1] <= fields[0] || fields[0] < 0.0 || fields[2] <= 0.0 ||
+          fields[3] <= 0.0) {
+        return fail("ramp '" + std::string(segment) + "' out of range");
+      }
+      out->AddRamp(SimTime::Minutes(fields[0]), SimTime::Minutes(fields[1]),
+                   fields[2], fields[3]);
+    } else if (kind == "diurnal") {
+      if (fields.size() != 2) {
+        return fail("diurnal wants depth:peak_hour");
+      }
+      if (fields[0] < 0.0 || fields[0] >= 1.0) {
+        return fail("diurnal depth must be in [0, 1)");
+      }
+      out->SetDiurnal(fields[0], fields[1]);
+    } else {
+      return fail("unknown segment kind '" + std::string(kind) +
+                  "' (want step|ramp|diurnal)");
+    }
+  }
+  return true;
+}
+
+}  // namespace ampere

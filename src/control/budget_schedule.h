@@ -1,0 +1,91 @@
+// Time-varying power budget P(t).
+//
+// The paper controls against a fixed provisioned cap P_M; real contracts
+// move — utility curtailment requests (step), demand-response events with
+// recovery windows (ramp), and carbon/price-shaped daily curves all retarget
+// the cap while the workload keeps arriving. A BudgetSchedule is a pure
+// function of measured time returning a scale factor on the base budget;
+// the experiment layers push base * ScaleAt(t) through
+// AmpereController::SetDomainBudget (and the campus allocator's total)
+// every minute, so the RHC loop rides a moving target.
+//
+// Semantics:
+//   * Phases are half-open intervals [start, end) on the MEASURED clock
+//     (t = 0 is the end of warmup). Outside every phase the scale is 1.
+//   * Overlapping phases multiply — a curtailment on top of a carbon curve
+//     composes the way two independent constraints would.
+//   * A step holds one scale across its window; a ramp interpolates
+//     linearly from `from` at start to `to` at end (reaching `to` only in
+//     the limit; a following step usually pins it).
+//   * The optional diurnal curve multiplies everything: scale dips to
+//     (1 - depth) at peak_hour and returns to 1 at the anti-peak,
+//     cosine-shaped — the shape of a carbon-intensity or price signal.
+//   * Scales must stay positive; the default-constructed schedule is the
+//     constant 1 and IsConstant() lets callers skip scheduling work for it
+//     (keeping fixed-budget runs bit-identical to the pre-P(t) tree).
+
+#ifndef SRC_CONTROL_BUDGET_SCHEDULE_H_
+#define SRC_CONTROL_BUDGET_SCHEDULE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace ampere {
+
+struct BudgetPhase {
+  SimTime start;
+  SimTime end;
+  double scale_begin = 1.0;
+  double scale_end = 1.0;  // == scale_begin for a step.
+};
+
+class BudgetSchedule {
+ public:
+  BudgetSchedule() = default;
+
+  // Curtail (or boost) to `scale` on [start, end).
+  void AddStep(SimTime start, SimTime end, double scale);
+  // Linear ramp from `from` at start to `to` at end over [start, end).
+  void AddRamp(SimTime start, SimTime end, double from, double to);
+  // 24 h cosine curve: (1 - depth) at peak_hour, 1 at the anti-peak.
+  // depth in [0, 1).
+  void SetDiurnal(double depth, double peak_hour);
+
+  // Scale on the base budget at measured time `t`. Pure and cheap (a pass
+  // over the phase list); always > 0.
+  double ScaleAt(SimTime t) const;
+
+  // The minimum of ScaleAt over [0, horizon), sampled per minute — what a
+  // bench reports as the deepest curtailment a run rode through.
+  double MinScaleOver(SimTime horizon) const;
+
+  bool IsConstant() const {
+    return phases_.empty() && diurnal_depth_ == 0.0;
+  }
+
+  const std::vector<BudgetPhase>& phases() const { return phases_; }
+  double diurnal_depth() const { return diurnal_depth_; }
+  double diurnal_peak_hour() const { return diurnal_peak_hour_; }
+
+ private:
+  std::vector<BudgetPhase> phases_;
+  double diurnal_depth_ = 0.0;
+  double diurnal_peak_hour_ = 14.0;
+};
+
+// Parses the harness --budget-schedule grammar: ';'-separated segments of
+//   step:<start_min>:<end_min>:<scale>
+//   ramp:<start_min>:<end_min>:<from>:<to>
+//   diurnal:<depth>:<peak_hour>
+// e.g. "step:60:100:0.85;ramp:100:120:0.85:1.0". Returns false and fills
+// `error` on malformed input (never throws — flag values are external
+// data); on success appends onto `out`.
+bool ParseBudgetSchedule(std::string_view spec, BudgetSchedule* out,
+                         std::string* error);
+
+}  // namespace ampere
+
+#endif  // SRC_CONTROL_BUDGET_SCHEDULE_H_

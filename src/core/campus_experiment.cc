@@ -20,9 +20,12 @@ CampusBudgetAllocator::CampusBudgetAllocator(
 }
 
 std::vector<double> CampusBudgetAllocator::Replan(
-    SimTime now, std::span<const CampusDcObservation> dcs) {
+    SimTime now, std::span<const CampusDcObservation> dcs,
+    double total_scale) {
+  AMPERE_CHECK(total_scale > 0.0) << "campus budget scale must stay positive";
+  const double scaled_total = campus_total_watts_ * total_scale;
   std::vector<double> shares =
-      AllocateCampusBudgets(campus_total_watts_, dcs, config_);
+      AllocateCampusBudgets(scaled_total, dcs, config_);
   while (domain_names_.size() < dcs.size()) {
     domain_names_.push_back("campus/dc" +
                             std::to_string(domain_names_.size()));
@@ -41,7 +44,7 @@ std::vector<double> CampusBudgetAllocator::Replan(
     rec.et = config_.et_margin;
     rec.violation = rec.normalized_power > 1.0;
     rec.predicted_next = shares[i];
-    rec.u = shares[i] / campus_total_watts_;
+    rec.u = shares[i] / scaled_total;
     rec.n_servers = static_cast<uint32_t>(dcs.size());
     journal_.Append(rec);
   }
@@ -77,6 +80,8 @@ CampusExperiment::CampusExperiment(const ExperimentConfig& config)
       << "campus federation needs the per-DC controllers";
   AMPERE_CHECK(!config_.faults.any())
       << "fault injection is not wired into campus runs yet";
+  AMPERE_CHECK(!config_.trace.active())
+      << "workload trace record/replay is single-DC only";
 
   if (config_.jobs >= 2) {
     // One shared pool for every DC's batch passes. Only one sample pass or
@@ -278,7 +283,9 @@ void CampusExperiment::ReplanBudgets(SimTime now) {
     obs.contract_watts = dc->experiment_rated_watts;
     observations.push_back(obs);
   }
-  const std::vector<double> shares = allocator_->Replan(now, observations);
+  const std::vector<double> shares =
+      allocator_->Replan(now, observations, campus_budget_scale_);
+  last_planned_scale_ = campus_budget_scale_;
   for (size_t k = 0; k < dcs_.size(); ++k) {
     dcs_[k]->controller->SetDomainBudget(0, shares[k]);
     AMPERE_TIMELINE(now, obs::TimelineEventType::kCampusReplan, shares[k],
@@ -364,6 +371,24 @@ CampusResult CampusExperiment::Run() {
                             }
                             SpilloverPass(t);
                           });
+  }
+  if (!config_.budget_schedule.IsConstant()) {
+    // Campus P(t): refresh the scale each minute between spillover (+4 s)
+    // and the re-plan slot (+5 s). A scale change forces an extra re-plan
+    // immediately rather than waiting out the replan_interval, so
+    // mid-window curtailment reaches every DC controller within a minute.
+    sim_.SchedulePeriodic(
+        measure_start + SimTime::Millis(4500), SimTime::Minutes(1),
+        [this, measure_start, end](SimTime t) {
+          if (t >= end) {
+            return;
+          }
+          campus_budget_scale_ =
+              config_.budget_schedule.ScaleAt(t - measure_start);
+          if (campus_budget_scale_ != last_planned_scale_) {
+            ReplanBudgets(t);
+          }
+        });
   }
   sim_.SchedulePeriodic(measure_start + SimTime::Seconds(5),
                         config_.campus.allocator.replan_interval,

@@ -52,8 +52,11 @@ class CampusBudgetAllocator {
   CampusBudgetAllocator(double campus_total_watts,
                         const CampusAllocatorConfig& config);
 
+  // `total_scale` applies a time-varying campus cap P(t): the allocator
+  // divides campus_total_watts * total_scale instead of the static cap.
   std::vector<double> Replan(SimTime now,
-                             std::span<const CampusDcObservation> dcs);
+                             std::span<const CampusDcObservation> dcs,
+                             double total_scale = 1.0);
 
   double campus_total_watts() const { return campus_total_watts_; }
   uint64_t replans() const { return replans_; }
@@ -179,6 +182,11 @@ class CampusExperiment {
   std::vector<std::string> artifacts_;  // Postmortems, in trigger order.
   uint64_t spillover_jobs_ = 0;
   bool counting_ = false;
+  // Budget-schedule state: the scale in force now and the scale the last
+  // re-plan used. A minute-tick mismatch triggers an extra mid-window
+  // re-plan so curtailment propagates within one minute.
+  double campus_budget_scale_ = 1.0;
+  double last_planned_scale_ = 1.0;
 };
 
 }  // namespace ampere

@@ -74,9 +74,31 @@ ControlledExperiment::ControlledExperiment(const ExperimentConfig& config)
     dc_.SetThreadPool(pool_.get());
     monitor_.SetThreadPool(pool_.get());
   }
-  workload_ = std::make_unique<BatchWorkload>(config_.workload, &sim_,
-                                              &scheduler_, &ids_,
-                                              rng_.Fork(3));
+  // Arrival source: synthetic generator by default, trace replay when the
+  // config asks. A recording run interposes the TraceRecorder as the sink —
+  // a pass-through decorator, so recording never perturbs the run.
+  JobSink* sink = &scheduler_;
+  if (config_.trace.recording()) {
+    trace_recorder_ = std::make_unique<TraceRecorder>(&sim_, &scheduler_);
+    trace_recorder_->set_seed(config_.seed);
+    trace_recorder_->SetClasses(config_.workload.demands);
+    sink = trace_recorder_.get();
+  }
+  if (config_.trace.replay()) {
+    std::shared_ptr<const TraceData> replay = config_.trace.replay_data;
+    if (replay == nullptr) {
+      TraceParseResult parsed = ReadTraceFile(config_.trace.replay_path);
+      AMPERE_CHECK(parsed.ok()) << "cannot replay trace "
+                                << config_.trace.replay_path << ": "
+                                << parsed.message;
+      replay = std::make_shared<const TraceData>(std::move(parsed.trace));
+    }
+    trace_workload_ = std::make_unique<TraceArrivalProcess>(
+        std::move(replay), &sim_, sink, &ids_);
+  } else {
+    workload_ = std::make_unique<BatchWorkload>(config_.workload, &sim_,
+                                                sink, &ids_, rng_.Fork(3));
+  }
   SplitGroups();
   monitor_.RegisterGroup(kExperimentGroup, experiment_servers_);
   monitor_.RegisterGroup(kControlGroup, control_servers_);
@@ -164,10 +186,18 @@ void ControlledExperiment::SplitGroups() {
       config_.scale_experiment_budget ? exp_rated / scale : exp_rated;
   control_budget_watts_ =
       config_.scale_control_budget ? ctl_rated / scale : ctl_rated;
+  current_experiment_budget_ = experiment_budget_watts_;
 }
 
 void ControlledExperiment::StartBaseline() {
-  workload_->Start(SimTime());
+  // Replay mirrors the generator's event pattern (same Start slot, same
+  // per-minute batch task), so a replayed run's event ordering matches the
+  // recording run's.
+  if (trace_workload_ != nullptr) {
+    trace_workload_->Start(SimTime());
+  } else {
+    workload_->Start(SimTime());
+  }
   // First sample lands at t = 1 min, once some workload exists.
   monitor_.Start(SimTime::Minutes(1));
 }
@@ -186,7 +216,7 @@ void ControlledExperiment::InstallMetricsRecorder(SimTime from, SimTime to) {
         MinutePoint exp_point;
         exp_point.time = t;
         exp_point.power_watts = exp_watts;
-        exp_point.normalized_power = exp_watts / experiment_budget_watts_;
+        exp_point.normalized_power = exp_watts / current_experiment_budget_;
         exp_point.freeze_ratio =
             controller_ != nullptr ? controller_->freeze_ratio(0) : 0.0;
         exp_point.violation = exp_point.normalized_power > 1.0;
@@ -221,6 +251,24 @@ ExperimentResult ControlledExperiment::Run() {
   if (controller_ != nullptr) {
     // Tick 1 s after the monitor samples so decisions see fresh data.
     controller_->Start(&sim_, measure_start + SimTime::Seconds(1));
+  }
+  if (controller_ != nullptr && !config_.budget_schedule.IsConstant()) {
+    // P(t): re-target the domain budget each minute between the monitor's
+    // sample (:00) and the controller's tick (+1 s), so every decision
+    // rides the current cap. Gated on a non-constant schedule — fixed-cap
+    // runs get no extra events and stay bit-identical.
+    sim_.SchedulePeriodic(
+        measure_start + SimTime::Millis(500), SimTime::Minutes(1),
+        [this, measure_start, end](SimTime t) {
+          if (t >= end) {
+            return;
+          }
+          const double scale =
+              config_.budget_schedule.ScaleAt(t - measure_start);
+          current_experiment_budget_ = experiment_budget_watts_ * scale;
+          budget_scale_min_ = std::min(budget_scale_min_, scale);
+          controller_->SetDomainBudget(0, current_experiment_budget_);
+        });
   }
   InstallMetricsRecorder(measure_start, end);
   sim_.ScheduleAt(measure_start, [this] { counting_ = true; });
@@ -297,7 +345,30 @@ ExperimentResult ControlledExperiment::Run() {
     result.artifacts.insert(result.artifacts.end(), artifacts_.begin(),
                             artifacts_.end());
   }
+
+  result.budget_scale_min = budget_scale_min_;
+  if (trace_workload_ != nullptr) {
+    result.trace_jobs_replayed = trace_workload_->jobs_submitted();
+  }
+  if (trace_recorder_ != nullptr) {
+    result.trace_jobs_recorded = trace_recorder_->jobs_recorded();
+    if (!config_.trace.record_path.empty()) {
+      if (WriteTraceFile(config_.trace.record_path,
+                         trace_recorder_->trace())) {
+        result.artifacts.push_back(config_.trace.record_path);
+      } else {
+        AMPERE_LOG(kWarning) << "failed to write trace artifact "
+                             << config_.trace.record_path;
+      }
+    }
+  }
   return result;
+}
+
+std::shared_ptr<const TraceData> ControlledExperiment::RecordedTrace() const {
+  AMPERE_CHECK(trace_recorder_ != nullptr)
+      << "RecordedTrace needs config.trace.recording()";
+  return std::make_shared<const TraceData>(trace_recorder_->trace());
 }
 
 void ControlledExperiment::WritePostmortem(const obs::TimelineEvent& trigger) {

@@ -29,6 +29,7 @@
 
 #include "src/cluster/datacenter.h"
 #include "src/common/rng.h"
+#include "src/control/budget_schedule.h"
 #include "src/control/campus_allocator.h"
 #include "src/core/controller.h"
 #include "src/core/metrics.h"
@@ -40,6 +41,7 @@
 #include "src/telemetry/power_monitor.h"
 #include "src/telemetry/timeseries_db.h"
 #include "src/workload/batch_workload.h"
+#include "src/workload/trace_format.h"
 
 namespace ampere {
 
@@ -95,6 +97,31 @@ struct ObsSection {
   }
 };
 
+// Workload-trace record/replay section (ampere.trace.v1; see
+// src/workload/trace_format.h and docs/traces.md). Inactive by default —
+// the synthetic BatchWorkload runs and nothing is recorded, bit-identical
+// to the pre-trace harness. Single-DC only: CampusExperiment rejects an
+// active section (per-DC traces are future work).
+struct WorkloadTraceSection {
+  // Replay: when replay_data is set (or replay_path names a readable
+  // trace), a TraceArrivalProcess replaces the synthetic generator as the
+  // arrival source. replay_data wins over replay_path.
+  std::shared_ptr<const TraceData> replay_data;
+  std::string replay_path;
+  // Record: interpose a TraceRecorder between the arrival source and the
+  // scheduler (works for synthetic AND replayed runs). The trace is
+  // retrievable via ControlledExperiment::RecordedTrace(); a non-empty
+  // record_path also writes it after the run and reports it as an artifact.
+  bool record = false;
+  std::string record_path;
+
+  bool replay() const {
+    return replay_data != nullptr || !replay_path.empty();
+  }
+  bool recording() const { return record || !record_path.empty(); }
+  bool active() const { return replay() || recording(); }
+};
+
 struct ExperimentConfig {
   uint64_t seed = 42;
   // Intra-run data-parallelism lanes for the batch passes (the sharded
@@ -133,6 +160,14 @@ struct ExperimentConfig {
   CampusSection campus;
   // Flight recorder / trace / postmortem artifacts; see ObsSection above.
   ObsSection obs;
+  // Workload-trace record/replay; see WorkloadTraceSection above.
+  WorkloadTraceSection trace;
+  // Time-varying power budget P(t), evaluated on the measured clock (t = 0
+  // at the end of warmup) and applied per minute as a scale on the
+  // experiment domain's budget (and, in a campus run, on the allocator's
+  // campus total). The default constant schedule adds no events — fixed-cap
+  // runs stay bit-identical.
+  BudgetSchedule budget_schedule;
 };
 
 struct ExperimentResult {
@@ -164,6 +199,12 @@ struct ExperimentResult {
   // trigger order). Empty unless ExperimentConfig::obs asked for them.
   std::vector<std::string> artifacts;
   uint64_t timeline_events = 0;  // Recorder total_appended (0 = no recorder).
+  // Workload-trace accounting (zero when ExperimentConfig::trace inactive).
+  uint64_t trace_jobs_recorded = 0;
+  uint64_t trace_jobs_replayed = 0;
+  // The deepest budget scale the run's P(t) reached over the measured
+  // window (1.0 for the constant schedule).
+  double budget_scale_min = 1.0;
 };
 
 // Calibration helper: the arrival rate (jobs/minute) that drives the
@@ -221,7 +262,18 @@ class ControlledExperiment {
   PowerMonitor& monitor() { return monitor_; }
   TimeSeriesDb& db() { return db_; }
   AmpereController* controller() { return controller_.get(); }
+  // The synthetic generator; null when config.trace replays a trace (use
+  // trace_workload() there).
   BatchWorkload& workload() { return *workload_; }
+  // Replay source; null unless config.trace.replay().
+  TraceArrivalProcess* trace_workload() { return trace_workload_.get(); }
+  // Recorder sink; null unless config.trace.recording().
+  const TraceRecorder* trace_recorder() const {
+    return trace_recorder_.get();
+  }
+  // Snapshot of the recorded trace, shareable into another config's
+  // trace.replay_data. Requires config.trace.recording().
+  std::shared_ptr<const TraceData> RecordedTrace() const;
   // Null unless config.faults has an active dimension.
   faults::FaultInjector* fault_injector() { return injector_.get(); }
   // Null unless config.obs.enabled(). Installed as the thread's current
@@ -258,6 +310,9 @@ class ControlledExperiment {
   PowerMonitor monitor_;
   JobIdAllocator ids_;
   std::unique_ptr<BatchWorkload> workload_;
+  // Trace record/replay (null unless the config section asks for them).
+  std::unique_ptr<TraceRecorder> trace_recorder_;
+  std::unique_ptr<TraceArrivalProcess> trace_workload_;
   std::unique_ptr<AmpereController> controller_;
   std::unique_ptr<faults::FaultInjector> injector_;
   std::unique_ptr<obs::FlightRecorder> recorder_;
@@ -267,6 +322,12 @@ class ControlledExperiment {
   std::vector<ServerId> control_servers_;
   double experiment_budget_watts_ = 0.0;
   double control_budget_watts_ = 0.0;
+  // The budget currently in force for the experiment domain:
+  // experiment_budget_watts_ scaled by the schedule (equal to it, exactly,
+  // under the constant schedule). Metrics normalize against this so a
+  // curtailed minute counts violations against the curtailed cap.
+  double current_experiment_budget_ = 0.0;
+  double budget_scale_min_ = 1.0;
 
   // Metrics state.
   GroupReport experiment_report_;

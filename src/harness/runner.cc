@@ -167,6 +167,12 @@ HarnessArgs ParseHarnessArgs(int argc, char** argv) {
       args.trace_path = trace;
     } else if (const char* dir = value_of(arg, "--postmortem-dir", i)) {
       args.postmortem_dir = dir;
+    } else if (const char* replay = value_of(arg, "--replay", i)) {
+      args.replay_trace_path = replay;
+    } else if (const char* record = value_of(arg, "--record", i)) {
+      args.record_trace_path = record;
+    } else if (const char* sched = value_of(arg, "--budget-schedule", i)) {
+      args.budget_schedule_spec = sched;
     } else if (arg == "--obs") {
       args.runner.capture_obs = true;
     } else if (arg == "--no-notes") {

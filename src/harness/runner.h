@@ -83,6 +83,19 @@ ResultTable RunScenarios(std::span<const Scenario> scenarios,
 //                           grids never clobber one file
 //   --postmortem-dir=DIR    obs-aware benches enable anomaly-triggered
 //                           postmortem dumps into DIR (one JSON per trigger)
+//   --replay=PATH           trace-aware benches drive the workload from the
+//                           ampere.trace.v1 file at PATH instead of the
+//                           synthetic generator (replaces --trace for the
+//                           *workload* sense; --trace stays the Perfetto
+//                           export flag)
+//   --record=PATH           trace-aware benches record the generated
+//                           workload and write an ampere.trace.v1 file;
+//                           PATH is run-suffixed like --trace
+//   --budget-schedule=SPEC  time-varying budget P(t); SPEC grammar is
+//                           ParseBudgetSchedule's (step:.. / ramp:.. /
+//                           diurnal:.., ';'-separated). Stored verbatim —
+//                           benches parse it so the harness library keeps
+//                           no control-layer dependency
 struct HarnessArgs {
   RunnerOptions runner;
   std::string csv_path;
@@ -100,6 +113,12 @@ struct HarnessArgs {
   // ArtifactPathForRun and reporting written files via RunContext::Artifact.
   std::string trace_path;
   std::string postmortem_dir;
+  // --replay / --record / --budget-schedule: workload-trace and P(t)
+  // plumbing (empty = off). Kept as raw strings here; trace-aware benches
+  // translate them into ExperimentConfig::trace / budget_schedule.
+  std::string replay_trace_path;
+  std::string record_trace_path;
+  std::string budget_schedule_spec;
   std::vector<std::string> positional;
 };
 

@@ -502,5 +502,155 @@ TEST(CampusJobsMatrixTest, GridResultTableBytesIdenticalAcrossInnerJobs) {
   }
 }
 
+// --- 6. Record -> serialize -> parse -> replay round trip ----------------
+//
+// The trace subsystem's contract: a replayed trace is not merely
+// statistically similar to the run it was recorded from — it reproduces the
+// run byte-for-byte, at any job count. These tests record the section-4
+// matrix run, push the trace through the full byte round trip
+// (SerializeTrace -> ParseTrace), replay it, and require the controller
+// DecisionJournal CSV and the entire serialized TimeSeriesDb to match the
+// recording run exactly at jobs in {1, 2, 8}.
+
+MatrixArtifacts RunMatrixWithConfig(const ExperimentConfig& config,
+                                    std::shared_ptr<const TraceData>* trace) {
+  ControlledExperiment experiment(config);
+  experiment.Run();
+  MatrixArtifacts artifacts;
+  if (experiment.controller() == nullptr) {
+    ADD_FAILURE() << "matrix config must enable the controller";
+    return artifacts;
+  }
+  artifacts.journal_csv = experiment.controller()->journal().ToCsv();
+  const std::vector<std::string> names = experiment.db().SeriesNames();
+  std::ostringstream out;
+  ExportCsv(experiment.db(), names, out);
+  artifacts.db_csv = out.str();
+  if (trace != nullptr) {
+    *trace = experiment.RecordedTrace();
+  }
+  return artifacts;
+}
+
+// One byte round trip, shared by the tests below: serialize, reparse, and
+// hand back the parsed copy (failing loudly if the bytes do not parse).
+std::shared_ptr<const TraceData> ByteRoundTrip(const TraceData& trace) {
+  const std::string bytes = SerializeTrace(trace);
+  TraceParseResult parsed = ParseTrace(bytes);
+  EXPECT_TRUE(parsed.ok()) << parsed.message;
+  EXPECT_EQ(parsed.trace.jobs.size(), trace.jobs.size());
+  return std::make_shared<const TraceData>(std::move(parsed.trace));
+}
+
+TEST(TraceRoundTripTest, RecordingIsAPassThroughDecorator) {
+  // Interposing the recorder must not shift a single byte of the run.
+  MatrixArtifacts plain;
+  RunMatrixExperimentInto(1, &plain);
+  ExperimentConfig config = MatrixConfig(1);
+  config.trace.record = true;
+  std::shared_ptr<const TraceData> trace;
+  MatrixArtifacts recording = RunMatrixWithConfig(config, &trace);
+  EXPECT_EQ(recording.journal_csv, plain.journal_csv);
+  EXPECT_EQ(recording.db_csv, plain.db_csv);
+  ASSERT_NE(trace, nullptr);
+  EXPECT_GT(trace->jobs.size(), 1000u) << "2.5 h at ~25 jobs/min";
+  EXPECT_EQ(trace->seed, config.seed);
+}
+
+TEST(TraceRoundTripTest, ReplayReproducesJournalAndDbBytesAtJobs128) {
+  ExperimentConfig record_config = MatrixConfig(1);
+  record_config.trace.record = true;
+  std::shared_ptr<const TraceData> trace;
+  const MatrixArtifacts reference = RunMatrixWithConfig(record_config, &trace);
+  ASSERT_FALSE(reference.journal_csv.empty());
+  ASSERT_NE(reference.db_csv.find("server/"), std::string::npos);
+  ASSERT_NE(trace, nullptr);
+
+  std::shared_ptr<const TraceData> reparsed = ByteRoundTrip(*trace);
+  for (int jobs : {1, 2, 8}) {
+    ExperimentConfig replay_config = MatrixConfig(jobs);
+    replay_config.trace.replay_data = reparsed;
+    MatrixArtifacts replayed = RunMatrixWithConfig(replay_config, nullptr);
+    EXPECT_EQ(replayed.journal_csv, reference.journal_csv)
+        << "replayed DecisionJournal CSV diverged at jobs=" << jobs;
+    EXPECT_EQ(replayed.db_csv, reference.db_csv)
+        << "replayed TimeSeriesDb contents diverged at jobs=" << jobs;
+  }
+}
+
+TEST(TraceRoundTripTest, ReplayWhileRecordingReproducesTheTrace) {
+  // Record a replay of a recording: the second-generation trace must equal
+  // the first (replay feeds the recorder the same submissions at the same
+  // instants).
+  ExperimentConfig record_config = MatrixConfig(1);
+  record_config.trace.record = true;
+  std::shared_ptr<const TraceData> first;
+  RunMatrixWithConfig(record_config, &first);
+  ASSERT_NE(first, nullptr);
+
+  ExperimentConfig rerecord_config = MatrixConfig(1);
+  rerecord_config.trace.replay_data = ByteRoundTrip(*first);
+  rerecord_config.trace.record = true;
+  std::shared_ptr<const TraceData> second;
+  RunMatrixWithConfig(rerecord_config, &second);
+  ASSERT_NE(second, nullptr);
+
+  ASSERT_EQ(second->jobs.size(), first->jobs.size());
+  for (size_t i = 0; i < first->jobs.size(); ++i) {
+    EXPECT_EQ(second->jobs[i].submit_us, first->jobs[i].submit_us);
+    EXPECT_EQ(second->jobs[i].duration_us, first->jobs[i].duration_us);
+    EXPECT_EQ(second->jobs[i].cpu_cores, first->jobs[i].cpu_cores);
+    EXPECT_EQ(second->jobs[i].memory_gb, first->jobs[i].memory_gb);
+    EXPECT_EQ(second->jobs[i].class_id, first->jobs[i].class_id);
+  }
+  // And byte-equal after serialization, which also covers the header.
+  EXPECT_EQ(SerializeTrace(*second), SerializeTrace(*first));
+}
+
+TEST(TraceRoundTripTest, GridResultTableBytesIdenticalForReplayArm) {
+  // The harness-level artifact: a one-arm grid run from the replayed trace
+  // must emit the same ResultTable CSV at any inner job count, and the same
+  // metric values as the synthetic source run.
+  ExperimentConfig record_config = MatrixConfig(1);
+  record_config.trace.record = true;
+  std::shared_ptr<const TraceData> trace;
+  RunMatrixWithConfig(record_config, &trace);
+  ASSERT_NE(trace, nullptr);
+  std::shared_ptr<const TraceData> reparsed = ByteRoundTrip(*trace);
+
+  auto run_grid = [&reparsed](int inner_jobs) {
+    const std::vector<int> arms = {0};
+    harness::RunnerOptions options;
+    options.jobs = 1;
+    auto grid = harness::RunGridOver(
+        arms,
+        [](int, size_t) { return harness::GridMeta{"replay", kSeed}; },
+        [&reparsed, inner_jobs](int, harness::RunContext& context) {
+          ExperimentConfig config = MatrixConfig(inner_jobs);
+          config.trace.replay_data = reparsed;
+          ExperimentResult result = RunExperimentToResult(config);
+          context.Metric("u_mean", result.experiment.u_mean);
+          context.Metric("P_max", result.experiment.p_max);
+          context.Metric("violations", result.experiment.violations);
+          context.Metric("jobs_completed",
+                         static_cast<double>(result.jobs_completed));
+          context.Metric("replayed",
+                         static_cast<double>(result.trace_jobs_replayed));
+          return result;
+        },
+        options);
+    for (const harness::ResultRow& row : grid.table.rows()) {
+      EXPECT_TRUE(row.ok) << row.scenario << ": " << row.error;
+    }
+    return grid.table.ToCsv();
+  };
+  const std::string reference = run_grid(1);
+  ASSERT_FALSE(reference.empty());
+  for (int jobs : {2, 8}) {
+    EXPECT_EQ(run_grid(jobs), reference)
+        << "replay-arm ResultTable CSV diverged at inner jobs=" << jobs;
+  }
+}
+
 }  // namespace
 }  // namespace ampere

@@ -14,8 +14,10 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -232,6 +234,71 @@ std::string RunChaosJournal() {
 
 TEST(PerfIdentityTest, ChaosDecisionJournalMatchesGolden) {
   ExpectMatchesGolden("chaos_decision_journal.csv", RunChaosJournal());
+}
+
+// --- Golden workload trace + golden replay -------------------------------
+//
+// The ampere.trace.v1 wire format is itself a compatibility surface: a
+// serialization change (field order, endianness, lengths) would silently
+// orphan every recorded trace. The committed golden trace pins the exact
+// bytes; the replay golden pins what the closed loop does with them. Both
+// regenerate together with AMPERE_REGEN_GOLDEN=1.
+
+TraceData GoldenTraceData() {
+  AdversarialTraceParams params;
+  params.kind = AdversarialTraceParams::Kind::kBursts;
+  params.seed = kSeed + 31;
+  params.duration = SimTime::Hours(2) + SimTime::Minutes(30);
+  params.base_rate_per_min = 24.0;
+  params.burst_prob = 0.10;
+  params.burst_factor = 4.0;
+  return GenerateAdversarialTrace(params);
+}
+
+TEST(PerfIdentityTest, GoldenTraceBytesMatchGolden) {
+  ExpectMatchesGolden("workload_trace_v1.trace",
+                      SerializeTrace(GoldenTraceData()));
+}
+
+TEST(PerfIdentityTest, GoldenTraceReplayJournalMatchesGolden) {
+  // Parse the *committed* golden bytes (not the in-memory generator output)
+  // so this test fails if either the on-disk format or the replay semantics
+  // drift. In regen mode the trace golden may not exist yet, so fall back
+  // to the generator — the bytes test above rewrites the file in the same
+  // run.
+  const std::string bytes = ReadFileOrEmpty(GoldenPath("workload_trace_v1.trace"));
+  TraceData trace;
+  if (!bytes.empty()) {
+    TraceParseResult parsed = ParseTrace(bytes);
+    ASSERT_TRUE(parsed.ok()) << parsed.message;
+    trace = std::move(parsed.trace);
+  } else {
+    ASSERT_TRUE(RegenRequested())
+        << "missing golden " << GoldenPath("workload_trace_v1.trace");
+    trace = GoldenTraceData();
+  }
+
+  ExperimentConfig config;
+  config.seed = kSeed + 31;
+  config.topology.num_rows = 2;
+  config.topology.racks_per_row = 3;
+  config.topology.servers_per_rack = 8;  // 48 servers.
+  config.controller.effect = FreezeEffectModel(0.05);
+  config.controller.et = EtEstimator::Constant(0.02);
+  config.warmup = SimTime::Minutes(30);
+  config.duration = SimTime::Hours(2);
+  config.trace.replay_data = std::make_shared<const TraceData>(std::move(trace));
+  // A curtailment mid-window, so the golden also pins the P(t) path.
+  config.budget_schedule.AddStep(SimTime::Minutes(45), SimTime::Minutes(75),
+                                 0.9);
+
+  ControlledExperiment experiment(config);
+  const ExperimentResult result = experiment.Run();
+  ASSERT_NE(experiment.controller(), nullptr);
+  EXPECT_GT(result.trace_jobs_replayed, 0u);
+  EXPECT_EQ(result.budget_scale_min, 0.9);
+  ExpectMatchesGolden("trace_replay_decision_journal.csv",
+                      experiment.controller()->journal().ToCsv());
 }
 
 }  // namespace
