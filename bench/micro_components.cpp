@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/common/span_kernels.h"
 #include "src/core/controller.h"
 #include "src/control/pcp.h"
 #include "src/control/spcp.h"
@@ -203,6 +205,136 @@ void BM_GroupSamplingSteadyState(benchmark::State& state) {
   state.SetLabel("prealloc_then_register_group_zero_alloc");
 }
 BENCHMARK(BM_GroupSamplingSteadyState);
+
+// --- Scalar vs batched kernels ------------------------------------------
+//
+// The three vectorized hot kernels, each with its scalar twin under Arg(0)
+// and the batched span form under Arg(1). Every batched arm hard-asserts
+// (a) bit-identity against the scalar arm over the same inputs and (b) a
+// zero allocation delta across the measured region — the determinism and
+// zero-alloc contracts are enforced here in the bench, not just in tests.
+
+// Counter-based Box-Muller: one row of sensor noise (420 servers = 210
+// pairs), per-pair calls vs one StandardNormalSpan sweep.
+void BM_NoiseSpan(benchmark::State& state) {
+  constexpr size_t kPairs = 210;
+  const uint64_t base = counter_rng::TickBase(0x9E3779B97F4A7C15ULL, 1234);
+  std::vector<double> scalar(2 * kPairs, 0.0);
+  std::vector<double> batched(2 * kPairs, 0.0);
+  for (size_t s = 0; s < kPairs; ++s) {
+    const auto pair = counter_rng::StandardNormalPair(
+        counter_rng::StreamKey(base, static_cast<uint64_t>(s)));
+    scalar[2 * s] = pair.z0;
+    scalar[2 * s + 1] = pair.z1;
+  }
+  counter_rng::StandardNormalSpan(base, 0, kPairs, batched.data());
+  for (size_t i = 0; i < 2 * kPairs; ++i) {
+    AMPERE_CHECK(scalar[i] == batched[i])
+        << "StandardNormalSpan diverged from StandardNormalPair at " << i;
+  }
+  const bool use_span = state.range(0) != 0;
+  const uint64_t allocs_before = AllocCount();
+  for (auto _ : state) {
+    if (use_span) {
+      counter_rng::StandardNormalSpan(base, 0, kPairs, batched.data());
+      benchmark::DoNotOptimize(batched.data());
+    } else {
+      for (size_t s = 0; s < kPairs; ++s) {
+        const auto pair = counter_rng::StandardNormalPair(
+            counter_rng::StreamKey(base, static_cast<uint64_t>(s)));
+        scalar[2 * s] = pair.z0;
+        scalar[2 * s + 1] = pair.z1;
+      }
+      benchmark::DoNotOptimize(scalar.data());
+    }
+  }
+  AMPERE_CHECK(AllocCount() == allocs_before)
+      << "noise kernel allocated in steady state";
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(2 * kPairs));
+  state.SetLabel(use_span ? "batched_span" : "scalar_pairs");
+}
+BENCHMARK(BM_NoiseSpan)->Arg(0)->Arg(1);
+
+// Row resummation: one row's power span (420 servers), naive accumulate
+// loop vs the fixed blocked-order reduction. (SumSequential IS the naive
+// loop — the interesting comparison is the blocked order the bulk capping
+// path uses, which trades association order for SIMD lanes.)
+void BM_ResummateRowSpan(benchmark::State& state) {
+  constexpr size_t kServers = 420;
+  std::vector<double> watts(kServers);
+  for (size_t i = 0; i < kServers; ++i) {
+    watts[i] = 162.5 + 0.25 * static_cast<double>(i % 41);
+  }
+  // The dispatcher must match the portable kernel bit-for-bit (vaddpd is
+  // four independent IEEE adds) — pin it here too, at both an aligned and
+  // a ragged length.
+  for (size_t n : {kServers, size_t{417}, size_t{3}, size_t{1}}) {
+    AMPERE_CHECK(span_kernels::SumBlocked4(watts.data(), n) ==
+                 span_kernels::SumBlocked4Portable(watts.data(), n))
+        << "blocked4 dispatcher diverged from portable at n=" << n;
+  }
+  const bool use_blocked = state.range(0) != 0;
+  const uint64_t allocs_before = AllocCount();
+  for (auto _ : state) {
+    double sum = use_blocked
+                     ? span_kernels::SumBlocked4(watts.data(), kServers)
+                     : span_kernels::SumSequential(watts.data(), kServers);
+    benchmark::DoNotOptimize(sum);
+  }
+  AMPERE_CHECK(AllocCount() == allocs_before)
+      << "span reduction allocated in steady state";
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kServers));
+  state.SetLabel(use_blocked ? "blocked4" : "sequential");
+}
+BENCHMARK(BM_ResummateRowSpan)->Arg(0)->Arg(1);
+
+// Per-rack power-model evaluation at one uniform frequency (the row-capping
+// shape): per-server PowerAt/DynamicPowerAt calls vs one
+// PowerSpanUniformFreq sweep over the rack span.
+void BM_PowerModelRackBatch(benchmark::State& state) {
+  constexpr size_t kRack = 42;
+  const ServerPowerModel model{PowerModelParams{}};
+  std::vector<double> util(kRack);
+  for (size_t i = 0; i < kRack; ++i) {
+    util[i] = static_cast<double>(i) / static_cast<double>(kRack);
+  }
+  const double freq = 0.8;
+  std::vector<double> power_scalar(kRack), dynamic_scalar(kRack);
+  std::vector<double> power_batch(kRack), dynamic_batch(kRack);
+  for (size_t i = 0; i < kRack; ++i) {
+    power_scalar[i] = model.PowerAt(util[i], freq);
+    dynamic_scalar[i] = model.DynamicPowerAt(util[i], 1.0);
+  }
+  model.PowerSpanUniformFreq(util.data(), freq, power_batch.data(),
+                             dynamic_batch.data(), kRack);
+  for (size_t i = 0; i < kRack; ++i) {
+    AMPERE_CHECK(power_scalar[i] == power_batch[i] &&
+                 dynamic_scalar[i] == dynamic_batch[i])
+        << "PowerSpanUniformFreq diverged from scalar calls at " << i;
+  }
+  const bool use_span = state.range(0) != 0;
+  const uint64_t allocs_before = AllocCount();
+  for (auto _ : state) {
+    if (use_span) {
+      model.PowerSpanUniformFreq(util.data(), freq, power_batch.data(),
+                                 dynamic_batch.data(), kRack);
+      benchmark::DoNotOptimize(power_batch.data());
+    } else {
+      for (size_t i = 0; i < kRack; ++i) {
+        power_scalar[i] = model.PowerAt(util[i], freq);
+        dynamic_scalar[i] = model.DynamicPowerAt(util[i], 1.0);
+      }
+      benchmark::DoNotOptimize(power_scalar.data());
+    }
+  }
+  AMPERE_CHECK(AllocCount() == allocs_before)
+      << "power-model batch allocated in steady state";
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kRack));
+  state.SetLabel(use_span ? "batched_rack_span" : "scalar_per_server");
+}
+BENCHMARK(BM_PowerModelRackBatch)->Arg(0)->Arg(1);
 
 void BM_SchedulerPlacement(benchmark::State& state) {
   obs::MetricsRegistry registry;

@@ -70,6 +70,7 @@
 #include <cstring>
 #include <ctime>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <new>
 #include <sstream>
@@ -264,22 +265,32 @@ SampleStats RunSamplePhase(const TopologySpec& spec, int jobs = 1) {
     monitor.SampleOnce(SimTime::Minutes(static_cast<double>(minute++)));
   }
 
+  // Min-of-windows timing: the reported figure is the fastest of 8 equal
+  // windows. The phase loops run for only a few ms, so a single scheduler
+  // preemption inside one flat timing loop can inflate the mean 2x; the
+  // minimum window measures the kernel, not whichever window the host's
+  // jitter landed in. Allocations are still counted across every pass.
+  constexpr uint64_t kWindows = 8;
+  const uint64_t per_window = passes / kWindows;
   obs::SetEnabled(false);
   const uint64_t allocs_before = AllocCount();
-  const double start = NowSeconds();
-  for (uint64_t i = 0; i < passes; ++i) {
-    monitor.SampleOnce(SimTime::Minutes(static_cast<double>(minute++)));
+  double best = std::numeric_limits<double>::infinity();
+  for (uint64_t w = 0; w < kWindows; ++w) {
+    const double start = NowSeconds();
+    for (uint64_t i = 0; i < per_window; ++i) {
+      monitor.SampleOnce(SimTime::Minutes(static_cast<double>(minute++)));
+    }
+    best = std::min(best, NowSeconds() - start);
   }
-  const double wall = NowSeconds() - start;
   const uint64_t allocs = AllocCount() - allocs_before;
   obs::SetEnabled(true);
 
   SampleStats stats;
   stats.passes = passes;
   stats.samples_per_sec =
-      static_cast<double>(passes) * static_cast<double>(dc.num_servers()) /
-      wall;
-  stats.ns_per_pass = wall * 1e9 / static_cast<double>(passes);
+      static_cast<double>(per_window) * static_cast<double>(dc.num_servers()) /
+      best;
+  stats.ns_per_pass = best * 1e9 / static_cast<double>(per_window);
   stats.allocs_per_pass =
       static_cast<double>(allocs) / static_cast<double>(passes);
   return stats;
@@ -304,14 +315,21 @@ double RunResummatePhase(const TopologySpec& spec) {
   for (int i = 0; i < 16; ++i) {
     dc.ResummatePowerAggregates();
   }
+  // Min-of-windows (see RunSamplePass): this is the shortest phase, so it
+  // is the most exposed to preemption spikes under a flat timing loop.
+  constexpr uint64_t kWindows = 8;
+  const uint64_t per_window = sweeps / kWindows;
   obs::SetEnabled(false);
-  const double start = NowSeconds();
-  for (uint64_t i = 0; i < sweeps; ++i) {
-    dc.ResummatePowerAggregates();
+  double best = std::numeric_limits<double>::infinity();
+  for (uint64_t w = 0; w < kWindows; ++w) {
+    const double start = NowSeconds();
+    for (uint64_t i = 0; i < per_window; ++i) {
+      dc.ResummatePowerAggregates();
+    }
+    best = std::min(best, NowSeconds() - start);
   }
-  const double wall = NowSeconds() - start;
   obs::SetEnabled(true);
-  return wall * 1e9 / static_cast<double>(sweeps);
+  return best * 1e9 / static_cast<double>(per_window);
 }
 
 // --- Phase: event core ---------------------------------------------------
@@ -332,23 +350,30 @@ EventStats RunEventPhase() {
     sim.Step();
   }
 
+  // Min-of-windows (see RunSamplePass). Allocations still counted across
+  // every iteration.
+  constexpr uint64_t kWindows = 8;
+  const uint64_t per_window = iterations / kWindows;
   obs::SetEnabled(false);
   const uint64_t allocs_before = AllocCount();
-  const double start = NowSeconds();
-  for (uint64_t i = 0; i < iterations; ++i) {
-    // The sim's typical closure shape — a this-pointer plus two ids
-    // (24 bytes, beyond std::function's 16-byte inline buffer).
-    sim.ScheduleAfter(SimTime::Micros(1), [&receiver, i, j = int64_t(i)] {
-      receiver.OnFire(static_cast<int32_t>(i & 0xff), j);
-    });
-    sim.Step();
+  double best = std::numeric_limits<double>::infinity();
+  for (uint64_t w = 0; w < kWindows; ++w) {
+    const double start = NowSeconds();
+    for (uint64_t i = 0; i < per_window; ++i) {
+      // The sim's typical closure shape — a this-pointer plus two ids
+      // (24 bytes, beyond std::function's 16-byte inline buffer).
+      sim.ScheduleAfter(SimTime::Micros(1), [&receiver, i, j = int64_t(i)] {
+        receiver.OnFire(static_cast<int32_t>(i & 0xff), j);
+      });
+      sim.Step();
+    }
+    best = std::min(best, NowSeconds() - start);
   }
-  const double wall = NowSeconds() - start;
   const uint64_t allocs = AllocCount() - allocs_before;
   obs::SetEnabled(true);
 
   EventStats stats;
-  stats.ns_per_event = wall * 1e9 / static_cast<double>(iterations);
+  stats.ns_per_event = best * 1e9 / static_cast<double>(per_window);
   stats.allocs_per_event =
       static_cast<double>(allocs) / static_cast<double>(iterations);
   return stats;
@@ -383,14 +408,20 @@ double RunTickPhase(const TopologySpec& spec) {
   for (int i = 0; i < 16; ++i) {
     controller.Tick(SimTime::Minutes(static_cast<double>(minute++)));
   }
+  // Min-of-windows (see RunSamplePass).
+  constexpr uint64_t kWindows = 8;
+  const uint64_t per_window = ticks / kWindows;
   obs::SetEnabled(false);
-  const double start = NowSeconds();
-  for (uint64_t i = 0; i < ticks; ++i) {
-    controller.Tick(SimTime::Minutes(static_cast<double>(minute++)));
+  double best = std::numeric_limits<double>::infinity();
+  for (uint64_t w = 0; w < kWindows; ++w) {
+    const double start = NowSeconds();
+    for (uint64_t i = 0; i < per_window; ++i) {
+      controller.Tick(SimTime::Minutes(static_cast<double>(minute++)));
+    }
+    best = std::min(best, NowSeconds() - start);
   }
-  const double wall = NowSeconds() - start;
   obs::SetEnabled(true);
-  return wall * 1e9 / static_cast<double>(ticks);
+  return best * 1e9 / static_cast<double>(per_window);
 }
 
 // --- JSON emit / check ----------------------------------------------------
@@ -471,21 +502,42 @@ std::string ToJson(const std::vector<TopologyResult>& results) {
 
 // --- Perf trajectory -------------------------------------------------------
 
+// Best-effort commit id for trajectory entries: $AMPERE_COMMIT when the
+// harness provides it, else `git describe --always` from the current
+// directory (benches run from the repo checkout), else "unknown".
+std::string CommitId() {
+  if (const char* env = std::getenv("AMPERE_COMMIT");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  std::string id;
+  if (FILE* pipe = popen("git describe --always --dirty 2>/dev/null", "r")) {
+    char buffer[128];
+    if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+      id = buffer;
+    }
+    pclose(pipe);
+  }
+  while (!id.empty() && (id.back() == '\n' || id.back() == '\r')) {
+    id.pop_back();
+  }
+  return id.empty() ? "unknown" : id;
+}
+
 // Appends one dated entry to the longitudinal trajectory JSON:
-//   {"date": "...", "commit": "...", "steps_per_sec": {topo: N, ...}}
+//   {"date": "...", "commit": "...", "steps_per_sec": {topo: N, ...},
+//    "phase_ns": {topo: {"sample": ..., "resummate": ..., "events": ...}}}
 // The file is this bench's own shape ({"entries": [ ... ]}); a missing or
 // unrecognized file is recreated fresh.
 void AppendTrajectory(const std::string& path,
                       const std::vector<TopologyResult>& results) {
   std::ostringstream entry;
-  const char* commit = std::getenv("AMPERE_COMMIT");
   char date[32] = "unknown";
   const std::time_t now = std::time(nullptr);
   if (std::tm* tm = std::gmtime(&now)) {
     std::strftime(date, sizeof(date), "%Y-%m-%d", tm);
   }
-  entry << "    {\"date\": \"" << date << "\", \"commit\": \""
-        << (commit != nullptr ? commit : "unknown")
+  entry << "    {\"date\": \"" << date << "\", \"commit\": \"" << CommitId()
         << "\", \"steps_per_sec\": {";
   for (size_t i = 0; i < results.size(); ++i) {
     char buffer[96];
@@ -495,21 +547,27 @@ void AppendTrajectory(const std::string& path,
     entry << buffer;
   }
   entry << "}";
-  // Per-kernel timings at paper scale — the tier where every phase
-  // (including the controller tick) is measured.
-  for (const TopologyResult& r : results) {
-    if (r.name != "paper") {
-      continue;
-    }
-    char buffer[160];
+  // Per-kernel timings at EVERY tier, so a regression localized to one
+  // scale (e.g. the hyperscale sample pass) is visible in the longitudinal
+  // record, not just at paper scale. The controller tick is only measured
+  // at paper scale and is included there alone.
+  entry << ", \"phase_ns\": {";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const TopologyResult& r = results[i];
+    char buffer[192];
     std::snprintf(buffer, sizeof(buffer),
-                  ", \"phase_ns\": {\"sample\": %.0f, \"resummate\": %.0f, "
-                  "\"tick\": %.0f, \"events\": %.1f}",
-                  r.sample.ns_per_pass, r.resummate_ns, r.tick_ns,
-                  r.events.ns_per_event);
+                  "%s\"%s\": {\"sample\": %.0f, \"resummate\": %.0f, "
+                  "\"events\": %.1f",
+                  i == 0 ? "" : ", ", r.name.c_str(), r.sample.ns_per_pass,
+                  r.resummate_ns, r.events.ns_per_event);
     entry << buffer;
-    break;
+    if (r.tick_ns > 0.0) {
+      std::snprintf(buffer, sizeof(buffer), ", \"tick\": %.0f", r.tick_ns);
+      entry << buffer;
+    }
+    entry << "}";
   }
+  entry << "}";
   entry << "}";
 
   std::string text;
@@ -596,6 +654,38 @@ bool CheckAgainstBaseline(const std::string& path,
                 r.name.c_str(), r.closed_loop.steps_per_sec, baseline_steps,
                 floor, pass ? "ok" : "REGRESSION");
     ok = ok && pass;
+    // Per-kernel phase gate: each measured phase may regress at most 35 %
+    // against the committed baseline, so a slowdown localized to one kernel
+    // (noise, resummation, event core, controller tick) fails the smoke
+    // check even when the aggregate steps/s still clears its floor. Phases
+    // absent from the baseline (older schema) are skipped.
+    struct PhaseCheck {
+      const char* key;
+      double current;
+    };
+    const PhaseCheck phases[] = {
+        {"ns_per_pass", r.sample.ns_per_pass},  // First match = sample's.
+        {"ns_per_sweep", r.resummate_ns},       // Resummate phase's key.
+        {"ns_per_event", r.events.ns_per_event},
+        {"tick_ns", r.tick_ns},
+    };
+    constexpr double kPhaseRegressionLimit = 1.35;
+    for (const PhaseCheck& phase : phases) {
+      double baseline_ns = 0.0;
+      if (phase.current <= 0.0 ||
+          !FindNumber(json, r.name, phase.key, &baseline_ns) ||
+          baseline_ns <= 0.0) {
+        continue;
+      }
+      const bool phase_ok =
+          phase.current <= kPhaseRegressionLimit * baseline_ns;
+      std::printf("  [%s] phase %s %.1f ns vs baseline %.1f ns "
+                  "(limit %.1f): %s\n",
+                  r.name.c_str(), phase.key, phase.current, baseline_ns,
+                  kPhaseRegressionLimit * baseline_ns,
+                  phase_ok ? "ok" : "PHASE REGRESSION");
+      ok = ok && phase_ok;
+    }
     if (require_zero_alloc) {
       const bool alloc_ok = r.sample.allocs_per_pass == 0.0 &&
                             r.events.allocs_per_event == 0.0;

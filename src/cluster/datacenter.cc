@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/common/log.h"
+#include "src/common/span_kernels.h"
 #include "src/obs/flight_recorder.h"
 
 namespace ampere {
@@ -124,10 +125,9 @@ bool DataCenter::PlaceTask(ServerId id, const TaskSpec& spec) {
   SimTime wall = spec.work * (1.0 / server.frequency());
   task.completion = sim_->ScheduleAfter(
       wall, [this, id, job = spec.job] { CompleteTask(id, job); });
-  // Single probe: emplace both detects the duplicate (was a separate
-  // contains() before) and inserts.
-  const bool inserted =
-      server.tasks_.emplace(spec.job, std::move(task)).second;
+  // Single probe: TryEmplace both detects the duplicate (was a separate
+  // contains() before) and appends.
+  const bool inserted = server.tasks_.TryEmplace(spec.job, std::move(task));
   AMPERE_CHECK(inserted) << "job " << spec.job.value()
                          << " already on server " << id.value();
   server.allocated_ += spec.demand;
@@ -141,15 +141,15 @@ bool DataCenter::PlaceTask(ServerId id, const TaskSpec& spec) {
 
 void DataCenter::CompleteTask(ServerId id, JobId job) {
   Server& server = servers_[id.index()];
-  auto it = server.tasks_.find(job);
-  AMPERE_CHECK(it != server.tasks_.end());
+  const size_t slot = server.tasks_.Find(job);
+  AMPERE_CHECK(slot != Server::TaskTable::kNotFound);
 
   double old_power = server.power_watts();
   double old_dynamic = server.dynamic_watts_at_full_freq();
 
-  server.allocated_ -= it->second.demand;
+  server.allocated_ -= server.tasks_.task_at(slot).demand;
   AMPERE_CHECK(server.allocated_.NonNegative());
-  server.tasks_.erase(it);
+  server.tasks_.EraseAt(slot);
 
   RefreshServerPower(id, old_power, old_dynamic);
   EnforceServerCap(id);
@@ -177,6 +177,9 @@ void DataCenter::SleepServer(ServerId id) {
   double old_power = server.power_watts();
   double old_dynamic = server.dynamic_watts_at_full_freq();
   server.wake_completion_.Cancel();  // Abort an in-flight wake, if any.
+  if (!server.asleep_) {
+    ++asleep_servers_;
+  }
   server.asleep_ = true;
   server.waking_ = false;
   server.sleep_watts_ = sleep_watts_;  // Clear any boot-draw override.
@@ -201,6 +204,8 @@ void DataCenter::WakeServer(ServerId id) {
         Server& s = servers_[id.index()];
         double before_power = s.power_watts();
         double before_dynamic = s.dynamic_watts_at_full_freq();
+        AMPERE_CHECK(asleep_servers_ > 0);
+        --asleep_servers_;
         s.asleep_ = false;
         s.waking_ = false;
         s.sleep_watts_ = sleep_watts_;
@@ -239,11 +244,9 @@ double DataCenter::ExactRackPowerWatts(RackId id) const {
   // walk this replaces (server ids are row-major), so the sum is
   // bit-identical.
   const RackState& rack = racks_[id.index()];
-  double sum = 0.0;
-  for (size_t i = rack.server_range.begin; i < rack.server_range.end; ++i) {
-    sum += soa_power_watts_[i];
-  }
-  return sum;
+  return span_kernels::SumSequential(
+      soa_power_watts_.data() + rack.server_range.begin,
+      rack.server_range.size());
 }
 
 double DataCenter::ExactRowPowerWatts(RowId id) const {
@@ -258,11 +261,9 @@ double DataCenter::ExactRowPowerWatts(RowId id) const {
 
 double DataCenter::ExactRowDynamicFullWatts(RowId id) const {
   const RowState& row = rows_[id.index()];
-  double sum = 0.0;
-  for (size_t i = row.server_range.begin; i < row.server_range.end; ++i) {
-    sum += soa_dynamic_full_watts_[i];
-  }
-  return sum;
+  return span_kernels::SumSequential(
+      soa_dynamic_full_watts_.data() + row.server_range.begin,
+      row.server_range.size());
 }
 
 double DataCenter::ExactTotalPowerWatts() const {
@@ -296,21 +297,16 @@ void DataCenter::ResummatePowerAggregates() {
           double row_sum = 0.0;
           for (RackId rid : row.racks) {
             RackState& rack = racks_[rid.index()];
-            double rack_sum = 0.0;
-            for (size_t i = rack.server_range.begin;
-                 i < rack.server_range.end; ++i) {
-              rack_sum += power[i];
-            }
+            // SumSequential IS the historical left-to-right order the
+            // goldens pin; see span_kernels.h.
+            const double rack_sum = span_kernels::SumSequential(
+                power + rack.server_range.begin, rack.server_range.size());
             rack.power_watts = rack_sum;
             row_sum += rack_sum;
           }
           row.power_watts = row_sum;
-          double dynamic_sum = 0.0;
-          for (size_t i = row.server_range.begin; i < row.server_range.end;
-               ++i) {
-            dynamic_sum += dynamic_full[i];
-          }
-          row.dynamic_full_sum_watts = dynamic_sum;
+          row.dynamic_full_sum_watts = span_kernels::SumSequential(
+              dynamic_full + row.server_range.begin, row.server_range.size());
         }
       });
   double total = 0.0;
@@ -347,8 +343,11 @@ void DataCenter::SetServerFrequency(ServerId id, double freq) {
   double old_dynamic = server.dynamic_watts_at_full_freq();
   SimTime now = sim_->now();
   // Reconcile each task's remaining full-speed work consumed at the old
-  // frequency, then reschedule its completion at the new frequency.
-  for (auto& [job, task] : server.tasks_) {
+  // frequency, then reschedule its completion at the new frequency. The
+  // walk is in task-table insertion order (placement order), so the
+  // rescheduled completions' tie-break order is deterministic.
+  for (size_t t = 0; t < server.tasks_.size(); ++t) {
+    Server::RunningTask& task = server.tasks_.task_at(t);
     SimTime consumed = (now - task.last_update) * old_freq;
     task.remaining_work =
         std::max(SimTime(), task.remaining_work - consumed);
@@ -358,10 +357,103 @@ void DataCenter::SetServerFrequency(ServerId id, double freq) {
     // A task whose remaining work rounds to zero completes immediately
     // (strictly after this event, preserving causality).
     task.completion = sim_->ScheduleAfter(
-        wall, [this, id, job_id = job] { CompleteTask(id, job_id); });
+        wall, [this, id, job_id = server.tasks_.job_at(t)] {
+          CompleteTask(id, job_id);
+        });
   }
   server.frequency_ = freq;
   RefreshServerPower(id, old_power, old_dynamic);
+}
+
+void DataCenter::ApplyRowFrequency(RowId row_id, double freq) {
+  AMPERE_CHECK(freq > 0.0 && freq <= 1.0);
+  RowState& row = rows_[row_id.index()];
+  if (asleep_servers_ > 0) {
+    // A sleeping/waking server draws its sleep floor, not the model's
+    // output, so the uniform span evaluation below would clobber it. Sleep
+    // transitions are rare; take the exact per-server path.
+    for (ServerId id : row.servers) {
+      SetServerFrequency(id, freq);
+    }
+    return;
+  }
+
+  // Pass 1 — per-server bookkeeping, ascending id order exactly like the
+  // per-server loop this replaces: capped-count 1.0-crossings, task
+  // reconciliation, completion rescheduling. ScheduleAfter is called in the
+  // same order as before, so event sequence numbers (and thus tie-breaks)
+  // are unchanged.
+  const SimTime now = sim_->now();
+  uint64_t n_changed = 0;
+  for (ServerId id : row.servers) {
+    Server& server = servers_[id.index()];
+    if (server.frequency_ == freq) {
+      continue;
+    }
+    if (server.frequency_ == 1.0 && freq < 1.0) {
+      if (row.capped_server_count == 0) {
+        row.capped_since = now;
+      }
+      ++row.capped_server_count;
+    } else if (server.frequency_ < 1.0 && freq == 1.0) {
+      AMPERE_CHECK(row.capped_server_count > 0);
+      --row.capped_server_count;
+      if (row.capped_server_count == 0) {
+        row.capped_total += now - row.capped_since;
+      }
+    }
+    const double old_freq = server.frequency_;
+    for (size_t t = 0; t < server.tasks_.size(); ++t) {
+      Server::RunningTask& task = server.tasks_.task_at(t);
+      SimTime consumed = (now - task.last_update) * old_freq;
+      task.remaining_work =
+          std::max(SimTime(), task.remaining_work - consumed);
+      task.last_update = now;
+      task.completion.Cancel();
+      SimTime wall = task.remaining_work * (1.0 / freq);
+      task.completion = sim_->ScheduleAfter(
+          wall, [this, id, job_id = server.tasks_.job_at(t)] {
+            CompleteTask(id, job_id);
+          });
+    }
+    server.frequency_ = freq;
+    ++n_changed;
+  }
+  if (n_changed == 0) {
+    return;
+  }
+
+  // Pass 2 — batched power refresh, one power-model evaluation per rack
+  // over the rack's contiguous SoA span (racks are homogeneous, so one
+  // model and one frequency serve the whole span). The dynamic-at-full
+  // lane is re-written with bit-identical values (frequency does not enter
+  // DynamicPowerAt(u, 1.0)), so row.dynamic_full_sum_watts stays valid
+  // untouched. Rack sums rebuild with the fixed blocked-order reduction;
+  // the row folds its racks in ascending order like the resummation pass.
+  double* __restrict power = soa_power_watts_.data();
+  double* __restrict dynamic_full = soa_dynamic_full_watts_.data();
+  const double* __restrict util = soa_utilization_.data();
+  const double row_old = row.power_watts;
+  double row_new = 0.0;
+  for (RackId rid : row.racks) {
+    RackState& rack = racks_[rid.index()];
+    const size_t begin = rack.server_range.begin;
+    const size_t n = rack.server_range.size();
+    const ServerPowerModel& model = *servers_[begin].power_model_;
+    model.PowerSpanUniformFreq(util + begin, freq, power + begin,
+                               dynamic_full + begin, n);
+    rack.power_watts = span_kernels::SumBlocked4(power + begin, n);
+    row_new += rack.power_watts;
+  }
+  row.power_watts = row_new;
+  total_power_watts_ += row_new - row_old;
+  // One threshold check for the whole batch; the counter is still a pure
+  // function of the event sequence, so resummation points stay
+  // deterministic.
+  power_mutations_since_resum_ += n_changed;
+  if (power_mutations_since_resum_ >= kResumIntervalMutations) {
+    ResummatePowerAggregates();
+  }
 }
 
 void DataCenter::EnforceRowCap(RowId row_id) {
@@ -385,9 +477,7 @@ void DataCenter::EnforceRowCap(RowId row_id) {
   AMPERE_LOG(kDebug) << "row " << row_id.value() << " throttle "
                      << row.throttle << " -> " << decision.throttle;
   row.throttle = decision.throttle;
-  for (ServerId id : row.servers) {
-    SetServerFrequency(id, decision.throttle);
-  }
+  ApplyRowFrequency(row_id, decision.throttle);
   if (row.breaker.Observe(now, row.power_watts, row.budget_watts)) {
     AMPERE_TIMELINE_D(obs_domain_, now, obs::TimelineEventType::kBreakerTrip,
                       row.power_watts, row.budget_watts,
@@ -428,12 +518,10 @@ void DataCenter::SetCappingEnabled(bool enabled) {
         }
       }
     } else {
-      // Release all throttles (clock bookkeeping happens per server in
-      // SetServerFrequency).
+      // Release all throttles (clock bookkeeping happens per server inside
+      // ApplyRowFrequency).
       row.throttle = 1.0;
-      for (ServerId id : row.servers) {
-        SetServerFrequency(id, 1.0);
-      }
+      ApplyRowFrequency(row_id, 1.0);
     }
   }
 }

@@ -270,6 +270,20 @@ class DataCenter {
   // and rescheduling their completions; maintains the row's capped-server
   // count and capped-time clock.
   void SetServerFrequency(ServerId id, double freq);
+  // Bulk counterpart of SetServerFrequency for a whole row at one uniform
+  // frequency — the shape of every kRowUniform enforcement step and of the
+  // capping release path. Per-server bookkeeping (capped-count crossings,
+  // task reconciliation, completion rescheduling) runs in the same ascending
+  // id order as the per-server loop it replaces, so the event sequence is
+  // unchanged; the power refresh then happens per RACK as one batched
+  // power-model evaluation over the rack's contiguous SoA span, with rack
+  // sums rebuilt by the fixed blocked-order reduction (span_kernels.h).
+  // Falls back to per-server SetServerFrequency whenever any server in the
+  // fleet is asleep/waking (their draw is the sleep floor, not the model's
+  // output). Aggregates may differ from the incremental path by float
+  // rounding only (different association order) — never observed by a
+  // golden, and bounded by the periodic resummation like every other path.
+  void ApplyRowFrequency(RowId row_id, double freq);
   double PerServerCapWatts(const RowState& row) const {
     return row.capping_budget_watts /
            static_cast<double>(row.servers.size());
@@ -295,6 +309,10 @@ class DataCenter {
   std::vector<RowState> rows_;
   double total_power_watts_ = 0.0;
   uint64_t power_mutations_since_resum_ = 0;
+  // Servers currently asleep or waking (their cached power is the sleep
+  // floor, not a model evaluation). Nonzero routes ApplyRowFrequency onto
+  // its exact per-server fallback.
+  size_t asleep_servers_ = 0;
   obs::DomainId obs_domain_ = 0;
   std::function<void(ServerId, JobId)> completion_listener_;
 };

@@ -7,13 +7,12 @@
 #ifndef SRC_CLUSTER_SERVER_H_
 #define SRC_CLUSTER_SERVER_H_
 
-#include <functional>
-#include <unordered_map>
+#include <cstddef>
 #include <utility>
+#include <vector>
 
 #include "src/cluster/resources.h"
 #include "src/common/ids.h"
-#include "src/common/pool_allocator.h"
 #include "src/common/time.h"
 #include "src/power/power_model.h"
 #include "src/sim/simulation.h"
@@ -127,6 +126,59 @@ class Server {
     Simulation::EventHandle completion;
   };
 
+  // Insertion-ordered running-task table on flat storage. A server hosts a
+  // handful of tasks (batch containers plus at most one resident service),
+  // so a linear scan over a dense key array beats a hash table: lookup
+  // touches one or two cache lines of keys instead of a bucket array plus a
+  // chained node, insertion is a push_back, and the whole table is two
+  // contiguous blocks instead of a node forest — which also shrinks the
+  // Server object itself, the dominant cache footprint at fleet scale.
+  // Iteration order is insertion order: stable, deterministic, and
+  // independent of key values, which the frequency-reconcile walk in
+  // DataCenter::SetServerFrequency relies on for reproducible completion
+  // rescheduling.
+  class TaskTable {
+   public:
+    static constexpr size_t kNotFound = static_cast<size_t>(-1);
+
+    size_t size() const { return jobs_.size(); }
+    bool empty() const { return jobs_.empty(); }
+
+    size_t Find(JobId job) const {
+      for (size_t i = 0; i < jobs_.size(); ++i) {
+        if (jobs_[i] == job) {
+          return i;
+        }
+      }
+      return kNotFound;
+    }
+
+    // Appends (job, task); returns false (and drops the task) if the job is
+    // already present.
+    bool TryEmplace(JobId job, RunningTask&& task) {
+      if (Find(job) != kNotFound) {
+        return false;
+      }
+      jobs_.push_back(job);
+      tasks_.push_back(std::move(task));
+      return true;
+    }
+
+    JobId job_at(size_t i) const { return jobs_[i]; }
+    RunningTask& task_at(size_t i) { return tasks_[i]; }
+    const RunningTask& task_at(size_t i) const { return tasks_[i]; }
+
+    // Removes entry `i`, preserving the insertion order of the rest.
+    void EraseAt(size_t i) {
+      jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(i));
+      tasks_.erase(tasks_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+
+   private:
+    std::vector<JobId> jobs_;
+    std::vector<RunningTask> tasks_;
+  };
+
   ServerId id_;
   RackId rack_;
   RowId row_;
@@ -146,16 +198,7 @@ class Server {
   double* soa_dynamic_full_watts_ = nullptr;
   double* soa_utilization_ = nullptr;
   Simulation::EventHandle wake_completion_;
-  // Task table nodes churn once per job; the pool allocator recycles them
-  // through a per-server free list instead of malloc/free. The hashtable's
-  // bucket assignment and iteration order depend only on hashes and
-  // insertion order — never node addresses — so behaviour (including the
-  // frequency-reconcile walk in DataCenter::SetServerFrequency) is
-  // bit-identical to the std::allocator map this replaces.
-  std::unordered_map<JobId, RunningTask, std::hash<JobId>,
-                     std::equal_to<JobId>,
-                     PoolAllocator<std::pair<const JobId, RunningTask>>>
-      tasks_;
+  TaskTable tasks_;
 };
 
 }  // namespace ampere

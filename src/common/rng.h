@@ -17,6 +17,7 @@
 #ifndef SRC_COMMON_RNG_H_
 #define SRC_COMMON_RNG_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <cmath>
 #include <numbers>
@@ -140,6 +141,18 @@ NormalPair StandardNormalPair(uint64_t key);
 
 // Single standard normal as a pure function of a key (the z0 lane).
 double StandardNormal(uint64_t key);
+
+// Batched Box-Muller over `num_pairs` consecutive streams: writes
+// z[2k] = z0 and z[2k+1] = z1 of StandardNormalPair(StreamKey(base,
+// first_stream + k)) for k in [0, num_pairs). Bit-identical to calling
+// StandardNormalPair per stream — the batch is a strip-mined restructure,
+// not a different formula: the integer key mixing and uniform conversion
+// run as flat span loops the compiler can vectorize, while log/sin/cos stay
+// scalar libm calls (vector math libraries round differently, and these
+// bits are pinned by goldens). Allocation-free: internal staging lives in
+// fixed stack blocks.
+void StandardNormalSpan(uint64_t base, uint64_t first_stream,
+                        size_t num_pairs, double* z);
 
 }  // namespace counter_rng
 

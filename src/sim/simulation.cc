@@ -10,19 +10,19 @@ namespace ampere {
 
 void Simulation::EventHandle::Cancel() {
   if (sim_ != nullptr) {
-    sim_->CancelEvent(slot_, generation_);
+    sim_->CancelEvent(slot_, seq_);
   }
 }
 
 bool Simulation::EventHandle::pending() const {
-  return sim_ != nullptr && sim_->EventPending(slot_, generation_);
+  return sim_ != nullptr && sim_->EventPending(slot_, seq_);
 }
 
-void Simulation::CancelEvent(uint32_t slot_index, uint64_t generation) {
+void Simulation::CancelEvent(uint32_t slot_index, uint64_t seq) {
   if (slot_index >= slots_.size()) {
     return;
   }
-  if (slots_[slot_index].generation != generation) {
+  if (slots_[slot_index].seq != seq) {
     // Already fired, already cancelled, or the slot was recycled for a newer
     // event: nothing to do.
     return;
@@ -71,22 +71,22 @@ bool Simulation::Step() {
     AMPERE_CHECK(entry.time >= now_);
     now_ = entry.time;
     ++processed_events_;
-    Slot& slot = slots_[entry.slot];
-    // Advance the generation before invoking: the event is now "fired", so
-    // a Cancel() or pending() from inside its own callback behaves like the
+    Slot& slot = slots_[entry.slot()];
+    // Clear the seq token before invoking: the event is now "fired", so a
+    // Cancel() or pending() from inside its own callback behaves like the
     // old shared-state handles (no-op / false). The slot is only returned
     // to the free list after the callback finishes, so events scheduled by
     // the callback cannot alias the still-running slot.
-    ++slot.generation;
+    slot.seq = kNoEvent;
     try {
       slot.callback.Invoke();
     } catch (...) {
       slot.callback.Reset();
-      free_list_.push_back(entry.slot);
+      free_list_.push_back(entry.slot());
       throw;
     }
     slot.callback.Reset();
-    free_list_.push_back(entry.slot);
+    free_list_.push_back(entry.slot());
     return true;
   }
   return false;

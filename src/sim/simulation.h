@@ -52,11 +52,11 @@ class Simulation {
 
    private:
     friend class Simulation;
-    EventHandle(Simulation* sim, uint32_t slot, uint64_t generation)
-        : sim_(sim), slot_(slot), generation_(generation) {}
+    EventHandle(Simulation* sim, uint32_t slot, uint64_t seq)
+        : sim_(sim), slot_(slot), seq_(seq) {}
     Simulation* sim_ = nullptr;
     uint32_t slot_ = 0;
-    uint64_t generation_ = 0;
+    uint64_t seq_ = 0;
   };
 
   Simulation() = default;
@@ -75,11 +75,14 @@ class Simulation {
     AMPERE_CHECK(at >= now_) << "scheduling into the past: at="
                              << at.ToString() << " now=" << now_.ToString();
     const uint32_t slot_index = AllocSlot();
+    const uint64_t seq = next_seq_++;
+    AMPERE_CHECK(seq < (uint64_t{1} << kSeqBits)) << "event seq overflow";
     Slot& slot = slots_[slot_index];
     slot.callback.Emplace(std::forward<F>(callback));
-    HeapPush(QueueEntry{at, next_seq_++, slot.generation, slot_index});
+    slot.seq = seq;
+    HeapPush(QueueEntry{at, (seq << kSlotBits) | slot_index});
     ++live_events_;
-    return EventHandle(this, slot_index, slot.generation);
+    return EventHandle(this, slot_index, seq);
   }
 
   // Schedules `callback` `delay` after the current time (delay >= 0).
@@ -183,20 +186,36 @@ class Simulation {
     alignas(std::max_align_t) unsigned char buffer_[kInlineBytes];
   };
 
-  // One pooled event slot. `generation` advances when the slot's current
-  // event ends (fires or is cancelled); queue entries and handles carry the
-  // generation they were minted with, so stale references are detected in
-  // O(1) without shared ownership.
+  // Queue entries pack (seq, slot) into one word: seq in the high bits,
+  // slot index in the low kSlotBits. Sequence numbers are globally unique,
+  // so comparing packed words compares seqs (the slot bits can only break a
+  // tie that never happens), and a slot's current seq doubles as its
+  // generation token — an entry or handle whose seq no longer matches the
+  // slot's is stale. The packing halves the entry to 16 bytes: the pop's
+  // sift-down touches half the cache lines of the 32-byte layout it
+  // replaces, which is where most of the queue time goes at fleet scale.
+  static constexpr int kSlotBits = 22;       // 4M concurrently live events.
+  static constexpr int kSeqBits = 64 - kSlotBits;
+  static constexpr uint64_t kSlotMask = (uint64_t{1} << kSlotBits) - 1;
+  // Token value meaning "no queued event owns this slot"; real seqs are
+  // checked against kSeqBits so they never collide with it.
+  static constexpr uint64_t kNoEvent = ~uint64_t{0};
+
+  // One pooled event slot. `seq` is the sequence number of the event
+  // currently occupying the slot (kNoEvent when free/fired/cancelled);
+  // queue entries and handles carry the seq they were minted with, so stale
+  // references are detected in O(1) without shared ownership.
   struct Slot {
     PooledCallback callback;
-    uint64_t generation = 0;
+    uint64_t seq = kNoEvent;
   };
 
   struct QueueEntry {
     SimTime time;
-    uint64_t seq;  // FIFO among same-time events.
-    uint64_t generation;
-    uint32_t slot;
+    uint64_t key;  // (seq << kSlotBits) | slot.
+
+    uint64_t seq() const { return key >> kSlotBits; }
+    uint32_t slot() const { return static_cast<uint32_t>(key & kSlotMask); }
   };
 
   // (time, seq) is a strict total order — seq is unique — so the pop
@@ -209,7 +228,7 @@ class Simulation {
     if (a.time != b.time) {
       return a.time < b.time;
     }
-    return a.seq < b.seq;
+    return a.key < b.key;
   }
 
   void HeapPush(const QueueEntry& entry) {
@@ -263,27 +282,27 @@ class Simulation {
       free_list_.pop_back();
       return index;
     }
+    AMPERE_CHECK(slots_.size() < kSlotMask) << "event slot overflow";
     slots_.emplace_back();
     return static_cast<uint32_t>(slots_.size() - 1);
   }
 
-  // Retires a slot's current event: bumps the generation (stale-ing every
+  // Retires a slot's current event: clears its seq token (stale-ing every
   // outstanding handle/queue entry) and returns the slot to the free list.
   void RetireSlot(uint32_t index) {
     Slot& slot = slots_[index];
-    ++slot.generation;
+    slot.seq = kNoEvent;
     slot.callback.Reset();
     free_list_.push_back(index);
   }
 
   bool EntryStale(const QueueEntry& entry) const {
-    return slots_[entry.slot].generation != entry.generation;
+    return slots_[entry.slot()].seq != entry.seq();
   }
 
-  void CancelEvent(uint32_t slot_index, uint64_t generation);
-  bool EventPending(uint32_t slot_index, uint64_t generation) const {
-    return slot_index < slots_.size() &&
-           slots_[slot_index].generation == generation;
+  void CancelEvent(uint32_t slot_index, uint64_t seq);
+  bool EventPending(uint32_t slot_index, uint64_t seq) const {
+    return slot_index < slots_.size() && slots_[slot_index].seq == seq;
   }
 
   SimTime now_;
@@ -294,7 +313,8 @@ class Simulation {
   // firing may schedule new events while its own slot is still in use).
   std::deque<Slot> slots_;
   std::vector<uint32_t> free_list_;
-  // 4-ary min-heap on (time, seq); see Earlier()/HeapPush()/HeapPop().
+  // 4-ary min-heap on (time, packed seq/slot); see Earlier()/HeapPush()/
+  // HeapPop().
   std::vector<QueueEntry> heap_;
 };
 

@@ -1,8 +1,10 @@
 #include "src/telemetry/power_monitor.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/common/span_kernels.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
@@ -163,7 +165,7 @@ void PowerMonitor::SampleOnce(SimTime stamp) {
 
 void PowerMonitor::ReadServersClean(size_t begin, size_t end, uint64_t tick) {
   // True draw + counter-based sensor noise, then watt quantization. The
-  // pairwise loop evaluates one Box-Muller per two servers (the same pair
+  // batched kernel evaluates one Box-Muller per two servers (the same pair
   // NoiseAt would compute for either of them), so the values are
   // bit-identical whichever helper produced them — and identical for any
   // shard boundary, since each server's noise depends only on (server,
@@ -183,17 +185,31 @@ void PowerMonitor::ReadServersClean(size_t begin, size_t end, uint64_t tick) {
   };
   size_t i = begin;
   if ((i & 1) != 0 && i < end) {
+    // Odd leading index: this server is the z1 lane of the previous pair.
     latest_server_watts_[i] = finish(truth[i] + NoiseAt(i, tick));
     ++i;
   }
-  for (; i + 1 < end; i += 2) {
-    const uint64_t key =
-        counter_rng::StreamKey(base, static_cast<uint64_t>(i >> 1));
-    const counter_rng::NormalPair pair = counter_rng::StandardNormalPair(key);
-    latest_server_watts_[i] = finish(truth[i] + sigma * pair.z0);
-    latest_server_watts_[i + 1] = finish(truth[i + 1] + sigma * pair.z1);
+  // Pair-aligned middle: whole spans of noise from the batched kernel, then
+  // a flat add/quantize/store sweep over the same block. The staging buffer
+  // is a fixed stack block, so the pass stays allocation-free.
+  constexpr size_t kNoisePairs = 128;
+  double z[2 * kNoisePairs];
+  const double* __restrict truth_p = truth.data();
+  double* __restrict latest_p = latest_server_watts_.data();
+  while (i + 1 < end) {
+    const size_t pairs =
+        std::min(kNoisePairs, (end - i) / 2);
+    counter_rng::StandardNormalSpan(base, static_cast<uint64_t>(i >> 1),
+                                    pairs, z);
+    const size_t count = 2 * pairs;
+    for (size_t k = 0; k < count; ++k) {
+      latest_p[i + k] = finish(truth_p[i + k] + sigma * z[k]);
+    }
+    i += count;
   }
   if (i < end) {
+    // Odd trailing index: the z0 lane of a pair whose z1 lane belongs to
+    // the next shard.
     latest_server_watts_[i] = finish(truth[i] + NoiseAt(i, tick));
   }
 }
@@ -212,32 +228,29 @@ void PowerMonitor::SampleCleanPass(SimTime stamp, uint64_t tick) {
 
   // Phase B: per-row aggregation. One row per shard minimum; a row's racks
   // and servers occupy contiguous index ranges, so each shard streams its
-  // own span of the readings array and writes its own scratch slots.
-  // Summation order inside each sum matches the serial loops exactly
-  // (servers ascending within rack; servers ascending within row).
+  // own span of the readings array and writes its own scratch slots. The
+  // sums use SumSequential — the strict left-to-right order the committed
+  // goldens pin (see span_kernels.h) — over the same ascending spans as the
+  // serial loops they replace.
   const bool record_racks = config_.record_racks;
+  const double* readings = latest_server_watts_.data();
   ParallelFor(
       pool_, 0, num_rows, /*grain=*/1,
-      [this, record_racks](size_t row_begin, size_t row_end) {
+      [this, record_racks, readings](size_t row_begin, size_t row_end) {
         for (size_t r = row_begin; r < row_end; ++r) {
           const RowId row_id(static_cast<int32_t>(r));
           if (record_racks) {
             for (RackId rid : dc_->racks_in_row(row_id)) {
               const DataCenter::IndexRange range =
                   dc_->server_range_of_rack(rid);
-              double sum = 0.0;
-              for (size_t i = range.begin; i < range.end; ++i) {
-                sum += latest_server_watts_[i];
-              }
-              scratch_rack_watts_[static_cast<size_t>(rid.index())] = sum;
+              scratch_rack_watts_[static_cast<size_t>(rid.index())] =
+                  span_kernels::SumSequential(readings + range.begin,
+                                              range.size());
             }
           }
           const DataCenter::IndexRange range = dc_->server_range_of_row(row_id);
-          double sum = 0.0;
-          for (size_t i = range.begin; i < range.end; ++i) {
-            sum += latest_server_watts_[i];
-          }
-          scratch_row_watts_[r] = sum;
+          scratch_row_watts_[r] = span_kernels::SumSequential(
+              readings + range.begin, range.size());
         }
       });
 

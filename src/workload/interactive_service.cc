@@ -51,6 +51,8 @@ InteractiveService::InteractiveService(const InteractiveServiceParams& params,
   for (int i = 0; i < kNumRedisOps; ++i) {
     histograms_.emplace_back(0.0, params.histogram_max_ms,
                              params.histogram_bins);
+    op_base_us_[static_cast<size_t>(i)] =
+        RedisOpBaseServiceMicros(static_cast<RedisOp>(i));
   }
   instances_.reserve(params.servers.size());
   for (ServerId id : params.servers) {
@@ -73,7 +75,25 @@ void InteractiveService::Run(SimTime start, SimTime until,
     AMPERE_CHECK(dc_->PlaceTask(instances_[i].server, resident))
         << "resident service task does not fit on server "
         << instances_[i].server.value();
-    sim_->ScheduleAt(start, [this, i] { ScheduleNextArrival(i); });
+  }
+  // Seed every instance's first arrival in one batch over the server list
+  // rather than bouncing through one starter event per instance: the (gap,
+  // op) draws happen here in instance order — exactly the order the starter
+  // events would have fired in at `start` — so the rng_ sequence is
+  // unchanged, and N heap pushes + pops of trampoline events disappear.
+  const double mean_gap_us = 1e6 / params_.requests_per_sec_per_server;
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    SimTime gap = SimTime::Micros(
+        static_cast<int64_t>(rng_.Exponential(mean_gap_us)) + 1);
+    SimTime at = start + gap;
+    if (at > until_) {
+      continue;  // Window too short for this instance's first request.
+    }
+    auto op = static_cast<RedisOp>(rng_.UniformInt(0, kNumRedisOps - 1));
+    sim_->ScheduleAt(at, [this, i, at, op] {
+      OnArrival(i, at, op);
+      ScheduleNextArrival(i);
+    });
   }
 }
 
@@ -110,7 +130,7 @@ void InteractiveService::BeginService(size_t instance_idx, SimTime arrival,
   // CPU processes the same request more slowly.
   double freq = dc_->server(inst.server).frequency();
   double jitter = rng_.LogNormal(0.0, params_.service_jitter_sigma);
-  double service_us = RedisOpBaseServiceMicros(op) * jitter / freq;
+  double service_us = op_base_us_[static_cast<size_t>(op)] * jitter / freq;
   SimTime done = sim_->now() + SimTime::Micros(
                                    static_cast<int64_t>(service_us) + 1);
   sim_->ScheduleAt(done, [this, instance_idx, arrival, op, done] {

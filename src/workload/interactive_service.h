@@ -85,6 +85,9 @@ class InteractiveService {
   Simulation* sim_;
   DataCenter* dc_;
   Rng rng_;
+  // Base service cost per op, built once in the constructor so the hot
+  // BeginService path is a table load instead of a switch.
+  std::array<double, kNumRedisOps> op_base_us_{};
   std::vector<Instance> instances_;
   std::vector<Histogram> histograms_;
   SimTime until_;

@@ -1,0 +1,75 @@
+// Intrinsic-vs-portable identity for the blocked span reduction.
+//
+// This translation unit is compiled with -mavx2 (see tests/CMakeLists.txt),
+// so span_kernels::SumBlocked4 resolves to the vaddpd intrinsic body here —
+// unlike the rest of the test suite, which is built without -mavx2 and gets
+// the portable body. The contract (span_kernels.h) is that both spell the
+// exact same association, so they must agree bit-for-bit on any input. A
+// runtime cpu check keeps the test a no-op skip on hardware without AVX2
+// (the binary would fault executing vaddpd there).
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/span_kernels.h"
+
+namespace ampere {
+namespace {
+
+#if defined(__AVX2__)
+
+TEST(SpanKernelsAvx2Test, IntrinsicMatchesPortableBitForBit) {
+  if (!__builtin_cpu_supports("avx2")) {
+    GTEST_SKIP() << "host cpu lacks avx2";
+  }
+  Rng rng(20160416);
+  // Adversarial magnitudes: mixing tiny and huge addends maximizes the
+  // rounding differences BETWEEN association orders, so if the intrinsic
+  // deviated from the portable order at all, these inputs would expose it.
+  std::vector<double> x(1031);
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double magnitude = (i % 3 == 0) ? 1e-9 : (i % 3 == 1 ? 1.0 : 1e9);
+    x[i] = rng.Uniform(-magnitude, magnitude);
+  }
+  for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{4}, size_t{7},
+                   size_t{8}, size_t{42}, size_t{420}, size_t{1024},
+                   size_t{1031}}) {
+    EXPECT_EQ(span_kernels::SumBlocked4Avx2(x.data(), n),
+              span_kernels::SumBlocked4Portable(x.data(), n))
+        << "n=" << n;
+    EXPECT_EQ(span_kernels::SumBlocked4(x.data(), n),
+              span_kernels::SumBlocked4Avx2(x.data(), n))
+        << "dispatcher must pick the intrinsic here, n=" << n;
+  }
+}
+
+TEST(SpanKernelsAvx2Test, UnalignedBaseStillMatches) {
+  if (!__builtin_cpu_supports("avx2")) {
+    GTEST_SKIP() << "host cpu lacks avx2";
+  }
+  // The intrinsic path uses unaligned loads; sums taken from every offset
+  // of a misaligned window must still match the portable order.
+  Rng rng(7);
+  std::vector<double> x(64);
+  for (double& v : x) {
+    v = rng.Uniform(80.0, 260.0);
+  }
+  for (size_t offset = 0; offset < 8; ++offset) {
+    EXPECT_EQ(span_kernels::SumBlocked4Avx2(x.data() + offset, 42),
+              span_kernels::SumBlocked4Portable(x.data() + offset, 42))
+        << "offset=" << offset;
+  }
+}
+
+#else
+TEST(SpanKernelsAvx2Test, CompiledWithoutAvx2) {
+  GTEST_SKIP() << "TU built without -mavx2; dispatcher identity is covered "
+                  "by BatchedKernelIdentityTest";
+}
+#endif
+
+}  // namespace
+}  // namespace ampere
