@@ -79,6 +79,10 @@ ExperimentResult RunCell(const CellSpec& cell, const FreezeEffectModel& effect,
   // Recording is a pass-through decorator, so all metrics stay
   // bit-identical with or without it.
   bench::ApplyTraceArgs(config, args, context.index(), total_runs);
+  // --store-dir / --hot-budget: persistent telemetry cold tier. Storage
+  // plumbing only — the controller reads monitor caches, so every metric
+  // below is bit-identical with or without the store.
+  bench::ApplyStorageArgs(config, args, context.index(), total_runs);
   ExperimentResult result = RunExperimentToResult(config);
   bench::ReportArtifacts(context, result.artifacts);
 

@@ -104,6 +104,9 @@ void RunGridMode(const harness::HarnessArgs& args, bool quick) {
         // --budget-schedule: time-varying campus cap P(t). Workload trace
         // record/replay stays single-DC, so only the schedule applies here.
         bench::ApplyBudgetScheduleArg(config, args);
+        // --store-dir / --hot-budget: persistent cold tier under the shared
+        // campus db. Storage plumbing only; metrics are bit-identical.
+        bench::ApplyStorageArgs(config, args, context.index(), total);
         CampusResult result = RunCampusToResult(config);
         bench::ReportArtifacts(context, result.artifacts);
         context.Metric("gain_tpw", result.gain_tpw);

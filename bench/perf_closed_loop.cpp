@@ -55,6 +55,24 @@
 //   --trajectory=PATH  append a dated {date, commit, per-topology steps/s}
 //                      entry to the perf-trajectory JSON (commit read from
 //                      $AMPERE_COMMIT, "unknown" if unset)
+//   --store-dir=DIR    run the persistent-telemetry identity check before
+//                      the tiers: a spill-enabled small closed loop under
+//                      DIR whose stitched bytes must equal a RAM-only twin's,
+//                      then an OpenExisting reopen that must serve the same
+//                      bytes again. Prints STORAGE CHECK [PASS|FAIL] lines
+//                      (CI greps them) and fails the binary on mismatch.
+//   --storage-only     exit right after the --store-dir check (CI smoke)
+//   --rss-demo         instead of the tiers, run the bounded-RSS demo: a
+//                      multi-day hyperscale closed loop with per-server
+//                      telemetry, once RAM-only and once spilling under
+//                      --store-dir, sampling VmRSS each simulated day. The
+//                      JSON gains a "storage_demo" block (RAM grows, spill
+//                      plateaus; steps/s within 10%).
+//   --rss-days=N       measured days for --rss-demo (default 7)
+//
+// RSS accounting: every tier (and every --rss-demo day) records VmRSS from
+// /proc/self/status — best-effort, 0.0 where the file does not exist — so
+// the longitudinal record tracks memory footprint, not just speed.
 //
 // The committed bench/BENCH_perf_closed_loop.json also archives the
 // pre-rebuild numbers under "pre_change" so the speedup each PR documented
@@ -65,11 +83,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <fstream>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <new>
@@ -84,6 +104,8 @@
 #include "src/core/experiment.h"
 #include "src/obs/metrics.h"
 #include "src/sched/scheduler.h"
+#include "src/telemetry/cold_store.h"
+#include "src/telemetry/csv_export.h"
 #include "src/telemetry/power_monitor.h"
 #include "src/telemetry/timeseries_db.h"
 
@@ -143,6 +165,20 @@ double NowSeconds() {
       .count();
 }
 
+// Steady-state resident set in MB from /proc/self/status (VmRSS is in kB).
+// Best-effort: returns 0.0 where the file does not exist (non-Linux hosts),
+// so consumers treat 0 as "not measured", never as "no memory".
+double ReadVmRssMb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return std::strtod(line.c_str() + 6, nullptr) / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
 struct TopologySpec {
   const char* name;
   int rows;
@@ -184,6 +220,8 @@ struct TopologyResult {
   std::vector<std::pair<int, SampleStats>> sample_sweep;
   int parallel_jobs = 0;
   ClosedLoopStats closed_loop_parallel;
+  // VmRSS right after this tier's phases finished (0.0 = not measurable).
+  double rss_mb = 0.0;
 };
 
 TopologyConfig MakeTopology(const TopologySpec& spec) {
@@ -199,8 +237,8 @@ TopologyConfig MakeTopology(const TopologySpec& spec) {
 
 // --- Phase: full closed loop --------------------------------------------
 
-ClosedLoopStats RunClosedLoop(const TopologySpec& spec, double hours,
-                              int jobs = 1) {
+ExperimentConfig MakeClosedLoopConfig(const TopologySpec& spec, double hours,
+                                      int jobs = 1) {
   ExperimentConfig config;
   config.seed = kSeed;
   config.jobs = jobs;
@@ -212,6 +250,12 @@ ClosedLoopStats RunClosedLoop(const TopologySpec& spec, double hours,
   config.controller.et = EtEstimator::Constant(0.02);
   config.warmup = SimTime::Minutes(30);
   config.duration = SimTime::Hours(hours);
+  return config;
+}
+
+ClosedLoopStats RunClosedLoop(const TopologySpec& spec, double hours,
+                              int jobs = 1) {
+  ExperimentConfig config = MakeClosedLoopConfig(spec, hours, jobs);
 
   ControlledExperiment experiment(config);
   const double start = NowSeconds();
@@ -431,6 +475,9 @@ void AppendJson(std::ostringstream& out, const TopologyResult& r,
   out << "    \"" << r.name << "\": {\n";
   out << "      \"servers\": " << r.servers << ",\n";
   char buffer[256];
+  std::snprintf(buffer, sizeof(buffer), "      \"rss_mb\": %.1f,\n",
+                r.rss_mb);
+  out << buffer;
   std::snprintf(buffer, sizeof(buffer),
                 "      \"closed_loop\": {\"sim_hours\": %.2f, \"wall_s\": "
                 "%.3f, \"events\": %llu, \"steps_per_sec\": %.0f, "
@@ -487,7 +534,12 @@ void AppendJson(std::ostringstream& out, const TopologyResult& r,
   out << "\n    }" << (last ? "\n" : ",\n");
 }
 
-std::string ToJson(const std::vector<TopologyResult>& results) {
+// `extra` (may be empty) is a pre-rendered top-level JSON member — e.g. the
+// --rss-demo "storage_demo" block — emitted AFTER "topologies" so
+// CheckAgainstBaseline's first-occurrence key lookups keep resolving into
+// the per-tier section.
+std::string ToJson(const std::vector<TopologyResult>& results,
+                   const std::string& extra = {}) {
   std::ostringstream out;
   out << "{\n  \"bench\": \"perf_closed_loop\",\n  \"schema\": 2,\n";
   out << "  \"require_zero_alloc\": true,\n";
@@ -496,7 +548,11 @@ std::string ToJson(const std::vector<TopologyResult>& results) {
   for (size_t i = 0; i < results.size(); ++i) {
     AppendJson(out, results[i], i + 1 == results.size());
   }
-  out << "  }\n}\n";
+  out << "  }";
+  if (!extra.empty()) {
+    out << ",\n" << extra;
+  }
+  out << "\n}\n";
   return out.str();
 }
 
@@ -568,6 +624,17 @@ void AppendTrajectory(const std::string& path,
     entry << "}";
   }
   entry << "}";
+  // Schema 2: steady-state VmRSS after each tier's phases, so footprint
+  // regressions are as attributable as throughput ones.
+  entry << ", \"rss_mb\": {";
+  for (size_t i = 0; i < results.size(); ++i) {
+    char buffer[96];
+    std::snprintf(buffer, sizeof(buffer), "%s\"%s\": %.1f",
+                  i == 0 ? "" : ", ", results[i].name.c_str(),
+                  results[i].rss_mb);
+    entry << buffer;
+  }
+  entry << "}";
   entry << "}";
 
   std::string text;
@@ -583,7 +650,11 @@ void AppendTrajectory(const std::string& path,
   std::string out;
   if (close == std::string::npos) {
     out = "{\n  \"bench\": \"perf_closed_loop_trajectory\",\n"
-          "  \"schema\": 1,\n  \"entries\": [\n" +
+          "  \"schema\": 2,\n"
+          "  \"schema_note\": \"phase_ns is per-tier: {tier: {sample, "
+          "resummate, events[, tick]}}; rss_mb is the per-tier steady-state "
+          "VmRSS in MB after that tier's phases (0 = not measurable)\",\n"
+          "  \"entries\": [\n" +
           entry.str() + "\n  ]\n}\n";
   } else {
     // Comma-join unless the entries array is still empty.
@@ -699,10 +770,279 @@ bool CheckAgainstBaseline(const std::string& path,
   return ok;
 }
 
+// --- Persistent-telemetry identity check (--store-dir) --------------------
+
+__attribute__((format(printf, 3, 4)))
+void StorageCheck(bool ok, bool* all_ok, const char* format, ...) {
+  char message[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(message, sizeof(message), format, args);
+  va_end(args);
+  std::printf("STORAGE CHECK [%s]: %s\n", ok ? "PASS" : "FAIL", message);
+  *all_ok = *all_ok && ok;
+}
+
+// Canonical per-series bytes via the stitched read: one "micros value" line
+// per point, %.17g so doubles round-trip bit-exactly. `limit` truncates to a
+// prefix (used to compare a reopened, cold-only store against the full run).
+std::string CanonicalSeriesBytes(const TimeSeriesDb& db,
+                                 const std::string& name,
+                                 size_t limit = SIZE_MAX) {
+  std::string out;
+  size_t n = 0;
+  db.SeriesStitched(name).ForEachPoint([&](const TimePoint& point) {
+    if (n++ >= limit) {
+      return;
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%lld %.17g\n",
+                  static_cast<long long>(point.time.micros()), point.value);
+    out += buffer;
+  });
+  return out;
+}
+
+// Runs the spill-identity + instant-restart matrix on the small tier:
+//   1. RAM-only closed loop (the reference bytes).
+//   2. The same config spilling into `dir` under a tight hot budget — the
+//      stitched CSV export must be byte-identical to the reference.
+//   3. ColdStore::OpenExisting on `dir` after the run — every series the
+//      store holds must serve exactly the reference's first N samples.
+bool RunStorageSection(const std::string& dir) {
+  std::printf("\n--- persistent-telemetry identity check (%s) ---\n",
+              dir.c_str());
+  const TopologySpec spec{"small", 1, 2, 8.0};
+  constexpr size_t kHotBudget = 64;
+  bool ok = true;
+
+  ExperimentConfig ram_config = MakeClosedLoopConfig(spec, 8.0);
+  ram_config.monitor.record_servers = true;  // More series, harder check.
+  ControlledExperiment ram(ram_config);
+  ram.Run();
+  std::ostringstream ram_csv;
+  ExportCsv(ram.db(), ram.db().SeriesNames(), ram_csv);
+
+  std::vector<std::string> series_names;
+  std::vector<uint64_t> cold_counts;
+  uint64_t spilled = 0;
+  uint64_t segments = 0;
+  std::string manifest_path;
+  {
+    ExperimentConfig spill_config = ram_config;
+    spill_config.storage.store_dir = dir;
+    spill_config.storage.hot_budget_samples = kHotBudget;
+    ControlledExperiment spill(spill_config);
+    ExperimentResult result = spill.Run();
+    spilled = result.cold_samples_spilled;
+    segments = result.cold_segments;
+    manifest_path = spill.cold_store()->ManifestPath();
+    std::ostringstream spill_csv;
+    ExportCsv(spill.db(), spill.db().SeriesNames(), spill_csv);
+    StorageCheck(spilled > 0 && segments > 0, &ok,
+                 "spill actually engaged: %llu samples into %llu segments "
+                 "(hot budget %zu)",
+                 static_cast<unsigned long long>(spilled),
+                 static_cast<unsigned long long>(segments), kHotBudget);
+    StorageCheck(spill_csv.str() == ram_csv.str() && !ram_csv.str().empty(),
+                 &ok,
+                 "stitched hot+cold export byte-identical to the RAM-only "
+                 "run (%zu bytes, %zu series)",
+                 ram_csv.str().size(), ram.db().SeriesNames().size());
+    for (const std::string& name : spill.cold_store()->SeriesNames()) {
+      series_names.push_back(name);
+      cold_counts.push_back(spill.cold_store()->SamplesForSeries(name));
+    }
+  }  // Destroys the spill experiment: the store is now only on disk.
+
+  ColdStoreConfig reopen_config;
+  reopen_config.dir = dir;
+  ColdStore::OpenResult reopened = ColdStore::OpenExisting(reopen_config);
+  StorageCheck(reopened.status.ok(), &ok,
+               "OpenExisting validated the manifest and every segment (%s)",
+               reopened.status.ok() ? manifest_path.c_str()
+                                    : reopened.status.message.c_str());
+  if (reopened.store != nullptr) {
+    TimeSeriesDb restarted;
+    restarted.AttachColdStore(reopened.store.get(), kHotBudget);
+    size_t mismatched = 0;
+    uint64_t cold_total = 0;
+    for (size_t i = 0; i < series_names.size(); ++i) {
+      cold_total += cold_counts[i];
+      const std::string after = CanonicalSeriesBytes(restarted,
+                                                     series_names[i]);
+      const std::string expected = CanonicalSeriesBytes(
+          ram.db(), series_names[i], static_cast<size_t>(cold_counts[i]));
+      if (after != expected || after.empty()) {
+        ++mismatched;
+      }
+    }
+    StorageCheck(mismatched == 0 && !series_names.empty(), &ok,
+                 "reopened store serves identical bytes without "
+                 "re-simulating (%zu series, %llu cold samples, %zu "
+                 "mismatched)",
+                 series_names.size(),
+                 static_cast<unsigned long long>(cold_total), mismatched);
+  }
+  return ok;
+}
+
+// --- Bounded-RSS demo (--rss-demo) ----------------------------------------
+
+struct RssArm {
+  double rss_start_mb = 0.0;
+  double rss_final_mb = 0.0;
+  double rss_peak_mb = 0.0;
+  std::vector<double> rss_day_mb;  // VmRSS at each simulated day boundary.
+  double wall_s = 0.0;
+  double steps_per_sec = 0.0;
+  uint64_t events = 0;
+  uint64_t jobs_completed = 0;
+  uint64_t spilled = 0;
+  uint64_t segments = 0;
+
+  double growth_mb() const { return rss_final_mb - rss_start_mb; }
+};
+
+// One hyperscale multi-day closed loop with per-server telemetry recorded
+// (the configuration whose RAM-only footprint actually grows), VmRSS sampled
+// at every simulated day boundary via a self-rescheduling sim event. The
+// sampler reads /proc and schedules one event per day — it never touches
+// simulation state, so both arms' results stay bit-identical.
+RssArm RunRssArm(double days, const std::string& store_dir,
+                 size_t hot_budget) {
+  const TopologySpec spec{"hyperscale", 16, 10, days * 24.0};
+  ExperimentConfig config = MakeClosedLoopConfig(spec, days * 24.0);
+  config.monitor.record_servers = true;
+  if (!store_dir.empty()) {
+    config.storage.store_dir = store_dir;
+    config.storage.hot_budget_samples = hot_budget;
+  }
+  ControlledExperiment experiment(config);
+
+  RssArm arm;
+  arm.rss_start_mb = ReadVmRssMb();
+  arm.rss_peak_mb = arm.rss_start_mb;
+  Simulation& sim = experiment.sim();
+  // Offset half a minute past the day boundary so the sampler never shares a
+  // timestamp with the minute-aligned monitor/controller events.
+  std::function<void()> sample_day = [&] {
+    const double rss = ReadVmRssMb();
+    arm.rss_day_mb.push_back(rss);
+    arm.rss_peak_mb = std::max(arm.rss_peak_mb, rss);
+    std::printf("    day %2zu: %8.1f MB RSS\n", arm.rss_day_mb.size(), rss);
+    sim.ScheduleAfter(SimTime::Hours(24), sample_day);
+  };
+  sim.ScheduleAfter(SimTime::Hours(24) + SimTime::Minutes(0.5), sample_day);
+
+  const double start = NowSeconds();
+  ExperimentResult result = experiment.Run();
+  arm.wall_s = NowSeconds() - start;
+  arm.events = experiment.sim().processed_events();
+  arm.steps_per_sec = static_cast<double>(arm.events) / arm.wall_s;
+  arm.rss_final_mb = ReadVmRssMb();
+  arm.rss_peak_mb = std::max(arm.rss_peak_mb, arm.rss_final_mb);
+  arm.jobs_completed = result.jobs_completed;
+  arm.spilled = result.cold_samples_spilled;
+  arm.segments = result.cold_segments;
+  return arm;
+}
+
+void AppendRssArmJson(std::ostringstream& out, const char* key,
+                      const RssArm& arm, bool last) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "    \"%s\": {\"steps_per_sec\": %.0f, \"wall_s\": %.1f, "
+                "\"rss_start_mb\": %.1f, \"rss_final_mb\": %.1f, "
+                "\"rss_peak_mb\": %.1f, \"rss_growth_mb\": %.1f,\n",
+                key, arm.steps_per_sec, arm.wall_s, arm.rss_start_mb,
+                arm.rss_final_mb, arm.rss_peak_mb, arm.growth_mb());
+  out << buffer;
+  std::snprintf(buffer, sizeof(buffer),
+                "      \"samples_spilled\": %llu, \"cold_segments\": %llu, "
+                "\"rss_day_mb\": [",
+                static_cast<unsigned long long>(arm.spilled),
+                static_cast<unsigned long long>(arm.segments));
+  out << buffer;
+  for (size_t i = 0; i < arm.rss_day_mb.size(); ++i) {
+    std::snprintf(buffer, sizeof(buffer), "%s%.1f", i == 0 ? "" : ", ",
+                  arm.rss_day_mb[i]);
+    out << buffer;
+  }
+  out << "]}" << (last ? "\n" : ",\n");
+}
+
+// Runs the spill arm first (small footprint), then the RAM-only arm, and
+// renders the "storage_demo" JSON block. Returns false when an acceptance
+// gate (identical results, steps/s within 10%, spill growth well under the
+// RAM growth) fails.
+bool RunRssDemo(const std::string& store_dir, double days,
+                std::string* extra_json) {
+  std::printf("\n--- bounded-RSS demo: hyperscale, %.0f days, per-server "
+              "telemetry ---\n", days);
+  constexpr size_t kHotBudget = 1024;
+  std::printf("  spill arm (hot budget %zu samples/series -> %s):\n",
+              kHotBudget, store_dir.c_str());
+  const RssArm spill = RunRssArm(days, store_dir, kHotBudget);
+  std::printf("  RAM-only arm:\n");
+  const RssArm ram = RunRssArm(days, "", 0);
+
+  std::printf("  spill: %8.0f steps/s, RSS %7.1f -> %7.1f MB (peak %7.1f), "
+              "%llu samples into %llu segments\n",
+              spill.steps_per_sec, spill.rss_start_mb, spill.rss_final_mb,
+              spill.rss_peak_mb,
+              static_cast<unsigned long long>(spill.spilled),
+              static_cast<unsigned long long>(spill.segments));
+  std::printf("  ram:   %8.0f steps/s, RSS %7.1f -> %7.1f MB (peak %7.1f)\n",
+              ram.steps_per_sec, ram.rss_start_mb, ram.rss_final_mb,
+              ram.rss_peak_mb);
+
+  bool ok = true;
+  StorageCheck(spill.events == ram.events &&
+                   spill.jobs_completed == ram.jobs_completed,
+               &ok,
+               "both arms simulated identical runs (%llu events, %llu jobs)",
+               static_cast<unsigned long long>(ram.events),
+               static_cast<unsigned long long>(ram.jobs_completed));
+  const double ratio = spill.steps_per_sec / ram.steps_per_sec;
+  StorageCheck(ratio >= 0.90, &ok,
+               "spill throughput within 10%% of RAM-only (%.2fx)", ratio);
+  StorageCheck(spill.spilled > 0, &ok,
+               "the spill arm actually spilled (%llu samples)",
+               static_cast<unsigned long long>(spill.spilled));
+  // The plateau gate: if RSS is measurable, the spill arm's growth must stay
+  // well under the RAM arm's (the hot tier is bounded; only the active
+  // segments and allocator slack grow).
+  if (ram.rss_final_mb > 0.0) {
+    StorageCheck(spill.growth_mb() < 0.5 * ram.growth_mb(), &ok,
+                 "spill RSS growth %.1f MB vs RAM-only %.1f MB "
+                 "(plateau vs grow)",
+                 spill.growth_mb(), ram.growth_mb());
+  }
+
+  std::ostringstream out;
+  out << "  \"storage_demo\": {\n";
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "    \"days\": %.0f, \"servers\": 6720, "
+                "\"record_servers\": true, \"hot_budget_samples\": %zu,\n",
+                days, kHotBudget);
+  out << buffer;
+  AppendRssArmJson(out, "hyperscale_spill", spill, false);
+  AppendRssArmJson(out, "hyperscale_ram", ram, true);
+  out << "  }";
+  *extra_json = out.str();
+  return ok;
+}
+
 int Main(int argc, char** argv) {
   std::string json_path;
   std::string check_path;
   std::string trajectory_path;
+  std::string store_dir;
+  bool storage_only = false;
+  bool rss_demo = false;
+  double rss_days = 7.0;
   bool quick = false;
   bool huge = false;
   int jobs_flag = 0;  // 0 = auto (hardware_concurrency).
@@ -714,6 +1054,14 @@ int Main(int argc, char** argv) {
       check_path = arg.substr(8);
     } else if (arg.rfind("--trajectory=", 0) == 0) {
       trajectory_path = arg.substr(13);
+    } else if (arg.rfind("--store-dir=", 0) == 0) {
+      store_dir = arg.substr(12);
+    } else if (arg == "--storage-only") {
+      storage_only = true;
+    } else if (arg == "--rss-demo") {
+      rss_demo = true;
+    } else if (arg.rfind("--rss-days=", 0) == 0) {
+      rss_days = std::strtod(arg.c_str() + 11, nullptr);
     } else if (arg.rfind("--jobs=", 0) == 0) {
       jobs_flag = std::atoi(arg.c_str() + 7);
     } else if (arg == "--quick") {
@@ -723,6 +1071,37 @@ int Main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
+    }
+  }
+  if ((storage_only || rss_demo) && store_dir.empty()) {
+    std::fprintf(stderr,
+                 "--storage-only / --rss-demo need --store-dir=DIR\n");
+    return 2;
+  }
+
+  if (rss_demo) {
+    // Demo mode replaces the tiers: the multi-day arms are the whole run.
+    std::string extra_json;
+    const bool demo_ok =
+        RunRssDemo(store_dir + "/rss_demo", rss_days, &extra_json);
+    const std::string json = ToJson({}, extra_json);
+    if (!json_path.empty()) {
+      std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
+      out << json;
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::printf("%s", json.c_str());
+    }
+    std::printf("STORAGE DEMO [%s]\n", demo_ok ? "PASS" : "FAIL");
+    return demo_ok ? 0 : 1;
+  }
+  if (!store_dir.empty()) {
+    if (!RunStorageSection(store_dir + "/identity")) {
+      std::printf("STORAGE CHECK [FAIL] overall\n");
+      return 1;
+    }
+    if (storage_only) {
+      return 0;
     }
   }
 
@@ -761,16 +1140,17 @@ int Main(int argc, char** argv) {
     if (std::strcmp(spec.name, "paper") == 0) {
       r.tick_ns = RunTickPhase(spec);
     }
+    r.rss_mb = ReadVmRssMb();
     std::printf(
         "  [%10s] %5d servers | closed loop %5.2f sim-h in %6.2fs "
         "(%8.0f steps/s, %6.1f sim-min/s) | sample %9.0f samples/s "
         "(%6.0f ns/pass, %.3f allocs/pass) | resummate %6.0f ns | "
-        "events %5.1f ns (%.3f allocs)%s\n",
+        "events %5.1f ns (%.3f allocs) | rss %.0f MB%s\n",
         spec.name, r.servers, r.closed_loop.sim_hours, r.closed_loop.wall_s,
         r.closed_loop.steps_per_sec, r.closed_loop.sim_minutes_per_sec,
         r.sample.samples_per_sec, r.sample.ns_per_pass,
         r.sample.allocs_per_pass, r.resummate_ns, r.events.ns_per_event,
-        r.events.allocs_per_event, r.tick_ns > 0.0 ? " | tick" : "");
+        r.events.allocs_per_event, r.rss_mb, r.tick_ns > 0.0 ? " | tick" : "");
     if (r.tick_ns > 0.0) {
       std::printf("  [%10s] controller tick: %.0f ns\n", spec.name,
                   r.tick_ns);

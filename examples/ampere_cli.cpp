@@ -173,8 +173,10 @@ int RunFleet(const Flags& flags) {
               "unused_W");
   std::vector<std::string> series;
   for (int32_t r = 0; r < fleet.dc().num_rows(); ++r) {
-    std::vector<double> watts =
-        fleet.db().Values(PowerMonitor::RowSeries(RowId(r)));
+    std::vector<double> watts;
+    fleet.db()
+        .SeriesStitched(PowerMonitor::RowSeries(RowId(r)))
+        .ForEachPoint([&](const TimePoint& p) { watts.push_back(p.value); });
     Summary s = Summarize(watts);
     double budget = fleet.dc().row_budget_watts(RowId(r));
     std::printf("%6d %12.3f %12.3f %12.0f\n", r, s.mean / budget,

@@ -301,10 +301,9 @@ int main(int argc, char** argv) {
               "budget_W", "unused_mean_W");
   for (int32_t r = 0; r < fleet.dc().num_rows(); ++r) {
     std::vector<double> watts;
-    for (const auto& p :
-         fleet.db().Query(PowerMonitor::RowSeries(RowId(r)), from, end)) {
-      watts.push_back(p.value);
-    }
+    fleet.db()
+        .QueryStitched(PowerMonitor::RowSeries(RowId(r)), from, end)
+        .ForEachPoint([&](const TimePoint& p) { watts.push_back(p.value); });
     Summary s = Summarize(watts);
     double budget = fleet.dc().row_budget_watts(RowId(r));
     std::printf("%6d %12.3f %12.3f %12.0f %14.0f\n", r, s.mean / budget,
@@ -312,10 +311,9 @@ int main(int argc, char** argv) {
   }
 
   std::vector<double> dc_watts;
-  for (const auto& p :
-       fleet.db().Query(PowerMonitor::kTotalSeries, from, end)) {
-    dc_watts.push_back(p.value);
-  }
+  fleet.db()
+      .QueryStitched(PowerMonitor::kTotalSeries, from, end)
+      .ForEachPoint([&](const TimePoint& p) { dc_watts.push_back(p.value); });
   Summary dc_s = Summarize(dc_watts);
   double dc_budget = fleet.dc().total_budget_watts();
   std::printf("\ndata center: mean utilization %.3f of %.0f W budget "
@@ -325,10 +323,10 @@ int main(int argc, char** argv) {
   // The E_t profile an Ampere deployment on row 0 would use next.
   std::vector<double> row0_norm;
   double row0_budget = fleet.dc().row_budget_watts(RowId(0));
-  for (const auto& p :
-       fleet.db().Query(PowerMonitor::RowSeries(RowId(0)), from, end)) {
-    row0_norm.push_back(p.value / row0_budget);
-  }
+  fleet.db()
+      .QueryStitched(PowerMonitor::RowSeries(RowId(0)), from, end)
+      .ForEachPoint(
+          [&](const TimePoint& p) { row0_norm.push_back(p.value / row0_budget); });
   EtEstimator et = EtEstimator::FromHistory(row0_norm, /*start=*/120);
   std::printf("\nrow-0 hourly E_t profile (99.5th pct 1-min increase):\n");
   for (int h = 0; h < 24; ++h) {

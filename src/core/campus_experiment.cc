@@ -90,6 +90,23 @@ CampusExperiment::CampusExperiment(const ExperimentConfig& config)
     pool_ = std::make_unique<ThreadPool>(config_.jobs - 1);
     campus_.SetThreadPool(pool_.get());
   }
+  if (config_.storage.enabled()) {
+    // Shared cold tier under the campus-wide db (per-DC prefixes keep the
+    // series distinct, so one store serves every DC). Same wiring as
+    // ControlledExperiment: storage plumbing only, results unchanged.
+    ColdStoreConfig cold;
+    cold.dir = config_.storage.store_dir;
+    cold.segment_samples =
+        config_.storage.segment_samples > 0
+            ? config_.storage.segment_samples
+            : std::max<size_t>(16384, config_.storage.hot_budget_samples);
+    auto opened = ColdStore::Create(cold);
+    AMPERE_CHECK(opened.status.ok())
+        << "cannot create cold store: " << opened.status.message;
+    cold_store_ = std::move(opened.store);
+    db_.AttachColdStore(cold_store_.get(),
+                        config_.storage.hot_budget_samples);
+  }
 
   dcs_.reserve(static_cast<size_t>(campus_.num_datacenters()));
   for (int d = 0; d < campus_.num_datacenters(); ++d) {
@@ -466,6 +483,18 @@ CampusResult CampusExperiment::Run() {
     }
     result.artifacts.insert(result.artifacts.end(), artifacts_.begin(),
                             artifacts_.end());
+  }
+  if (cold_store_ != nullptr) {
+    const StoreStatus flushed = cold_store_->Flush();
+    AMPERE_CHECK(flushed.ok())
+        << "cold store flush failed: " << flushed.message;
+    result.cold_samples_spilled = db_.samples_spilled();
+    result.cold_segments = cold_store_->total_segments();
+    result.artifacts.push_back(cold_store_->ManifestPath());
+    AMPERE_LOG(kInfo) << "cold store: spilled "
+                      << result.cold_samples_spilled << " samples into "
+                      << result.cold_segments << " segments under "
+                      << cold_store_->dir();
   }
   return result;
 }

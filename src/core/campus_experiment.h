@@ -103,6 +103,10 @@ struct CampusResult {
   // Empty/zero unless config.obs enabled recording.
   std::vector<std::string> artifacts;
   uint64_t timeline_events = 0;
+  // Cold-tier accounting (zero when config.storage is off); the manifest
+  // path lands in `artifacts`.
+  uint64_t cold_samples_spilled = 0;
+  uint64_t cold_segments = 0;
 };
 
 // Pure entry point mirroring RunExperimentToResult: builds a fresh
@@ -174,6 +178,9 @@ class CampusExperiment {
   std::unique_ptr<ThreadPool> pool_;
   Simulation sim_;
   Campus campus_;
+  // Cold tier (null unless config.storage.enabled()); declared before db_
+  // because the shared db spills into it from its append paths.
+  std::unique_ptr<ColdStore> cold_store_;
   TimeSeriesDb db_;
   JobIdAllocator ids_;  // Shared: JobIds are campus-unique.
   std::vector<std::unique_ptr<DcState>> dcs_;

@@ -74,6 +74,23 @@ ControlledExperiment::ControlledExperiment(const ExperimentConfig& config)
     dc_.SetThreadPool(pool_.get());
     monitor_.SetThreadPool(pool_.get());
   }
+  if (config_.storage.enabled()) {
+    // Persistent cold tier: the db spills past the hot budget into mmap'd
+    // segments under store_dir. Pure storage plumbing — the control loop
+    // reads the monitor's caches, so results are identical with it off.
+    ColdStoreConfig cold;
+    cold.dir = config_.storage.store_dir;
+    cold.segment_samples =
+        config_.storage.segment_samples > 0
+            ? config_.storage.segment_samples
+            : std::max<size_t>(16384, config_.storage.hot_budget_samples);
+    auto opened = ColdStore::Create(cold);
+    AMPERE_CHECK(opened.status.ok())
+        << "cannot create cold store: " << opened.status.message;
+    cold_store_ = std::move(opened.store);
+    db_.AttachColdStore(cold_store_.get(),
+                        config_.storage.hot_budget_samples);
+  }
   // Arrival source: synthetic generator by default, trace replay when the
   // config asks. A recording run interposes the TraceRecorder as the sink —
   // a pass-through decorator, so recording never perturbs the run.
@@ -361,6 +378,20 @@ ExperimentResult ControlledExperiment::Run() {
                              << config_.trace.record_path;
       }
     }
+  }
+  if (cold_store_ != nullptr) {
+    // Seal every active segment so the store is fully on disk and reopenable
+    // (the OpenExisting instant-restart path) before the process exits.
+    const StoreStatus flushed = cold_store_->Flush();
+    AMPERE_CHECK(flushed.ok())
+        << "cold store flush failed: " << flushed.message;
+    result.cold_samples_spilled = db_.samples_spilled();
+    result.cold_segments = cold_store_->total_segments();
+    result.artifacts.push_back(cold_store_->ManifestPath());
+    AMPERE_LOG(kInfo) << "cold store: spilled "
+                      << result.cold_samples_spilled << " samples into "
+                      << result.cold_segments << " segments under "
+                      << cold_store_->dir();
   }
   return result;
 }

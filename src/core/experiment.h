@@ -38,6 +38,7 @@
 #include "src/obs/flight_recorder.h"
 #include "src/sched/scheduler.h"
 #include "src/sim/simulation.h"
+#include "src/telemetry/cold_store.h"
 #include "src/telemetry/power_monitor.h"
 #include "src/telemetry/timeseries_db.h"
 #include "src/workload/batch_workload.h"
@@ -122,6 +123,29 @@ struct WorkloadTraceSection {
   bool active() const { return replay() || recording(); }
 };
 
+// Persistent-telemetry section (cold tier; see src/telemetry/cold_store.h).
+// Off by default — no store is created, TimeSeriesDb keeps everything hot,
+// and every golden stays byte-identical. When enabled, the experiment owns a
+// ColdStore in `store_dir`, attaches it to its TimeSeriesDb with the
+// per-series hot budget, and seals + flushes the store after Run(); the
+// manifest is reported as an artifact. Storage is observation-plumbing only:
+// the control loop reads the monitor's caches, never the db history, so
+// simulation results — and the stitched full-history bytes — are identical
+// with the tier on or off.
+struct StorageSection {
+  std::string store_dir;  // "" = RAM-only (default).
+  // Per-series hot-tier occupancy cap, in samples. The oldest half of a
+  // series spills to the cold store when it fills.
+  size_t hot_budget_samples = 4096;
+  // Cold segments seal and roll at this many samples (0 = derived:
+  // max(16384, hot_budget_samples)). Segment size does not bound RSS — the
+  // writer releases written pages eagerly — so the derivation favors large
+  // segments: fewer files, fewer seal cycles.
+  size_t segment_samples = 0;
+
+  bool enabled() const { return !store_dir.empty(); }
+};
+
 struct ExperimentConfig {
   uint64_t seed = 42;
   // Intra-run data-parallelism lanes for the batch passes (the sharded
@@ -162,6 +186,8 @@ struct ExperimentConfig {
   ObsSection obs;
   // Workload-trace record/replay; see WorkloadTraceSection above.
   WorkloadTraceSection trace;
+  // Persistent telemetry cold tier; see StorageSection above.
+  StorageSection storage;
   // Time-varying power budget P(t), evaluated on the measured clock (t = 0
   // at the end of warmup) and applied per minute as a scale on the
   // experiment domain's budget (and, in a campus run, on the allocator's
@@ -202,6 +228,10 @@ struct ExperimentResult {
   // Workload-trace accounting (zero when ExperimentConfig::trace inactive).
   uint64_t trace_jobs_recorded = 0;
   uint64_t trace_jobs_replayed = 0;
+  // Cold-tier accounting (zero when ExperimentConfig::storage is off). The
+  // manifest path is appended to `artifacts` after trace/postmortems.
+  uint64_t cold_samples_spilled = 0;
+  uint64_t cold_segments = 0;
   // The deepest budget scale the run's P(t) reached over the measured
   // window (1.0 for the constant schedule).
   double budget_scale_min = 1.0;
@@ -279,6 +309,8 @@ class ControlledExperiment {
   // Null unless config.obs.enabled(). Installed as the thread's current
   // recorder only while Run() executes.
   obs::FlightRecorder* flight_recorder() { return recorder_.get(); }
+  // Null unless config.storage.enabled().
+  ColdStore* cold_store() { return cold_store_.get(); }
   const std::vector<ServerId>& experiment_servers() const {
     return experiment_servers_;
   }
@@ -305,6 +337,9 @@ class ControlledExperiment {
   std::unique_ptr<ThreadPool> pool_;
   Simulation sim_;
   DataCenter dc_;
+  // Cold tier (null unless config.storage.enabled()); declared before db_
+  // because the db spills into it from its append paths.
+  std::unique_ptr<ColdStore> cold_store_;
   TimeSeriesDb db_;
   Scheduler scheduler_;
   PowerMonitor monitor_;

@@ -173,6 +173,13 @@ HarnessArgs ParseHarnessArgs(int argc, char** argv) {
       args.record_trace_path = record;
     } else if (const char* sched = value_of(arg, "--budget-schedule", i)) {
       args.budget_schedule_spec = sched;
+    } else if (const char* store = value_of(arg, "--store-dir", i)) {
+      args.store_dir = store;
+    } else if (const char* budget = value_of(arg, "--hot-budget", i)) {
+      const int parsed = std::atoi(budget);
+      AMPERE_CHECK(parsed >= 2)
+          << "--hot-budget wants a sample count >= 2, got '" << budget << "'";
+      args.hot_budget_samples = static_cast<size_t>(parsed);
     } else if (arg == "--obs") {
       args.runner.capture_obs = true;
     } else if (arg == "--no-notes") {

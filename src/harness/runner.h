@@ -96,6 +96,14 @@ ResultTable RunScenarios(std::span<const Scenario> scenarios,
 //                           diurnal:.., ';'-separated). Stored verbatim —
 //                           benches parse it so the harness library keeps
 //                           no control-layer dependency
+//   --store-dir=DIR         storage-aware benches attach a persistent
+//                           telemetry cold tier under DIR (run-suffixed via
+//                           ArtifactPathForRun, so grids never share a
+//                           store); off by default — RAM-only, goldens
+//                           unchanged
+//   --hot-budget=N          per-series hot-tier sample budget used with
+//                           --store-dir (>= 2; 0/absent keeps the
+//                           StorageSection default)
 struct HarnessArgs {
   RunnerOptions runner;
   std::string csv_path;
@@ -119,6 +127,13 @@ struct HarnessArgs {
   std::string replay_trace_path;
   std::string record_trace_path;
   std::string budget_schedule_spec;
+  // --store-dir / --hot-budget: persistent telemetry cold tier (empty = off,
+  // RAM-only). Storage-aware benches copy these into each scenario's
+  // ExperimentConfig::storage via bench::ApplyStorageArgs, deriving the
+  // per-run store directory with ArtifactPathForRun. hot_budget_samples = 0
+  // keeps the StorageSection default.
+  std::string store_dir;
+  size_t hot_budget_samples = 0;
   std::vector<std::string> positional;
 };
 

@@ -19,12 +19,14 @@ void ExportCsv(const TimeSeriesDb& db, std::span<const std::string> series,
   }
   out << "\n";
 
-  // Row index: union of timestamps -> per-series value.
+  // Row index: union of timestamps -> per-series value. The stitched read
+  // walks cold (spilled) history then the hot tail, in time order, so the
+  // exported bytes are identical whether or not a cold store is attached.
   std::map<int64_t, std::vector<std::pair<size_t, double>>> rows;
   for (size_t column = 0; column < series.size(); ++column) {
-    for (const TimePoint& p : db.Series(series[column])) {
+    db.SeriesStitched(series[column]).ForEachPoint([&](const TimePoint& p) {
       rows[p.time.micros()].emplace_back(column, p.value);
-    }
+    });
   }
 
   char buf[64];

@@ -134,7 +134,10 @@ class PowerMonitor {
   // Capacity hint: reserves storage in the TimeSeriesDb for
   // `expected_samples` points on every series this monitor records, so the
   // steady-state sample path touches no allocator. Purely a reservation —
-  // sampling past the hint still works (amortized growth).
+  // sampling past the hint still works (amortized growth). When the db has
+  // a cold store attached, ReservePoints clamps each reservation to the hot
+  // budget (spilling caps hot occupancy, so reserving the full run length
+  // would defeat the bounded-RSS contract).
   void PreallocateSamples(size_t expected_samples);
 
   // Takes one sample immediately (also used by Start's periodic task).

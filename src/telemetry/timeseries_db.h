@@ -16,6 +16,16 @@
 //
 // Storage is a flat std::vector<std::vector<TimePoint>> indexed by SeriesId;
 // the name->id map is only consulted at intern/lookup time, never per append.
+//
+// An optional persistent cold tier (src/telemetry/cold_store.h) bounds the
+// hot tier's RSS: AttachColdStore sets a per-series hot budget, and appends
+// that push a series past it spill the oldest run of points into
+// memory-mapped segment files through the ordinary AppendBatch span path.
+// Spilling changes where history lives, not what it says — QueryStitched /
+// SeriesStitched return the full hot+cold history losslessly (bit-exact
+// doubles, exact microsecond timestamps), so export and analysis bytes are
+// identical with the tier on or off. With no store attached (the default)
+// the spill machinery costs one integer compare per append.
 
 #ifndef SRC_TELEMETRY_TIMESERIES_DB_H_
 #define SRC_TELEMETRY_TIMESERIES_DB_H_
@@ -23,6 +33,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <span>
 #include <string>
@@ -35,9 +46,70 @@
 
 namespace ampere {
 
+class ColdStore;  // src/telemetry/cold_store.h
+
 struct TimePoint {
   SimTime time;
   double value = 0.0;
+};
+
+// One contiguous run of cold samples, decoded lazily. `values` is a
+// zero-copy span over the mapped value column (raw IEEE-754 bits, so reads
+// are bit-exact); timestamps reconstruct exactly as base_time plus the
+// running sum of `deltas[1..]` (microsecond deltas — deltas[0] is the delta
+// from the sample *before* this piece and is ignored when decoding).
+struct ColdPiece {
+  SimTime base_time;                // Absolute time of values[0].
+  std::span<const int64_t> deltas;  // Same length as values.
+  std::span<const double> values;
+
+  size_t size() const { return values.size(); }
+};
+
+// A stitched hot+cold query result: cold pieces in time order followed by
+// the in-RAM hot tail, all zero-copy. Spans are invalidated by the next
+// Append to the same series (hot growth, spill, or segment seal); consume
+// before resuming appends. With the cold tier off this is just a wrapper
+// around the hot span, so callers can migrate unconditionally.
+class StitchedView {
+ public:
+  StitchedView() = default;
+  StitchedView(std::vector<ColdPiece> cold, std::span<const TimePoint> hot)
+      : cold_(std::move(cold)), hot_(hot) {
+    for (const ColdPiece& piece : cold_) {
+      cold_size_ += piece.size();
+    }
+  }
+
+  size_t size() const { return cold_size_ + hot_.size(); }
+  bool empty() const { return size() == 0; }
+  std::span<const ColdPiece> cold_pieces() const { return cold_; }
+  std::span<const TimePoint> hot() const { return hot_; }
+
+  // Visits every point in time order (cold pieces, then the hot tail).
+  template <typename Fn>
+  void ForEachPoint(Fn&& fn) const {
+    for (const ColdPiece& piece : cold_) {
+      SimTime t = piece.base_time;
+      for (size_t i = 0; i < piece.values.size(); ++i) {
+        if (i > 0) {
+          t = t + SimTime::Micros(piece.deltas[i]);
+        }
+        fn(TimePoint{t, piece.values[i]});
+      }
+    }
+    for (const TimePoint& point : hot_) {
+      fn(point);
+    }
+  }
+
+  // Copying convenience for tests/analysis.
+  std::vector<TimePoint> Materialize() const;
+
+ private:
+  std::vector<ColdPiece> cold_;
+  std::span<const TimePoint> hot_;
+  size_t cold_size_ = 0;
 };
 
 // Opaque interned-series handle. Default-constructed handles are invalid;
@@ -86,6 +158,9 @@ class TimeSeriesDb {
     AMPERE_CHECK(points.empty() || points.back().time <= t)
         << "out-of-order append to series " << names_[id.index()];
     points.push_back(TimePoint{t, value});
+    if (points.size() >= spill_trigger_) {  // SIZE_MAX when no cold tier.
+      SpillOldest(id);
+    }
   }
 
   // Bulk append through a handle: one bounds/order check for the whole
@@ -110,6 +185,9 @@ class TimeSeriesDb {
           << "unsorted batch for series " << names_[id.index()];
     }
     points.insert(points.end(), batch.begin(), batch.end());
+    if (points.size() >= spill_trigger_) {  // SIZE_MAX when no cold tier.
+      SpillOldest(id);
+    }
   }
 
   // Pre-sizes one series' storage for `expected_points` total points so the
@@ -118,6 +196,8 @@ class TimeSeriesDb {
 
   // Whole series / range views by handle. Spans are invalidated by the next
   // Append to the same series (vector growth); consume before resampling.
+  // With a cold store attached these see the HOT TIER ONLY (the most recent
+  // points within the budget) — full-history readers use QueryStitched.
   std::span<const TimePoint> Series(SeriesId id) const {
     if (!id.valid() || id.index() >= points_.size()) {
       return {};
@@ -139,6 +219,35 @@ class TimeSeriesDb {
 
   // Number of interned series (including pre-interned, still-empty ones).
   size_t NumSeries() const { return points_.size(); }
+
+  // --- Cold tier (optional persistent spill) ------------------------------
+
+  // Attaches a cold store and arms the spill policy: once a series' hot
+  // vector reaches `hot_budget_samples` points, the oldest half spills into
+  // `store` (through its AppendBatch span path) and is erased from RAM, so
+  // per-series hot occupancy never exceeds the budget. Series already in
+  // `store` (the OpenExisting restart path) are interned so lookups and
+  // SeriesNames see them. `store` must outlive this db; budget >= 2.
+  void AttachColdStore(ColdStore* store, size_t hot_budget_samples);
+
+  bool spill_enabled() const { return cold_ != nullptr; }
+  size_t hot_budget_samples() const { return hot_budget_; }
+  uint64_t samples_spilled() const { return samples_spilled_; }
+  ColdStore* cold_store() const { return cold_; }
+
+  // Full-history reads across both tiers: cold pieces (zero-copy views of
+  // the mapped columns) stitched with the hot tail. With no cold store
+  // attached these are exactly the hot-span reads, so export/analysis code
+  // calls them unconditionally and gets identical bytes either way.
+  StitchedView SeriesStitched(SeriesId id) const;
+  StitchedView QueryStitched(SeriesId id, SimTime from, SimTime to) const;
+  StitchedView SeriesStitched(std::string_view series) const {
+    return SeriesStitched(Find(series));
+  }
+  StitchedView QueryStitched(std::string_view series, SimTime from,
+                             SimTime to) const {
+    return QueryStitched(Find(series), from, to);
+  }
 
   // --- String tier (shim over interning) ---------------------------------
 
@@ -165,6 +274,9 @@ class TimeSeriesDb {
   }
 
   // Values only, in time order. Copying: export/analysis surface.
+  // [[deprecated]] — prefer QueryView / SeriesStitched (zero-copy, and the
+  // stitched form sees the cold tier). Kept as a shim for existing callers;
+  // reads the full hot+cold history.
   std::vector<double> Values(std::string_view series) const;
 
   // Most recent point, if any.
@@ -172,18 +284,26 @@ class TimeSeriesDb {
     return Latest(Find(series));
   }
 
-  // Points with from <= time <= to. Copying: export/analysis surface —
-  // internal consumers should prefer QueryView.
+  // Points with from <= time <= to. Copying: export/analysis surface.
+  // [[deprecated]] — prefer QueryView / QueryStitched (zero-copy, and the
+  // stitched form sees the cold tier). Kept as a shim for existing callers;
+  // reads the full hot+cold history.
   std::vector<TimePoint> Query(std::string_view series, SimTime from,
                                SimTime to) const;
 
-  // Names of series that hold at least one point, sorted. Pre-interned but
-  // never-appended series are deliberately excluded: interning is a capacity
-  // hint, not an observable write.
+  // Names of series that hold at least one point (in either tier), sorted.
+  // Pre-interned but never-appended series are deliberately excluded:
+  // interning is a capacity hint, not an observable write.
   std::vector<std::string> SeriesNames() const;
+  // Total points across both tiers.
   size_t TotalPoints() const;
 
  private:
+  // Spills the oldest points of a series past the hot budget into the cold
+  // store and erases them from RAM. Called from the append paths when a
+  // series reaches the budget; keeps the newest half (always >= 1 point, so
+  // Latest and the append-order check stay hot-only).
+  void SpillOldest(SeriesId id);
   // Transparent (heterogeneous) hash/equal: find() and the insert-or-lookup
   // in Intern accept std::string_view without materializing a std::string.
   struct TransparentHash {
@@ -197,6 +317,13 @@ class TimeSeriesDb {
       index_;
   std::vector<std::string> names_;             // Indexed by SeriesId.
   std::vector<std::vector<TimePoint>> points_;  // Indexed by SeriesId.
+
+  // Cold tier; null (and spill_trigger_ = SIZE_MAX, keeping the append-path
+  // branch always-false) until AttachColdStore.
+  ColdStore* cold_ = nullptr;
+  size_t hot_budget_ = 0;
+  size_t spill_trigger_ = std::numeric_limits<size_t>::max();
+  uint64_t samples_spilled_ = 0;
 };
 
 }  // namespace ampere

@@ -22,6 +22,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -39,6 +42,7 @@
 #include "src/core/campus_experiment.h"
 #include "src/core/controller.h"
 #include "src/core/experiment.h"
+#include "src/telemetry/cold_store.h"
 #include "src/harness/grid.h"
 #include "src/harness/runner.h"
 #include "src/telemetry/csv_export.h"
@@ -824,6 +828,92 @@ TEST(TraceRoundTripTest, ReplayWhileRecordingReproducesTheTrace) {
   }
   // And byte-equal after serialization, which also covers the header.
   EXPECT_EQ(SerializeTrace(*second), SerializeTrace(*first));
+}
+
+// --- 7. The jobs matrix under spill --------------------------------------
+//
+// The cold tier is write-path-only during the closed loop (the controller
+// and metrics read the monitor's caches, never the db), so enabling spill
+// must not move a single byte of any artifact: the DecisionJournal and the
+// stitched TimeSeriesDb CSV (ExportCsv reads hot + cold) must equal the
+// RAM-only reference at jobs in {1, 2, 8}. And the restart contract: a
+// store reopened via OpenExisting in a fresh process serves the identical
+// cold bytes the sealing run produced.
+
+// Canonical per-point rendering of a stitched series, capped at `limit`
+// points — the byte form both halves of the restart comparison share.
+std::string CanonicalStitched(const TimeSeriesDb& db, const std::string& name,
+                              size_t limit) {
+  std::string out;
+  size_t emitted = 0;
+  db.SeriesStitched(name).ForEachPoint([&](const TimePoint& point) {
+    if (emitted++ >= limit) {
+      return;
+    }
+    char line[64];
+    std::snprintf(line, sizeof(line), "%lld %.17g\n",
+                  static_cast<long long>(point.time.micros()), point.value);
+    out += line;
+  });
+  return out;
+}
+
+TEST(SpillJobsMatrixTest, SpillArtifactsByteIdenticalToRamOnlyAtJobs128) {
+  const std::string dir =
+      ::testing::TempDir() + "ampere_spill_matrix";
+  std::filesystem::remove_all(dir);
+  MatrixArtifacts reference;
+  RunMatrixExperimentInto(1, &reference);
+  ASSERT_NE(reference.db_csv.find("server/"), std::string::npos);
+  for (int jobs : {1, 2, 8}) {
+    ExperimentConfig config = MatrixConfig(jobs);
+    config.storage.store_dir = dir + "/jobs" + std::to_string(jobs);
+    config.storage.hot_budget_samples = 48;  // Force heavy spilling.
+    ControlledExperiment experiment(config);
+    experiment.Run();
+    ASSERT_NE(experiment.cold_store(), nullptr);
+    EXPECT_GT(experiment.db().samples_spilled(), 0u)
+        << "budget 48 over a 2.5 h run must spill, or this test is vacuous";
+    EXPECT_EQ(experiment.controller()->journal().ToCsv(),
+              reference.journal_csv)
+        << "DecisionJournal CSV diverged under spill at jobs=" << jobs;
+    std::ostringstream out;
+    ExportCsv(experiment.db(), experiment.db().SeriesNames(), out);
+    EXPECT_EQ(out.str(), reference.db_csv)
+        << "stitched TimeSeriesDb CSV diverged under spill at jobs=" << jobs;
+  }
+}
+
+TEST(SpillJobsMatrixTest, OpenExistingReproducesColdBytesAfterRestart) {
+  const std::string dir =
+      ::testing::TempDir() + "ampere_spill_restart";
+  std::filesystem::remove_all(dir);
+  constexpr size_t kHotBudget = 48;
+  std::map<std::string, std::string> want;  // series -> cold-prefix bytes.
+  {
+    ExperimentConfig config = MatrixConfig(1);
+    config.storage.store_dir = dir;
+    config.storage.hot_budget_samples = kHotBudget;
+    ControlledExperiment experiment(config);
+    experiment.Run();  // Flushes the store on the way out.
+    ASSERT_NE(experiment.cold_store(), nullptr);
+    const ColdStore& store = *experiment.cold_store();
+    for (const std::string& name : store.SeriesNames()) {
+      want[name] = CanonicalStitched(experiment.db(), name,
+                                     store.SamplesForSeries(name));
+    }
+    ASSERT_GT(want.size(), 48u) << "per-server series must have spilled";
+  }  // Experiment (and its store) destroyed: the restart boundary.
+
+  auto reopened = ColdStore::OpenExisting(ColdStoreConfig{dir});
+  ASSERT_TRUE(reopened.status.ok()) << reopened.status.message;
+  TimeSeriesDb restarted;
+  restarted.AttachColdStore(reopened.store.get(), kHotBudget);
+  ASSERT_EQ(restarted.SeriesNames().size(), want.size());
+  for (const auto& [name, bytes] : want) {
+    EXPECT_EQ(CanonicalStitched(restarted, name, SIZE_MAX), bytes)
+        << "cold bytes changed across restart for " << name;
+  }
 }
 
 TEST(TraceRoundTripTest, GridResultTableBytesIdenticalForReplayArm) {
